@@ -1,0 +1,222 @@
+//! The Decaying Average Problem (paper Problem 2.2).
+
+use td_ceh::CascadedEh;
+use td_decay::storage::StorageAccounting;
+use td_decay::{DecayFunction, Time};
+use td_wbmh::Wbmh;
+
+use crate::count::DecayedCount;
+
+/// The time-decaying average
+/// `A_g(T) = Σ f_i·g(T−t_i) / Σ g(T−t_i)` (Problem 2.2, DAP).
+///
+/// As the paper observes (§2.2), the numerator is a decaying sum of the
+/// value stream and the denominator is a decaying count of the stream
+/// `(t_i, 1)`; both are maintained by any [`DecayedCount`] backend, and
+/// an approximate average follows from the two approximate sums: with
+/// both one-sided within `(1+ε)`, the ratio lies within
+/// `[1/(1+ε), 1+ε]` of the true average.
+///
+/// The decaying average is the aggregate behind every application in
+/// §1.1 — RED queue estimation, ATM holding times, gateway selection —
+/// and is what the Figure 1 experiment rates links with.
+///
+/// # Examples
+///
+/// ```
+/// use td_aggregates::DecayedAverage;
+/// use td_decay::Polynomial;
+/// let mut a = DecayedAverage::wbmh(Polynomial::new(1.0), 0.1, 1 << 20);
+/// a.observe(1, 10);
+/// a.observe(2, 20);
+/// let avg = a.query(3).unwrap();
+/// // truth: (10·g(2) + 20·g(1)) / (g(2) + g(1)) = 25/1.5
+/// assert!((avg - 25.0 / 1.5).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecayedAverage<B> {
+    values: B,
+    weights: B,
+}
+
+impl<G: DecayFunction + Clone> DecayedAverage<CascadedEh<G>> {
+    /// A decayed average over cascaded-EH backends (any decay function).
+    pub fn ceh(decay: G, epsilon: f64) -> Self {
+        Self {
+            values: CascadedEh::new(decay.clone(), epsilon),
+            weights: CascadedEh::new(decay, epsilon),
+        }
+    }
+}
+
+impl<G: DecayFunction + Clone> DecayedAverage<Wbmh<G>> {
+    /// A decayed average over WBMH backends (ratio-monotone decay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the decay is not ratio-monotone (see [`Wbmh::new`]).
+    pub fn wbmh(decay: G, epsilon: f64, max_age: Time) -> Self {
+        Self {
+            values: Wbmh::new(decay.clone(), epsilon, max_age),
+            weights: Wbmh::new(decay, epsilon, max_age),
+        }
+    }
+}
+
+impl<B: DecayedCount> DecayedAverage<B> {
+    /// Builds an average from two explicit backends (the `values`
+    /// backend receives `(t, f)`, the `weights` backend `(t, 1)`).
+    pub fn from_backends(values: B, weights: B) -> Self {
+        Self { values, weights }
+    }
+
+    /// Ingests an item of value `f` at time `t`.
+    pub fn observe(&mut self, t: Time, f: u64) {
+        self.values.observe(t, f);
+        self.weights.observe(t, 1);
+    }
+
+    /// The decayed-average estimate, or `None` when no item carries
+    /// positive weight yet.
+    pub fn query(&self, t: Time) -> Option<f64> {
+        let den = self.weights.query(t);
+        if den <= 0.0 {
+            return None;
+        }
+        Some(self.values.query(t) / den)
+    }
+
+    /// The numerator (decayed value sum) estimate.
+    pub fn value_sum(&self, t: Time) -> f64 {
+        self.values.query(t)
+    }
+
+    /// The denominator (decayed weight total) estimate.
+    pub fn weight_total(&self, t: Time) -> f64 {
+        self.weights.query(t)
+    }
+}
+
+impl<B: crate::count::MergeableCount> DecayedAverage<B> {
+    /// Merges another average's state (distributed sites over disjoint
+    /// substreams). Error composition follows the backend's
+    /// `merge_from`.
+    pub fn merge_from(&mut self, other: &DecayedAverage<B>) {
+        self.values.merge_counts(&other.values);
+        self.weights.merge_counts(&other.weights);
+    }
+}
+
+impl<B: StorageAccounting> StorageAccounting for DecayedAverage<B> {
+    fn storage_bits(&self) -> u64 {
+        self.values.storage_bits() + self.weights.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_counters::ExactDecayedSum;
+    use td_decay::{Exponential, Polynomial, SlidingWindow};
+
+    fn exact_average<G: DecayFunction + Clone>(
+        g: G,
+        items: &[(Time, u64)],
+        t: Time,
+    ) -> Option<f64> {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(ti, f) in items {
+            if ti < t {
+                let w = g.weight(t - ti);
+                num += f as f64 * w;
+                den += w;
+            }
+        }
+        (den > 0.0).then_some(num / den)
+    }
+
+    #[test]
+    fn sliding_window_average_is_plain_mean() {
+        let g = SlidingWindow::new(10);
+        let mut a = DecayedAverage::ceh(g, 0.1);
+        for t in 1..=100u64 {
+            a.observe(t, t); // value = time
+        }
+        // Window at T=101 holds values 91..=100 → mean 95.5.
+        let avg = a.query(101).unwrap();
+        assert!((avg - 95.5).abs() <= 0.1 * 95.5, "avg={avg}");
+    }
+
+    #[test]
+    fn polynomial_average_tracks_exact() {
+        let g = Polynomial::new(1.0);
+        let mut a = DecayedAverage::wbmh(g.clone(), 0.1, 1 << 20);
+        let mut items = Vec::new();
+        let mut x = 17u64;
+        for t in 1..=3_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = x % 100;
+            a.observe(t, f);
+            items.push((t, f));
+        }
+        let got = a.query(3_001).unwrap();
+        let want = exact_average(g, &items, 3_001).unwrap();
+        // Ratio of two one-sided (1+ε) estimates.
+        assert!(got <= want * 1.1 + 1e-9 && got >= want / 1.1 - 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn average_shifts_toward_recent_values() {
+        // Values switch from 10 to 90 halfway: a decayed average must
+        // land closer to 90.
+        let g = Polynomial::new(2.0);
+        let mut a = DecayedAverage::wbmh(g, 0.1, 1 << 20);
+        for t in 1..=1000u64 {
+            a.observe(t, if t <= 500 { 10 } else { 90 });
+        }
+        let avg = a.query(1001).unwrap();
+        assert!(avg > 80.0, "avg={avg}");
+    }
+
+    #[test]
+    fn from_backends_with_exact() {
+        let g = Exponential::new(0.1);
+        let mut a = DecayedAverage::from_backends(
+            ExactDecayedSum::new(g),
+            ExactDecayedSum::new(g),
+        );
+        a.observe(1, 4);
+        a.observe(2, 8);
+        let want = (4.0 * g.weight(2) + 8.0 * g.weight(1)) / (g.weight(2) + g.weight(1));
+        assert!((a.query(3).unwrap() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_from_combines_sites() {
+        let g = Polynomial::new(1.0);
+        let mut whole = DecayedAverage::ceh(g, 0.05);
+        let mut a = DecayedAverage::ceh(g, 0.05);
+        let mut b = DecayedAverage::ceh(g, 0.05);
+        for t in 1..=2_000u64 {
+            let f = 10 + t % 30;
+            whole.observe(t, f);
+            if t % 2 == 0 {
+                a.observe(t, f);
+            } else {
+                b.observe(t, f);
+            }
+        }
+        a.merge_from(&b);
+        let (m, w) = (a.query(2_001).unwrap(), whole.query(2_001).unwrap());
+        assert!((m - w).abs() <= 0.2 * w, "{m} vs {w}");
+    }
+
+    #[test]
+    fn empty_average_is_none() {
+        let a = DecayedAverage::ceh(Polynomial::new(1.0), 0.1);
+        assert_eq!(a.query(5), None);
+    }
+}

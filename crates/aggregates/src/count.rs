@@ -1,0 +1,133 @@
+//! The common decayed-count backend trait.
+
+use td_counters::{ExactDecayedSum, ExpCounter};
+use td_decay::{DecayFunction, Time};
+use td_eh::WindowSketch;
+use td_wbmh::Wbmh;
+
+/// Anything that maintains a decaying sum `S_g(T)` of a `u64`-valued
+/// stream — the substrate interface the composite aggregates (average,
+/// variance, selection) are built over.
+///
+/// Implementations in this workspace: [`td_ceh::CascadedEh`] (any
+/// decay), [`td_wbmh::Wbmh`] (ratio-monotone decay),
+/// [`td_counters::ExpCounter`] (exponential decay), and
+/// [`td_counters::ExactDecayedSum`] (the baseline).
+pub trait DecayedCount {
+    /// Ingests an item of value `f` at time `t` (non-decreasing `t`).
+    fn observe(&mut self, t: Time, f: u64);
+
+    /// The decaying-sum estimate `S'_g(T)` over items strictly before
+    /// `t` (§2.1 convention).
+    fn query(&self, t: Time) -> f64;
+}
+
+/// A [`DecayedCount`] that also supports the distributed-streams merge
+/// (union of two disjoint substreams' summaries).
+pub trait MergeableCount: DecayedCount {
+    /// Merges `other`'s state into `self`; see each backend's
+    /// `merge_from` for its error composition.
+    fn merge_counts(&mut self, other: &Self);
+}
+
+impl<G: DecayFunction> MergeableCount for td_ceh::CascadedEh<G> {
+    fn merge_counts(&mut self, other: &Self) {
+        self.merge_from(other);
+    }
+}
+
+impl<G: DecayFunction> MergeableCount for Wbmh<G> {
+    fn merge_counts(&mut self, other: &Self) {
+        self.merge_from(other);
+    }
+}
+
+impl MergeableCount for ExpCounter {
+    fn merge_counts(&mut self, other: &Self) {
+        self.merge_from(other);
+    }
+}
+
+impl<G: DecayFunction> MergeableCount for ExactDecayedSum<G> {
+    fn merge_counts(&mut self, other: &Self) {
+        self.merge_from(other);
+    }
+}
+
+impl<G: DecayFunction, S: WindowSketch> DecayedCount for td_ceh::CascadedEh<G, S> {
+    fn observe(&mut self, t: Time, f: u64) {
+        td_ceh::CascadedEh::observe(self, t, f);
+    }
+    fn query(&self, t: Time) -> f64 {
+        td_ceh::CascadedEh::query(self, t)
+    }
+}
+
+impl<G: DecayFunction> DecayedCount for Wbmh<G> {
+    fn observe(&mut self, t: Time, f: u64) {
+        Wbmh::observe(self, t, f);
+    }
+    fn query(&self, t: Time) -> f64 {
+        Wbmh::query(self, t)
+    }
+}
+
+impl DecayedCount for ExpCounter {
+    fn observe(&mut self, t: Time, f: u64) {
+        ExpCounter::observe(self, t, f);
+    }
+    fn query(&self, t: Time) -> f64 {
+        ExpCounter::query(self, t)
+    }
+}
+
+impl<G: DecayFunction> DecayedCount for ExactDecayedSum<G> {
+    fn observe(&mut self, t: Time, f: u64) {
+        ExactDecayedSum::observe(self, t, f);
+    }
+    fn query(&self, t: Time) -> f64 {
+        ExactDecayedSum::query(self, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_ceh::CascadedEh;
+    use td_decay::{Exponential, Polynomial};
+
+    /// All four backends agree (within their bands) on the same stream.
+    #[test]
+    fn backends_agree_on_exponential_decay() {
+        let lam = 0.05;
+        let g = Exponential::new(lam);
+        let mut backends: Vec<Box<dyn DecayedCount>> = vec![
+            Box::new(ExactDecayedSum::new(g)),
+            Box::new(ExpCounter::new(g)),
+            Box::new(CascadedEh::new(g, 0.05)),
+            Box::new(Wbmh::new(g, 0.05, 1 << 14)),
+        ];
+        for t in 1..=2_000u64 {
+            let f = 1 + t % 3;
+            for b in backends.iter_mut() {
+                b.observe(t, f);
+            }
+        }
+        let truth = backends[0].query(2_001);
+        for (i, b) in backends.iter().enumerate().skip(1) {
+            let est = b.query(2_001);
+            assert!(
+                (est - truth).abs() <= 0.06 * truth + 1e-9,
+                "backend {i}: {est} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable_for_polynomial() {
+        let g = Polynomial::new(1.0);
+        let mut b: Box<dyn DecayedCount> = Box::new(Wbmh::new(g, 0.1, 1 << 20));
+        b.observe(1, 5);
+        assert!(b.query(2) > 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Time-decaying aggregates beyond the plain sum (paper §2.2 and §7).
+//!
+//! Everything here composes the histogram substrates (`td-eh`, `td-ceh`,
+//! `td-wbmh`) and randomized substrates (`td-sketch`) into the
+//! user-level aggregates the paper formulates:
+//!
+//! * [`count::DecayedCount`] — the common backend trait, implemented by
+//!   all three summation substrates and the exact baseline;
+//! * [`average::DecayedAverage`] — Problem 2.2 (DAP), the ratio of a
+//!   decayed value sum to a decayed weight total;
+//! * [`variance::DecayedVariance`] — §7.3, via the three-sums reduction
+//!   `V = Σgf² − (Σgf)²/Σg` (with the cancellation regime documented
+//!   and measured rather than hidden);
+//! * [`lp::DecayedLpNorm`] — §7.1: Indyk stable sketches cascaded
+//!   through an exponential-histogram bucket structure, giving decayed
+//!   `L_p` norms of an update vector for any decay function;
+//! * [`select::DecayedSampler`] — §7.2: time-decayed random selection
+//!   via an MV/D list plus the window-mixture reduction;
+//! * [`quantile::DecayedQuantile`] — §7.2: approximate decayed
+//!   quantiles by repeated independent selection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod average;
+pub mod count;
+pub mod lp;
+pub mod quantile;
+pub mod select;
+pub mod variance;
+
+pub use average::DecayedAverage;
+pub use count::{DecayedCount, MergeableCount};
+pub use lp::DecayedLpNorm;
+pub use quantile::DecayedQuantile;
+pub use select::DecayedSampler;
+pub use variance::DecayedVariance;

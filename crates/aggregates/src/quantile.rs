@@ -1,0 +1,161 @@
+//! Time-decaying approximate quantiles (paper §7.2).
+
+use rand::Rng;
+
+use td_decay::storage::StorageAccounting;
+use td_decay::{DecayFunction, Time};
+
+use crate::select::DecayedSampler;
+
+/// A time-decaying approximate `p`-quantile: an item that, with high
+/// probability, is a `[p ± ε]`-quantile of the value distribution
+/// weighted by `g(T − t_i)` (paper §7.2).
+///
+/// Uses the folklore technique the paper cites: run `R` *independent*
+/// decayed random selections (independent rank streams), and report the
+/// `p`-quantile of the sampled values. By a Chernoff bound,
+/// `R = O(ε⁻² log(1/δ))` repetitions put the reported item inside the
+/// `[p − ε, p + ε]` band with probability `1 − δ`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use td_aggregates::DecayedQuantile;
+/// use td_decay::SlidingWindow;
+/// let mut q = DecayedQuantile::new(SlidingWindow::new(100), 0.1, 101, 1);
+/// for t in 1..=100u64 {
+///     q.observe(t, t); // values 1..=100 in the window
+/// }
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let med = q.query(101, 0.5, &mut rng).unwrap();
+/// assert!(med > 25 && med < 75);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecayedQuantile<G, V> {
+    samplers: Vec<DecayedSampler<G, V>>,
+}
+
+impl<G: DecayFunction + Clone, V: Clone + PartialOrd> DecayedQuantile<G, V> {
+    /// A quantile summary backed by `repetitions` independent samplers
+    /// (rank streams seeded from `seed`, `seed + 1`, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetitions == 0`.
+    pub fn new(decay: G, epsilon: f64, repetitions: usize, seed: u64) -> Self {
+        assert!(repetitions > 0, "need at least one sampler");
+        Self {
+            samplers: (0..repetitions)
+                .map(|i| DecayedSampler::new(decay.clone(), epsilon, seed + i as u64))
+                .collect(),
+        }
+    }
+
+    /// The number of independent samplers R.
+    pub fn repetitions(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Ingests an item with payload `value` at time `t`.
+    pub fn observe(&mut self, t: Time, value: V) {
+        for s in &mut self.samplers {
+            s.observe(t, value.clone());
+        }
+    }
+
+    /// The approximate `p`-quantile (`p ∈ [0, 1]`) of the decayed value
+    /// distribution at time `T`, or `None` when nothing carries weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn query<R: Rng + ?Sized>(&self, t: Time, p: f64, rng: &mut R) -> Option<V> {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1], got {p}");
+        let mut samples: Vec<V> = self
+            .samplers
+            .iter()
+            .filter_map(|s| s.sample(t, rng))
+            .collect();
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("values must be totally ordered"));
+        let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+        samples.into_iter().nth(idx)
+    }
+
+    /// The approximate decayed median.
+    pub fn median<R: Rng + ?Sized>(&self, t: Time, rng: &mut R) -> Option<V> {
+        self.query(t, 0.5, rng)
+    }
+}
+
+impl<G: DecayFunction, V> StorageAccounting for DecayedQuantile<G, V> {
+    fn storage_bits(&self) -> u64 {
+        self.samplers.iter().map(|s| s.storage_bits()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use td_decay::{Polynomial, SlidingWindow};
+
+    #[test]
+    fn window_median_of_uniform_values() {
+        let mut q = DecayedQuantile::new(SlidingWindow::new(200), 0.1, 151, 9);
+        for t in 1..=200u64 {
+            q.observe(t, t);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let med = q.median(201, &mut rng).unwrap();
+        // True median 100; allow the ±ε·n band for R = 151.
+        assert!((med as i64 - 100).unsigned_abs() < 40, "med={med}");
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let mut q = DecayedQuantile::new(SlidingWindow::new(100), 0.1, 51, 2);
+        for t in 1..=100u64 {
+            q.observe(t, t);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let lo = q.query(101, 0.0, &mut rng).unwrap();
+        let hi = q.query(101, 1.0, &mut rng).unwrap();
+        assert!(lo <= hi);
+        assert!(lo <= 40, "lo={lo}");
+        assert!(hi >= 60, "hi={hi}");
+    }
+
+    #[test]
+    fn decayed_median_tracks_recent_distribution_shift() {
+        // Values jump from ~10 to ~1000 at t = 500: a steep decay's
+        // median must follow the new regime.
+        let g = Polynomial::new(3.0);
+        let mut q = DecayedQuantile::new(g, 0.1, 75, 4);
+        for t in 1..=1_000u64 {
+            q.observe(t, if t <= 500 { 10 + t % 5 } else { 1_000 + t % 5 });
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let med = q.median(1_001, &mut rng).unwrap();
+        assert!(med >= 1_000, "med={med}");
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        let q: DecayedQuantile<_, u64> = DecayedQuantile::new(Polynomial::new(1.0), 0.1, 5, 0);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(q.query(10, 0.5, &mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_out_of_range_p() {
+        let q: DecayedQuantile<_, u64> = DecayedQuantile::new(Polynomial::new(1.0), 0.1, 5, 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = q.query(10, 1.5, &mut rng);
+    }
+}

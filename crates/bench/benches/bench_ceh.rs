@@ -1,0 +1,48 @@
+//! Criterion benches for the cascaded EH: observe/query across decay
+//! families, plus the multi-decay `query_many` amortization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_ceh::CascadedEh;
+use td_decay::{DecayFunction, Exponential, Polynomial, SlidingWindow};
+
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ceh_observe_10k");
+    group.bench_function("polyd1_eps05", |b| {
+        b.iter_batched(
+            || CascadedEh::new(Polynomial::new(1.0), 0.05),
+            |mut s| {
+                for t in 1..=10_000u64 {
+                    s.observe(t, 1 + t % 3);
+                }
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ceh_query");
+    for n in [10_000u64, 1_000_000] {
+        let mut s = CascadedEh::new(Polynomial::new(1.0), 0.05);
+        for t in 1..=n {
+            s.observe(t, 1);
+        }
+        group.bench_with_input(BenchmarkId::new("single", n), &n, |b, &n| {
+            b.iter(|| black_box(s.query(black_box(n + 1))));
+        });
+        let g1 = Polynomial::new(2.0);
+        let g2 = Exponential::new(0.001);
+        let g3 = SlidingWindow::new(n / 2);
+        let decays: Vec<&dyn DecayFunction> = vec![&g1, &g2, &g3];
+        group.bench_with_input(BenchmarkId::new("many_x3", n), &n, |b, &n| {
+            b.iter(|| black_box(s.query_many(black_box(n + 1), &decays)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches for the counter algorithms: the Eq. 1 EXPD
+//! counter, its quantized variant, the Lemma 3.1 timestamp list, the
+//! polyexponential pipeline, and Morris counting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use td_counters::{
+    ExpCounter, MorrisCounter, PolyExpCounter, QuantizedExpCounter, TimestampCounter,
+};
+use td_decay::Exponential;
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counters_observe_10k");
+    group.bench_function("exp_counter", |b| {
+        b.iter_batched(
+            || ExpCounter::new(Exponential::new(0.01)),
+            |mut s| {
+                for t in 1..=10_000u64 {
+                    s.observe(t, 1 + t % 3);
+                }
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("quantized_exp_counter_m16", |b| {
+        b.iter_batched(
+            || QuantizedExpCounter::new(Exponential::new(0.01), 16),
+            |mut s| {
+                for t in 1..=10_000u64 {
+                    s.observe(t, 1 + t % 3);
+                }
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("timestamp_counter", |b| {
+        b.iter_batched(
+            || TimestampCounter::new(Exponential::new(0.05), 0.05),
+            |mut s| {
+                for t in 1..=10_000u64 {
+                    s.observe(t, 1 + t % 3);
+                }
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("polyexp_counter_k3", |b| {
+        b.iter_batched(
+            || PolyExpCounter::new(3, 0.01),
+            |mut s| {
+                for t in 1..=10_000u64 {
+                    s.observe(t, 1 + t % 3);
+                }
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("morris_counter", |b| {
+        b.iter_batched(
+            || MorrisCounter::with_seed(0.1, 7),
+            |mut s| {
+                s.add(10_000);
+                black_box(s.estimate())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for the randomized substrates: stable-variate
+//! generation, sketch accumulation, L_p queries, and MV/D maintenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_aggregates::DecayedLpNorm;
+use td_decay::SlidingWindow;
+use td_sketch::{MvdList, StableSketcher};
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch");
+
+    for p in [1.0, 1.5, 2.0] {
+        let sk = StableSketcher::new(p, 64, 9);
+        group.bench_with_input(BenchmarkId::new("accumulate_64rows", p), &p, |b, _| {
+            let mut acc = vec![0.0f64; 64];
+            let mut coord = 0u64;
+            b.iter(|| {
+                coord = coord.wrapping_add(101);
+                sk.accumulate(&mut acc, black_box(coord), 3.0);
+            });
+        });
+    }
+
+    group.bench_function("mvd_observe_10k", |b| {
+        b.iter_batched(
+            || MvdList::<u64>::with_seed(4),
+            |mut l| {
+                for t in 1..=10_000u64 {
+                    l.observe(t, t);
+                }
+                l
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    // L_p norm end-to-end: observe and query.
+    group.bench_function("lp_norm_observe_1k_L31", |b| {
+        b.iter_batched(
+            || DecayedLpNorm::new(SlidingWindow::new(100_000), 1.0, 0.1, 31, 7),
+            |mut lp| {
+                for t in 1..=1_000u64 {
+                    lp.observe(t, t % 997, 2);
+                }
+                lp
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    let mut lp = DecayedLpNorm::new(SlidingWindow::new(100_000), 1.0, 0.1, 101, 8);
+    for t in 1..=50_000u64 {
+        lp.observe(t, t % 997, 2);
+    }
+    group.bench_function("lp_norm_query_L101", |b| {
+        b.iter(|| black_box(lp.query(50_001)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch);
+criterion_main!(benches);

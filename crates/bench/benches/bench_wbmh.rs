@@ -1,0 +1,68 @@
+//! Criterion benches for the weight-based merging histogram: insertion
+//! throughput (exact vs approximate counters) and query latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_decay::Polynomial;
+use td_wbmh::Wbmh;
+
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wbmh_observe_10k");
+    for eps in [0.2, 0.05] {
+        group.bench_with_input(BenchmarkId::new("exact_counts", eps), &eps, |b, &eps| {
+            b.iter_batched(
+                || Wbmh::new(Polynomial::new(1.0), eps, 1 << 24),
+                |mut h| {
+                    for t in 1..=10_000u64 {
+                        h.observe(t, 1);
+                    }
+                    h
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("approx_counts", eps), &eps, |b, &eps| {
+            b.iter_batched(
+                || Wbmh::with_approx_counts(Polynomial::new(1.0), eps, 1 << 24, eps),
+                |mut h| {
+                    for t in 1..=10_000u64 {
+                        h.observe(t, 1);
+                    }
+                    h
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wbmh_query");
+    for n in [10_000u64, 300_000] {
+        let mut h = Wbmh::new(Polynomial::new(1.0), 0.05, 1 << 24);
+        for t in 1..=n {
+            h.observe(t, 1);
+        }
+        h.advance(n + 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(h.query(black_box(n + 1))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    c.bench_function("wbmh_region_schedule_2pow24", |b| {
+        b.iter(|| {
+            black_box(td_decay::RegionSchedule::compute(
+                &Polynomial::new(1.0),
+                0.05,
+                1 << 24,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_observe, bench_query, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! E12 — update/query cost of every backend (the §4.2 amortized-cost
+//! claims, in wall-clock form). Criterion micro-benches give the
+//! rigorous numbers (`cargo bench -p td-bench`); this binary prints a
+//! one-page summary.
+
+use std::time::Instant;
+
+use td_bench::Table;
+use td_ceh::CascadedEh;
+use td_counters::{ExactDecayedSum, ExpCounter};
+use td_decay::{Exponential, Polynomial};
+use td_stream::BernoulliStream;
+use td_wbmh::Wbmh;
+
+fn main() {
+    println!("E12: backend throughput, 1e6-tick Bernoulli(0.5) stream\n");
+    let n = 1_000_000u64;
+    let stream: Vec<(u64, u64)> = BernoulliStream::new(0.5, 4).take(n as usize).collect();
+
+    let mut table = Table::new(&["backend", "decay", "update ns/op", "query ns/op"]);
+
+    // EXPD counter.
+    {
+        let mut c = ExpCounter::new(Exponential::new(0.001));
+        let t0 = Instant::now();
+        for &(t, f) in &stream {
+            c.observe(t, f);
+        }
+        let upd = t0.elapsed().as_nanos() as f64 / n as f64;
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for q in 0..10_000u64 {
+            acc += c.query(n + 1 + q % 8);
+        }
+        let qry = t0.elapsed().as_nanos() as f64 / 10_000.0;
+        std::hint::black_box(acc);
+        table.row(&[
+            "exp-counter".into(),
+            "EXPD(0.001)".into(),
+            format!("{upd:.0}"),
+            format!("{qry:.0}"),
+        ]);
+    }
+
+    // Cascaded EH.
+    {
+        let mut c = CascadedEh::new(Polynomial::new(1.0), 0.05);
+        let t0 = Instant::now();
+        for &(t, f) in &stream {
+            c.observe(t, f);
+        }
+        let upd = t0.elapsed().as_nanos() as f64 / n as f64;
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for q in 0..10_000u64 {
+            acc += c.query(n + 1 + q % 8);
+        }
+        let qry = t0.elapsed().as_nanos() as f64 / 10_000.0;
+        std::hint::black_box(acc);
+        table.row(&[
+            "ceh".into(),
+            "POLYD(1)".into(),
+            format!("{upd:.0}"),
+            format!("{qry:.0}"),
+        ]);
+    }
+
+    // WBMH.
+    {
+        let mut w = Wbmh::new(Polynomial::new(1.0), 0.05, 1 << 24);
+        let t0 = Instant::now();
+        for &(t, f) in &stream {
+            w.observe(t, f);
+        }
+        let upd = t0.elapsed().as_nanos() as f64 / n as f64;
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for q in 0..10_000u64 {
+            acc += w.query(n + 1 + q % 8);
+        }
+        let qry = t0.elapsed().as_nanos() as f64 / 10_000.0;
+        std::hint::black_box(acc);
+        table.row(&[
+            "wbmh".into(),
+            "POLYD(1)".into(),
+            format!("{upd:.0}"),
+            format!("{qry:.0}"),
+        ]);
+    }
+
+    // Exact baseline (update cheap; query is the O(n) pass).
+    {
+        let mut e = ExactDecayedSum::new(Polynomial::new(1.0));
+        let t0 = Instant::now();
+        for &(t, f) in &stream {
+            e.observe(t, f);
+        }
+        let upd = t0.elapsed().as_nanos() as f64 / n as f64;
+        let t0 = Instant::now();
+        let mut acc = 0.0;
+        for q in 0..20u64 {
+            acc += e.query(n + 1 + q % 8);
+        }
+        let qry = t0.elapsed().as_nanos() as f64 / 20.0;
+        std::hint::black_box(acc);
+        table.row(&[
+            "exact".into(),
+            "POLYD(1)".into(),
+            format!("{upd:.0}"),
+            format!("{qry:.0}"),
+        ]);
+    }
+
+    table.print();
+    println!(
+        "\n(updates for all summaries are amortized O(1)-ish; the exact baseline's \
+         query scans every live item — the cost the summaries exist to avoid)"
+    );
+}

@@ -1,0 +1,152 @@
+//! E1 — Figure 1 / §1.2: link-reliability ratings under SLIWIN, EXPD,
+//! and POLYD decay.
+//!
+//! Reproduces the paper's motivating scenario: link L1 suffers a 5-hour
+//! failure; 24 hours later link L2 suffers a 30-minute failure; nothing
+//! else goes wrong. The *decayed demerit* (decaying sum of per-minute
+//! failure indicators) rates each link; lower = more reliable.
+//!
+//! Expected shape (the paper's argument):
+//! * SLIWIN forgets L1's failure once it leaves the window — L1 never
+//!   rates worse than L2 after that, and both eventually rate 0;
+//! * EXPD freezes the *ratio* of the two ratings once the failures have
+//!   ended — whichever link is worse stays worse forever;
+//! * POLYD lets L2 start out worse (recency) and lets L1 emerge worse
+//!   later (severity) — the crossover neither of the other families can
+//!   produce.
+
+use td_core::{DecayedSum, Exponential, Polynomial, SlidingWindow, StorageAccounting};
+use td_stream::link::{LinkTrace, DAY, HOUR};
+use td_bench::Table;
+
+struct Config {
+    name: &'static str,
+    build: fn() -> DecayedSum,
+}
+
+fn main() {
+    let t0 = HOUR;
+    let l1 = LinkTrace::paper_l1(t0);
+    let l2 = LinkTrace::paper_l2(t0);
+    // L2's failure starts at t0 + 24h and lasts 30 minutes; probe from
+    // minutes after it ends out to 90 days.
+    let l2_fail = t0 + DAY;
+    let horizon = l2_fail + 90 * DAY + HOUR;
+
+    let configs: Vec<Config> = vec![
+        Config {
+            name: "SLIWIN(12h)",
+            build: || DecayedSum::new(SlidingWindow::new(12 * HOUR)),
+        },
+        Config {
+            name: "SLIWIN(7d)",
+            build: || DecayedSum::new(SlidingWindow::new(7 * DAY)),
+        },
+        Config {
+            name: "EXPD(hl=6h)",
+            build: || DecayedSum::new(Exponential::with_half_life(6 * HOUR)),
+        },
+        Config {
+            name: "EXPD(hl=48h)",
+            build: || DecayedSum::new(Exponential::with_half_life(48 * HOUR)),
+        },
+        Config {
+            name: "POLYD(0.5)",
+            build: || DecayedSum::builder(Polynomial::new(0.5)).epsilon(0.05).build(),
+        },
+        Config {
+            name: "POLYD(1)",
+            build: || DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.05).build(),
+        },
+        Config {
+            name: "POLYD(2)",
+            build: || DecayedSum::builder(Polynomial::new(2.0)).epsilon(0.05).build(),
+        },
+    ];
+
+    println!("E1: Figure 1 link-reliability ratings (decayed demerit; lower = more reliable)");
+    println!(
+        "L1: 5h failure at t0={t0}min; L2: 30min failure at t0+24h; probing to day 90\n"
+    );
+
+    // Probe offsets after the start of L2's failure: minutes/hours
+    // first (the recency-dominated regime), then days (the
+    // severity-dominated regime).
+    let probes: Vec<(String, u64)> = vec![
+        ("+35m".into(), 35),
+        ("+2h".into(), 2 * HOUR),
+        ("+6h".into(), 6 * HOUR),
+        ("+12h".into(), 12 * HOUR),
+        ("+1d".into(), DAY),
+        ("+2d".into(), 2 * DAY),
+        ("+3d".into(), 3 * DAY),
+        ("+5d".into(), 5 * DAY),
+        ("+8d".into(), 8 * DAY),
+        ("+13d".into(), 13 * DAY),
+        ("+21d".into(), 21 * DAY),
+        ("+34d".into(), 34 * DAY),
+        ("+55d".into(), 55 * DAY),
+        ("+90d".into(), 90 * DAY),
+    ];
+
+    let mut summary = Table::new(&[
+        "decay", "backend", "bits", "L2 worse at", "L1 worse at", "crossover",
+    ]);
+
+    for cfg in &configs {
+        let mut s1 = (cfg.build)();
+        let mut s2 = (cfg.build)();
+        let mut table = Table::new(&["probe", "L1 rating", "L2 rating", "worse link"]);
+        let mut probe_iter = probes.iter().peekable();
+        let mut l2_worse_at: Option<String> = None;
+        let mut l1_worse_after_l2: Option<String> = None;
+        for t in 1..=horizon {
+            s1.observe(t, l1.demerit(t));
+            s2.observe(t, l2.demerit(t));
+            if let Some(&(ref label, off)) = probe_iter.peek().copied() {
+                if t == l2_fail + off {
+                    let label = label.clone();
+                    probe_iter.next();
+                    let (r1, r2) = (s1.query(t + 1), s2.query(t + 1));
+                    let worse = if r1 > r2 * 1.0001 {
+                        "L1"
+                    } else if r2 > r1 * 1.0001 {
+                        "L2"
+                    } else {
+                        "--"
+                    };
+                    if worse == "L2" && l2_worse_at.is_none() {
+                        l2_worse_at = Some(label.clone());
+                    }
+                    if worse == "L1" && l2_worse_at.is_some() && l1_worse_after_l2.is_none() {
+                        l1_worse_after_l2 = Some(label.clone());
+                    }
+                    table.row(&[
+                        label,
+                        format!("{r1:.6e}"),
+                        format!("{r2:.6e}"),
+                        worse.to_string(),
+                    ]);
+                }
+            }
+        }
+        println!("-- {} (backend: {}) --", cfg.name, s1.backend_name());
+        table.print();
+        println!();
+        let crossover = match (&l2_worse_at, &l1_worse_after_l2) {
+            (Some(_), Some(_)) => "YES",
+            _ => "no",
+        };
+        summary.row(&[
+            cfg.name.to_string(),
+            s1.backend_name().to_string(),
+            s1.storage_bits().to_string(),
+            l2_worse_at.clone().unwrap_or_else(|| "never".into()),
+            l1_worse_after_l2.clone().unwrap_or_else(|| "never".into()),
+            crossover.to_string(),
+        ]);
+    }
+
+    println!("== E1 summary (paper: crossover must appear ONLY for POLYD) ==");
+    summary.print();
+}

@@ -1,0 +1,73 @@
+//! E5 — the paper's §5 worked WBMH trace, regenerated and checked
+//! against the quoted bucket structure: g(x) = 1/x², 1+ε = 5, one item
+//! per tick from t = 0.
+
+use td_bench::Table;
+use td_decay::Polynomial;
+use td_wbmh::Wbmh;
+
+fn main() {
+    println!("E5: WBMH worked trace (paper §5): g(x)=1/x^2, 1+eps=5\n");
+
+    let mut h = Wbmh::new(Polynomial::new(2.0), 4.0, 1 << 20);
+    println!(
+        "region boundaries: b1={} b2={} b3={}   (paper: 3, 7, 16)",
+        h.schedule().boundary(1),
+        h.schedule().boundary(2),
+        h.schedule().boundary(3),
+    );
+    println!("seal period: {} (open bucket alternates width 1 and 2)\n", h.seal_period());
+
+    // The paper's quoted structure at each T, as item-time groups.
+    let expected: &[(u64, &str)] = &[
+        (1, "{0}"),
+        (2, "{0,1}"),
+        (3, "{0,1} {2}"),
+        (4, "{0,1} {2,3}"),
+        (6, "{0..3} {4,5}"),
+        (8, "{0..3} {4,5} {6,7}"),
+        (9, "{0..3} {4,5} {6,7} {8}"),
+        (10, "{0..3} {4..7} {8,9}"),
+    ];
+
+    let mut table = Table::new(&["T", "buckets (item spans)", "paper", "match"]);
+    let mut fed = 0u64;
+    let mut all_match = true;
+    for &(t_query, paper) in expected {
+        while fed < t_query {
+            h.observe(fed, 1);
+            fed += 1;
+        }
+        h.advance(t_query);
+        let got: Vec<String> = h
+            .bucket_spans()
+            .iter()
+            .map(|b| {
+                if b.start == b.end {
+                    format!("{{{}}}", b.start)
+                } else if b.end == b.start + 1 {
+                    format!("{{{},{}}}", b.start, b.end)
+                } else {
+                    format!("{{{}..{}}}", b.start, b.end)
+                }
+            })
+            .collect();
+        let got = got.join(" ");
+        let ok = got == paper;
+        all_match &= ok;
+        table.row(&[
+            t_query.to_string(),
+            got,
+            paper.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nall rows match the paper's trace: {}",
+        if all_match { "YES" } else { "NO" }
+    );
+    if !all_match {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,91 @@
+//! E7 — Theorem 2: the Ω(log N) lower bound for polynomially-decaying
+//! counts, demonstrated constructively.
+//!
+//! Three measurements:
+//! 1. the dominance ratios at every probe (must exceed 4 so that a
+//!    1/4-accurate summary pins each secret bit) — including the
+//!    reproduction finding that the paper's `k = 10` is too small;
+//! 2. bit recovery through an actual WBMH summary (the information
+//!    really is retained by our Θ̃(log N)-bit structure);
+//! 3. the summary's storage compared with `r` (the information-theoretic
+//!    floor: any summary answering all probes must hold ≥ r bits).
+
+use td_bench::Table;
+use td_core::StorageAccounting;
+use td_decay::Polynomial;
+use td_stream::LowerBoundFamily;
+use td_wbmh::Wbmh;
+
+fn secret_bits(r: usize, code: u64) -> Vec<u8> {
+    (0..r).map(|i| 1 + ((code >> i) & 1) as u8).collect()
+}
+
+fn main() {
+    println!("E7: Theorem 2 lower-bound family\n");
+
+    // (1) dominance ratios.
+    println!("-- dominance ratio own/(prefix+suffix) at each probe (need > 4) --");
+    let mut t1 = Table::new(&["k", "alpha", "i", "ratio", "> 4"]);
+    for &(k, alpha, r) in &[(10u64, 1.0, 5usize), (40, 1.0, 5), (72, 2.0, 8), (160, 3.0, 8)] {
+        // Worst-case secret: the probed bit is 1, neighbours 2.
+        for i in 1..=r as u32 {
+            let mut bits = vec![2u8; r];
+            bits[i as usize - 1] = 1;
+            let fam = LowerBoundFamily::new(k, alpha, bits);
+            let ratio = fam.dominance_ratio(i);
+            t1.row(&[
+                k.to_string(),
+                alpha.to_string(),
+                i.to_string(),
+                format!("{ratio:.2}"),
+                (ratio > 4.0).to_string(),
+            ]);
+        }
+    }
+    t1.print();
+    println!(
+        "\nreproduction note: k=10 (the paper's suggestion) fails the >4 margin; \
+         Eqs. (5)-(6) bound g(k^(2i/a)+k^(2j/a)) by g(2k^(2i/a)) which is reversed \
+         for decreasing g (costs 2^alpha). k=40/72/160 restore it for alpha=1/2/3.\n"
+    );
+
+    // (2) recovery through a real WBMH summary.
+    println!("-- secret recovery through a WBMH summary (alpha=1, k=40, r=5) --");
+    let mut t2 = Table::new(&["secret", "recovered", "ok", "wbmh bits", "floor r"]);
+    let r = 5;
+    let mut all_ok = true;
+    for code in [0b00000u64, 0b10101, 0b01010, 0b11111, 0b00111] {
+        let bits = secret_bits(r, code);
+        let fam = LowerBoundFamily::new(40, 1.0, bits.clone());
+        let mut h = Wbmh::new(Polynomial::new(1.0), 0.05, u64::MAX / 4);
+        for (t, c) in fam.arrivals() {
+            h.observe(t, c);
+        }
+        let sums: Vec<f64> = (1..=r as u32)
+            .map(|i| h.query(fam.probe_time(i)))
+            .collect();
+        let rec = fam.recover_bits(&sums);
+        let ok = rec == bits;
+        all_ok &= ok;
+        t2.row(&[
+            format!("{bits:?}"),
+            format!("{rec:?}"),
+            ok.to_string(),
+            h.storage_bits().to_string(),
+            r.to_string(),
+        ]);
+    }
+    t2.print();
+    println!(
+        "\nall secrets recovered through the approximate summary: {}",
+        if all_ok { "YES" } else { "NO" }
+    );
+    println!(
+        "(any structure answering every probe within 25% must store >= r bits; \
+         the WBMH stores Theta(log N . log log N) — within the log^O(1) envelope \
+         of the Omega(log N) floor)"
+    );
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

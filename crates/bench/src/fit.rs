@@ -1,0 +1,108 @@
+//! Least-squares growth-rate fitting for the storage experiments.
+//!
+//! The paper's claims are asymptotic (`Θ(log N)`, `Θ(log² N)`,
+//! `O(log N · log log N)`); the experiments verify them by fitting the
+//! measured storage against `log N` on a log-log scale: storage
+//! `≈ c·(log N)^e` shows up as slope `e`.
+
+/// A fitted power law `y ≈ c · x^e`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// The exponent `e` (the slope on the log-log scale).
+    pub exponent: f64,
+    /// The multiplier `c`.
+    pub coefficient: f64,
+    /// Coefficient of determination of the log-log regression.
+    pub r_squared: f64,
+}
+
+/// Fits `y ≈ c·x^e` by ordinary least squares on `(ln x, ln y)`.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or any coordinate is
+/// non-positive.
+pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> Fit {
+    assert!(xs.len() == ys.len() && xs.len() >= 2, "need >= 2 points");
+    assert!(
+        xs.iter().chain(ys.iter()).all(|&v| v > 0.0),
+        "log-log fit needs positive coordinates"
+    );
+    let n = xs.len() as f64;
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let sxy: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = lx.iter().map(|x| (x - mx).powi(2)).sum();
+    let syy: f64 = ly.iter().map(|y| (y - my).powi(2)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Fit {
+        exponent: slope,
+        coefficient: intercept.exp(),
+        r_squared,
+    }
+}
+
+/// Fits `y ≈ a + b·x` by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert!(xs.len() == ys.len() && xs.len() >= 2, "need >= 2 points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+/// Fits measured storage against `log₂ N`: returns the exponent `e` in
+/// `bits ≈ c·(log₂ N)^e`. `Θ(log N)` structures fit `e ≈ 1`,
+/// `Θ(log² N)` structures `e ≈ 2`, and the WBMH's
+/// `O(log N·log log N)` lands in between.
+pub fn fit_vs_log_n(ns: &[u64], bits: &[u64]) -> Fit {
+    let xs: Vec<f64> = ns.iter().map(|&n| (n as f64).log2()).collect();
+    let ys: Vec<f64> = bits.iter().map(|&b| b as f64).collect();
+    fit_loglog(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_known_power_law() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x.powf(1.7)).collect();
+        let fit = fit_loglog(&xs, &ys);
+        assert!((fit.exponent - 1.7).abs() < 1e-9);
+        assert!((fit.coefficient - 3.5).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn distinguishes_log_from_log_squared() {
+        let ns: Vec<u64> = (8..=24).map(|e| 1u64 << e).collect();
+        let linear: Vec<u64> = ns.iter().map(|&n| 40 * (n as f64).log2() as u64).collect();
+        let quad: Vec<u64> = ns
+            .iter()
+            .map(|&n| (5.0 * (n as f64).log2().powi(2)) as u64)
+            .collect();
+        let f1 = fit_vs_log_n(&ns, &linear);
+        let f2 = fit_vs_log_n(&ns, &quad);
+        assert!((f1.exponent - 1.0).abs() < 0.05, "{f1:?}");
+        assert!((f2.exponent - 2.0).abs() < 0.05, "{f2:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive coordinates")]
+    fn rejects_zeroes() {
+        let _ = fit_loglog(&[1.0, 2.0], &[0.0, 1.0]);
+    }
+}

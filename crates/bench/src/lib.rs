@@ -1,0 +1,11 @@
+//! Shared infrastructure for the paper-reproduction experiment binaries
+//! (`e1`–`e12`, see EXPERIMENTS.md) and the Criterion micro-benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod table;
+
+pub use fit::{fit_linear, fit_loglog, fit_vs_log_n, Fit};
+pub use table::Table;

@@ -1,0 +1,510 @@
+//! The unified `timedecay` API: time-decaying stream aggregates with
+//! automatic, storage-optimal backend selection.
+//!
+//! This crate ties the whole workspace together. Pick a decay function,
+//! build a [`DecayedSum`] (or one of the composite aggregates re-exported
+//! from `td-aggregates`), feed `(time, value)` pairs, query any time —
+//! the paper's decision table (§8) picks the cheapest backend that still
+//! carries a `(1+ε)` guarantee:
+//!
+//! | decay class | backend | storage bits |
+//! |---|---|---|
+//! | constant (no decay) | exact counter | `Θ(log n)` |
+//! | `EXPD_λ` | quantized EXPD counter (Eq. 1) | `Θ(log N)` |
+//! | `SLIWIN_W` | cascaded EH | `Θ(ε⁻¹ log² N)` |
+//! | ratio-monotone (e.g. `POLYD_α`) | WBMH + approx counters | `O(log N·log log N)` |
+//! | anything else | cascaded EH (Thm 1) | `O(ε⁻¹ log² N)` |
+//!
+//! ```
+//! use td_core::{DecayedSum, Polynomial};
+//!
+//! let mut sum = DecayedSum::builder(Polynomial::new(1.0))
+//!     .epsilon(0.05)
+//!     .build();
+//! for t in 1..=1_000u64 {
+//!     sum.observe(t, 1);
+//! }
+//! let est = sum.query(1_001);
+//! let exact: f64 = (1..=1000u64).map(|t| 1.0 / (1001 - t) as f64).sum();
+//! assert!((est - exact).abs() <= 0.06 * exact);
+//! assert_eq!(sum.backend_name(), "wbmh");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use td_counters::{ExpCounter, PolyExpCounter, QuantizedExpCounter};
+use td_decay::storage::bits_for_count;
+
+pub use td_aggregates::{
+    DecayedAverage, DecayedCount, DecayedLpNorm, DecayedQuantile, DecayedSampler,
+    DecayedVariance,
+};
+pub use td_ceh::{CascadedEh, CehEstimator};
+pub use td_counters as counters;
+pub use td_decay::{
+    ClosureDecay, Constant, DecayClass, DecayFunction, Exponential, LogDecay,
+    MaxOf, Polynomial, ProductOf, RegionSchedule, Scaled, ShiftedPolynomial,
+    SlidingWindow, StorageAccounting, SumOf, TableDecay, Time,
+};
+pub use td_eh::{ClassicEh, DominationEh, WindowSketch};
+pub use td_sketch as sketch;
+pub use td_wbmh::{Wbmh, WbmhEstimator};
+
+/// Which summation backend a [`DecayedSum`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Pick by the decay function's [`DecayClass`] (the §8 table).
+    #[default]
+    Auto,
+    /// Force the cascaded Exponential Histogram (works for any decay).
+    ForceCeh,
+    /// Force the weight-based merging histogram (requires a
+    /// ratio-monotone decay; the builder panics otherwise).
+    ForceWbmh,
+    /// Force the exact store-everything baseline (for audits).
+    ForceExact,
+}
+
+/// The selected backend (one variant per row of the §8 table).
+enum Backend {
+    /// Constant decay: a plain exact counter.
+    Plain(u64),
+    /// Exponential decay: the Eq. 1 counter (quantized to the precision
+    /// the target ε warrants).
+    Exp(QuantizedExpCounter),
+    /// Polyexponential decay (§3.4): k + 1 pipelined counters, exact.
+    PolyExp(PolyExpCounter),
+    /// Cascaded EH (Theorem 1).
+    Ceh(CascadedEh<Box<dyn DecayFunction>>),
+    /// Weight-based merging histogram (§5) with approximate counters.
+    Wbmh(Wbmh<Box<dyn DecayFunction>>),
+    /// Exact baseline.
+    Exact(td_counters::ExactDecayedSum<Box<dyn DecayFunction>>),
+}
+
+/// Builder for [`DecayedSum`].
+///
+/// Defaults: `epsilon = 0.05`, `max_age = 2^40` (the WBMH schedule
+/// horizon), `backend = Auto`.
+pub struct DecayedSumBuilder {
+    decay: Box<dyn DecayFunction>,
+    epsilon: f64,
+    max_age: Time,
+    choice: BackendChoice,
+}
+
+impl DecayedSumBuilder {
+    /// Target relative error ε (default 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1]`.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0,1], got {epsilon}"
+        );
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// The operational lifetime for WBMH schedules (default `2^40`
+    /// ticks). Streams longer than this still work but old buckets stop
+    /// merging; see [`Wbmh::new`].
+    pub fn max_age(mut self, max_age: Time) -> Self {
+        assert!(max_age > 0, "max_age must be positive");
+        self.max_age = max_age;
+        self
+    }
+
+    /// Override the automatic backend selection.
+    pub fn backend(mut self, choice: BackendChoice) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Builds the sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`BackendChoice::ForceWbmh`] is combined with a decay
+    /// that is not ratio-monotone.
+    pub fn build(self) -> DecayedSum {
+        let class = self.decay.classify();
+        let backend = match (self.choice, class) {
+            (BackendChoice::ForceExact, _) => {
+                Backend::Exact(td_counters::ExactDecayedSum::new(self.decay))
+            }
+            (BackendChoice::ForceCeh, _) => {
+                Backend::Ceh(CascadedEh::new(self.decay, self.epsilon))
+            }
+            (BackendChoice::ForceWbmh, _) => Backend::Wbmh(Wbmh::with_approx_counts(
+                self.decay,
+                self.epsilon,
+                self.max_age,
+                self.epsilon,
+            )),
+            (BackendChoice::Auto, DecayClass::Constant) => Backend::Plain(0),
+            (BackendChoice::Auto, DecayClass::Exponential { lambda }) => {
+                // Quantize to the precision the ε target warrants: the
+                // relative drift per operation is ~2^{1−m}.
+                let mantissa = ((2.0 / self.epsilon).log2().ceil() as u32 + 8).clamp(8, 52);
+                Backend::Exp(QuantizedExpCounter::new(
+                    Exponential::new(lambda),
+                    mantissa,
+                ))
+            }
+            (BackendChoice::Auto, DecayClass::RatioMonotone) => {
+                Backend::Wbmh(Wbmh::with_approx_counts(
+                    self.decay,
+                    self.epsilon,
+                    self.max_age,
+                    self.epsilon,
+                ))
+            }
+            (BackendChoice::Auto, DecayClass::PolyExponential { degree, lambda }) => {
+                Backend::PolyExp(PolyExpCounter::new(degree, lambda))
+            }
+            (BackendChoice::Auto, DecayClass::SlidingWindow { .. }) => {
+                Backend::Ceh(CascadedEh::new(self.decay, self.epsilon))
+            }
+            (BackendChoice::Auto, DecayClass::General) => {
+                // The Theorem 1 guarantee needs a genuinely non-increasing
+                // weight function; audit custom decays before trusting
+                // them to the histogram (fail loudly, not silently wrong).
+                assert!(
+                    td_decay::properties::is_non_increasing(
+                        &self.decay,
+                        self.max_age.min(4096),
+                    ),
+                    "{} is not non-increasing — not a decay function in the \
+                     paper's §2 sense (polyexponential shapes have their own \
+                     backend via DecayClass::PolyExponential)",
+                    self.decay.describe()
+                );
+                Backend::Ceh(CascadedEh::new(self.decay, self.epsilon))
+            }
+        };
+        DecayedSum { backend }
+    }
+}
+
+fn self_backend_name(b: &Backend) -> &'static str {
+    match b {
+        Backend::Plain(_) => "plain",
+        Backend::Exp(_) => "exp-counter",
+        Backend::PolyExp(_) => "polyexp-pipeline",
+        Backend::Ceh(_) => "ceh",
+        Backend::Wbmh(_) => "wbmh",
+        Backend::Exact(_) => "exact",
+    }
+}
+
+/// A time-decaying sum (Problem 2.1) with automatic backend selection.
+///
+/// See the crate docs for the selection table and an end-to-end
+/// example.
+pub struct DecayedSum {
+    backend: Backend,
+}
+
+impl DecayedSum {
+    /// Starts building a decayed sum for `decay`.
+    pub fn builder<G: DecayFunction + 'static>(decay: G) -> DecayedSumBuilder {
+        DecayedSumBuilder {
+            decay: Box::new(decay),
+            epsilon: 0.05,
+            max_age: 1 << 40,
+            choice: BackendChoice::Auto,
+        }
+    }
+
+    /// Convenience: build with defaults.
+    pub fn new<G: DecayFunction + 'static>(decay: G) -> Self {
+        Self::builder(decay).build()
+    }
+
+    /// Ingests an item of value `f` at time `t` (non-decreasing `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previous observation.
+    pub fn observe(&mut self, t: Time, f: u64) {
+        match &mut self.backend {
+            Backend::Plain(total) => *total += f,
+            Backend::Exp(c) => c.observe(t, f),
+            Backend::PolyExp(c) => c.observe(t, f),
+            Backend::Ceh(c) => c.observe(t, f),
+            Backend::Wbmh(w) => w.observe(t, f),
+            Backend::Exact(e) => e.observe(t, f),
+        }
+    }
+
+    /// The decaying-sum estimate `S'_g(T)` (items at `T` excluded,
+    /// §2.1).
+    pub fn query(&self, t: Time) -> f64 {
+        match &self.backend {
+            Backend::Plain(total) => *total as f64,
+            Backend::Exp(c) => c.query(t),
+            Backend::PolyExp(c) => c.query(t),
+            Backend::Ceh(c) => c.query(t),
+            Backend::Wbmh(w) => w.query(t),
+            Backend::Exact(e) => e.query(t),
+        }
+    }
+
+    /// Merges another sum's state into this one — the distributed-
+    /// streams operation, available when both sums use the same backend
+    /// and configuration. WBMH backends must be [`DecayedSum::advance`]d
+    /// to the same tick first; histogram backends widen their error to
+    /// `k·ε` after merging `k` sites (WBMH keeps `ε`; counters stay
+    /// exact) — see the per-backend `merge_from` docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backends or their configurations differ.
+    pub fn merge_from(&mut self, other: &DecayedSum) {
+        match (&mut self.backend, &other.backend) {
+            (Backend::Plain(a), Backend::Plain(b)) => *a = a.saturating_add(*b),
+            (Backend::Exp(a), Backend::Exp(b)) => a.merge_from(b),
+            (Backend::PolyExp(a), Backend::PolyExp(b)) => a.merge_from(b),
+            (Backend::Ceh(a), Backend::Ceh(b)) => a.merge_from(b),
+            (Backend::Wbmh(a), Backend::Wbmh(b)) => a.merge_from(b),
+            (Backend::Exact(a), Backend::Exact(b)) => a.merge_from(b),
+            _ => panic!(
+                "cannot merge different backends ({} vs {})",
+                self_backend_name(&self.backend),
+                self_backend_name(&other.backend)
+            ),
+        }
+    }
+
+    /// Advances the clock without ingesting (currently meaningful for
+    /// the WBMH backend's deterministic schedule; a no-op elsewhere).
+    pub fn advance(&mut self, t: Time) {
+        if let Backend::Wbmh(w) = &mut self.backend {
+            w.advance(t);
+        }
+    }
+
+    /// Which backend was selected: `"plain"`, `"exp-counter"`, `"ceh"`,
+    /// `"wbmh"`, or `"exact"`.
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            Backend::Plain(_) => "plain",
+            Backend::Exp(_) => "exp-counter",
+            Backend::PolyExp(_) => "polyexp-pipeline",
+            Backend::Ceh(_) => "ceh",
+            Backend::Wbmh(_) => "wbmh",
+            Backend::Exact(_) => "exact",
+        }
+    }
+}
+
+impl DecayedCount for DecayedSum {
+    fn observe(&mut self, t: Time, f: u64) {
+        DecayedSum::observe(self, t, f);
+    }
+    fn query(&self, t: Time) -> f64 {
+        DecayedSum::query(self, t)
+    }
+}
+
+impl StorageAccounting for DecayedSum {
+    fn storage_bits(&self) -> u64 {
+        match &self.backend {
+            Backend::Plain(total) => bits_for_count(*total),
+            Backend::Exp(c) => c.storage_bits(),
+            Backend::PolyExp(c) => c.storage_bits(),
+            Backend::Ceh(c) => c.storage_bits(),
+            Backend::Wbmh(w) => w.storage_bits(),
+            Backend::Exact(e) => e.storage_bits(),
+        }
+    }
+}
+
+// Keep the plain (f64) exponential counter exported for users who want
+// the raw Eq. 1 recurrence without quantization.
+pub use td_counters::ExpCounter as RawExpCounter;
+const _: fn() = || {
+    // Compile-time check that the raw counter stays object-compatible
+    // with the aggregate backend trait.
+    fn assert_impl<T: DecayedCount>() {}
+    assert_impl::<ExpCounter>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_counters::ExactDecayedSum;
+
+    #[test]
+    fn auto_selection_follows_the_table() {
+        assert_eq!(DecayedSum::new(Constant).backend_name(), "plain");
+        assert_eq!(
+            DecayedSum::new(Exponential::new(0.1)).backend_name(),
+            "exp-counter"
+        );
+        assert_eq!(
+            DecayedSum::new(SlidingWindow::new(100)).backend_name(),
+            "ceh"
+        );
+        assert_eq!(DecayedSum::new(Polynomial::new(2.0)).backend_name(), "wbmh");
+        assert_eq!(
+            DecayedSum::new(ClosureDecay::new(|a| 1.0 / (1.0 + (a as f64).sqrt())))
+                .backend_name(),
+            "ceh"
+        );
+    }
+
+    #[test]
+    fn polyexp_routes_to_pipeline_and_is_exact() {
+        use td_decay::PolyExponential;
+        let g = PolyExponential::new(2, 0.05);
+        let mut s = DecayedSum::new(g);
+        assert_eq!(s.backend_name(), "polyexp-pipeline");
+        let mut exact = ExactDecayedSum::new(g);
+        for t in 1..=2_000u64 {
+            let f = 1 + t % 4;
+            s.observe(t, f);
+            exact.observe(t, f);
+        }
+        let (a, b) = (s.query(2_001), exact.query(2_001));
+        assert!((a - b).abs() <= 1e-6 * b.max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not non-increasing")]
+    fn auto_rejects_increasing_closure() {
+        let bad = ClosureDecay::new(|age| age as f64);
+        let _ = DecayedSum::new(bad);
+    }
+
+    #[test]
+    fn force_overrides() {
+        let s = DecayedSum::builder(Polynomial::new(1.0))
+            .backend(BackendChoice::ForceCeh)
+            .build();
+        assert_eq!(s.backend_name(), "ceh");
+        let s = DecayedSum::builder(Polynomial::new(1.0))
+            .backend(BackendChoice::ForceExact)
+            .build();
+        assert_eq!(s.backend_name(), "exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "not ratio-monotone")]
+    fn force_wbmh_rejects_sliding_window() {
+        let _ = DecayedSum::builder(SlidingWindow::new(10))
+            .backend(BackendChoice::ForceWbmh)
+            .build();
+    }
+
+    fn audit<G: DecayFunction + Clone + 'static>(g: G, eps: f64, band: f64) {
+        let mut s = DecayedSum::builder(g.clone()).epsilon(eps).build();
+        let mut exact = ExactDecayedSum::new(g);
+        let mut x = 77u64;
+        for t in 1..=3_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = x % 4;
+            s.observe(t, f);
+            exact.observe(t, f);
+        }
+        let (est, truth) = (s.query(3_001), exact.query(3_001));
+        assert!(
+            (est - truth).abs() <= band * truth + 1e-9,
+            "{}: {est} vs {truth}",
+            s.backend_name()
+        );
+    }
+
+    #[test]
+    fn every_auto_backend_is_accurate() {
+        audit(Exponential::new(0.01), 0.05, 0.05);
+        audit(SlidingWindow::new(512), 0.05, 0.05);
+        audit(Polynomial::new(1.0), 0.05, 0.15); // ε band × count ladder
+        audit(Constant, 0.05, 1e-9);
+    }
+
+    #[test]
+    fn storage_ordering_matches_the_paper() {
+        // For polynomial decay over the same stream: exp-counter is not
+        // applicable, but WBMH must beat CEH, and both must beat exact.
+        let g = Polynomial::new(1.0);
+        let mk = |choice| {
+            let mut s = DecayedSum::builder(g)
+                .epsilon(0.1)
+                .backend(choice)
+                .build();
+            for t in 1..=20_000u64 {
+                s.observe(t, 1);
+            }
+            s.storage_bits()
+        };
+        let wbmh = mk(BackendChoice::Auto);
+        let ceh = mk(BackendChoice::ForceCeh);
+        let exact = mk(BackendChoice::ForceExact);
+        assert!(wbmh < ceh, "wbmh={wbmh}, ceh={ceh}");
+        assert!(ceh < exact, "ceh={ceh}, exact={exact}");
+    }
+
+    #[test]
+    fn merge_from_same_backend() {
+        // WBMH route.
+        let g = Polynomial::new(1.0);
+        let mk = || DecayedSum::builder(g).epsilon(0.1).build();
+        let mut a = mk();
+        let mut b = mk();
+        let mut exact = ExactDecayedSum::new(g);
+        for t in 1..=3_000u64 {
+            let f = 1 + t % 3;
+            exact.observe(t, f);
+            if t % 2 == 0 {
+                a.observe(t, f);
+                b.advance(t);
+            } else {
+                b.observe(t, f);
+                a.advance(t);
+            }
+        }
+        a.advance(3_001);
+        b.advance(3_001);
+        a.merge_from(&b);
+        let (est, truth) = (a.query(3_001), exact.query(3_001));
+        assert!((est - truth).abs() <= 0.2 * truth, "{est} vs {truth}");
+
+        // Exponential-counter route.
+        let ge = Exponential::new(0.01);
+        let mut ca = DecayedSum::new(ge);
+        let mut cb = DecayedSum::new(ge);
+        ca.observe(1, 10);
+        cb.observe(5, 20);
+        ca.merge_from(&cb);
+        let want = 10.0 * ge.weight(9) + 20.0 * ge.weight(5);
+        let got = ca.query(10);
+        assert!((got - want).abs() <= 1e-3 * want, "{got} vs {want}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge different backends")]
+    fn merge_from_rejects_backend_mismatch() {
+        let mut a = DecayedSum::new(Exponential::new(0.1));
+        let b = DecayedSum::new(Polynomial::new(1.0));
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let b = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.5);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in")]
+    fn builder_rejects_bad_epsilon() {
+        let _ = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.0);
+    }
+}

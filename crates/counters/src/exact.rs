@@ -1,0 +1,241 @@
+//! The store-everything ground truth.
+
+use std::collections::VecDeque;
+
+use td_decay::storage::{bits_for_count, bits_for_timestamp, StorageAccounting};
+use td_decay::{DecayFunction, Time};
+
+/// An exact decayed sum that stores every item — the Ω(N)-storage
+/// baseline (Lemmas 3.1 and 3.2 show this is unavoidable for exactness)
+/// and the ground truth that every approximation experiment audits
+/// against.
+///
+/// Items with zero weight (ages past the horizon of `g`) are pruned
+/// lazily, so for finite-horizon decays (sliding windows) the live set
+/// stays bounded by the window length.
+///
+/// # Examples
+///
+/// ```
+/// use td_counters::ExactDecayedSum;
+/// use td_decay::Polynomial;
+/// let mut s = ExactDecayedSum::new(Polynomial::new(1.0));
+/// s.observe(1, 10);
+/// s.observe(3, 1);
+/// // S(4) = 10·g(3) + 1·g(1) = 10/3 + 1
+/// assert!((s.query(4) - (10.0 / 3.0 + 1.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExactDecayedSum<G> {
+    decay: G,
+    /// Observed `(time, total value at that time)` pairs, oldest first.
+    items: VecDeque<(Time, u64)>,
+    last_t: Time,
+    started: bool,
+}
+
+impl<G: DecayFunction> ExactDecayedSum<G> {
+    /// An empty exact sum under decay `g`.
+    pub fn new(decay: G) -> Self {
+        Self {
+            decay,
+            items: VecDeque::new(),
+            last_t: 0,
+            started: false,
+        }
+    }
+
+    /// The decay function being tracked.
+    pub fn decay(&self) -> &G {
+        &self.decay
+    }
+
+    /// Ingests an item of value `f` at time `t` (non-decreasing `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previously observed time.
+    pub fn observe(&mut self, t: Time, f: u64) {
+        if self.started {
+            assert!(
+                t >= self.last_t,
+                "time went backwards: {t} < {}",
+                self.last_t
+            );
+        }
+        self.started = true;
+        self.last_t = t;
+        self.prune(t);
+        if f == 0 {
+            return;
+        }
+        match self.items.back_mut() {
+            Some((bt, bf)) if *bt == t => *bf = bf.saturating_add(f),
+            _ => self.items.push_back((t, f)),
+        }
+    }
+
+    /// Drops items that can never again carry positive weight.
+    fn prune(&mut self, now: Time) {
+        if let Some(h) = self.decay.horizon() {
+            while let Some(&(t, _)) = self.items.front() {
+                // The item's age only grows; once past the horizon its
+                // weight is 0 forever.
+                if now.saturating_sub(t) > h {
+                    self.items.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Merges another exact sum's items into this one (the baseline's
+    /// distributed operation — trivially exact).
+    pub fn merge_from(&mut self, other: &ExactDecayedSum<G>) {
+        let mut merged: VecDeque<(Time, u64)> =
+            VecDeque::with_capacity(self.items.len() + other.items.len());
+        let mut a = self.items.iter().copied().peekable();
+        let mut b = other.items.iter().copied().peekable();
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => x.0 <= y.0,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (t, f) = if take_a {
+                a.next().expect("peeked")
+            } else {
+                b.next().expect("peeked")
+            };
+            match merged.back_mut() {
+                Some((bt, bf)) if *bt == t => *bf = bf.saturating_add(f),
+                _ => merged.push_back((t, f)),
+            }
+        }
+        self.items = merged;
+        self.last_t = self.last_t.max(other.last_t);
+        self.started |= other.started;
+        self.prune(self.last_t);
+    }
+
+    /// The exact decayed sum `S_g(T) = Σ_{t_i < T} f_i · g(T − t_i)`.
+    pub fn query(&self, t: Time) -> f64 {
+        self.items
+            .iter()
+            .filter(|&&(ti, _)| ti < t)
+            .map(|&(ti, f)| f as f64 * self.decay.weight(t - ti))
+            .sum()
+    }
+
+    /// The exact decayed count of *items* (each item weighted by `g`
+    /// regardless of value): the denominator of the decaying average
+    /// (Problem 2.2) when fed `(t, 1)` per item.
+    pub fn query_weight_total(&self, t: Time) -> f64 {
+        self.items
+            .iter()
+            .filter(|&&(ti, _)| ti < t)
+            .map(|&(ti, f)| f as f64 * self.decay.weight(t - ti))
+            .sum()
+    }
+
+    /// Number of live (non-pruned) arrival times.
+    pub fn live_items(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<G: DecayFunction> StorageAccounting for ExactDecayedSum<G> {
+    fn storage_bits(&self) -> u64 {
+        // Each live item: one timestamp + one exact value.
+        self.items
+            .iter()
+            .map(|&(t, f)| bits_for_timestamp(t) + bits_for_count(f))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_decay::{Exponential, Polynomial, SlidingWindow};
+
+    #[test]
+    fn simple_weighted_sum() {
+        let mut s = ExactDecayedSum::new(SlidingWindow::new(5));
+        for t in 1..=10 {
+            s.observe(t, 1);
+        }
+        // At T = 11, ages 1..=10; window keeps ages <= 5 → items t=6..10.
+        assert_eq!(s.query(11), 5.0);
+    }
+
+    #[test]
+    fn excludes_items_at_query_time() {
+        let mut s = ExactDecayedSum::new(Exponential::new(0.5));
+        s.observe(4, 3);
+        assert_eq!(s.query(4), 0.0);
+        assert!(s.query(5) > 0.0);
+    }
+
+    #[test]
+    fn prunes_beyond_horizon() {
+        let mut s = ExactDecayedSum::new(SlidingWindow::new(10));
+        for t in 1..=1000 {
+            s.observe(t, 1);
+        }
+        assert!(s.live_items() <= 11);
+        assert_eq!(s.query(1001), 10.0);
+    }
+
+    #[test]
+    fn no_pruning_for_infinite_support() {
+        let mut s = ExactDecayedSum::new(Polynomial::new(2.0));
+        for t in 1..=100 {
+            s.observe(t, 1);
+        }
+        assert_eq!(s.live_items(), 100);
+    }
+
+    #[test]
+    fn merges_same_tick_values() {
+        let mut s = ExactDecayedSum::new(Polynomial::new(1.0));
+        s.observe(7, 2);
+        s.observe(7, 3);
+        assert_eq!(s.live_items(), 1);
+        assert!((s.query(8) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_from_interleaves() {
+        let g = Polynomial::new(1.0);
+        let mut a = ExactDecayedSum::new(g);
+        let mut b = ExactDecayedSum::new(g);
+        let mut whole = ExactDecayedSum::new(g);
+        for t in 1..=100u64 {
+            whole.observe(t, t % 5);
+            if t % 2 == 0 {
+                a.observe(t, t % 5);
+            } else {
+                b.observe(t, t % 5);
+            }
+        }
+        a.merge_from(&b);
+        assert_eq!(a.query(101), whole.query(101));
+        assert_eq!(a.live_items(), whole.live_items());
+    }
+
+    #[test]
+    fn storage_grows_linearly() {
+        let mut s = ExactDecayedSum::new(Polynomial::new(1.0));
+        for t in 1..=64 {
+            s.observe(t, 1);
+        }
+        let b64 = s.storage_bits();
+        for t in 65..=128 {
+            s.observe(t, 1);
+        }
+        assert!(s.storage_bits() > b64 + 64); // at least a bit per item
+    }
+}

@@ -1,0 +1,39 @@
+//! Counter-based summaries and exact baselines for time-decaying sums.
+//!
+//! This crate hosts everything in the paper that is *not* a histogram:
+//!
+//! * [`ewma::ExpCounter`] — the classic exponential-decay counter
+//!   `C ← f + e^{-λ} C` (paper Eq. 1), in exact-f64 and
+//!   quantized-precision variants (the Θ(log N)-bit algorithm of
+//!   Lemma 3.1);
+//! * [`timestamps::TimestampCounter`] — Lemma 3.1's alternative
+//!   algorithm: keep the `C` most recent item timestamps, with the
+//!   `t + λ⁻¹ ln v` value-shift trick for non-binary values (paper
+//!   footnote 3);
+//! * [`pipeline::PolyExpCounter`] — polyexponential decay
+//!   `p_k(x) e^{-λx}` via `k + 1` pipelined exponential counters (paper
+//!   §3.4; Brown's double/triple exponential smoothing for `k = 2, 3`);
+//! * [`morris::MorrisCounter`] — Morris approximate counting in
+//!   `O(log log n)` bits (paper §1, ref. \[16\]), the baseline showing the
+//!   exponential gap between undecayed and decayed counting;
+//! * [`approx::ApproxCount`] — the bounded-mantissa counters with the
+//!   adaptive `β_i = ε/i²` rounding ladder of §5, used by WBMH buckets;
+//! * [`exact::ExactDecayedSum`] — the store-everything ground truth that
+//!   every experiment audits against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod ewma;
+pub mod exact;
+pub mod morris;
+pub mod pipeline;
+pub mod timestamps;
+
+pub use approx::ApproxCount;
+pub use ewma::{ExpCounter, QuantizedExpCounter};
+pub use exact::ExactDecayedSum;
+pub use morris::MorrisCounter;
+pub use pipeline::PolyExpCounter;
+pub use timestamps::TimestampCounter;

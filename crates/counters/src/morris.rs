@@ -1,0 +1,148 @@
+//! Morris approximate counting (paper §1, ref. \[16\]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use td_decay::storage::{bits_for_count, StorageAccounting};
+
+/// A Morris counter: approximate counting of `n` events in
+/// `O(log log n)` bits.
+///
+/// The paper's introduction uses Morris counting to set the stage: a
+/// *non-decaying* sum needs only Θ(log log N) bits approximately, so the
+/// Θ(log N) (EXPD) and Θ(log² N) (SLIWIN) decayed-sum bounds are
+/// exponentially and doubly-exponentially worse — decay is what makes
+/// the problem hard.
+///
+/// The counter stores an exponent `X` and increments it with probability
+/// `b^{-X}` for a base `b = 1 + 2ε²`; the estimate `(b^X − 1)/(b − 1)`
+/// is unbiased with relative standard deviation about ε.
+///
+/// # Examples
+///
+/// ```
+/// use td_counters::MorrisCounter;
+/// let mut c = MorrisCounter::with_seed(0.05, 42);
+/// for _ in 0..100_000 {
+///     c.increment();
+/// }
+/// let rel = (c.estimate() - 100_000.0).abs() / 100_000.0;
+/// assert!(rel < 0.2, "rel={rel}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MorrisCounter {
+    /// The stored exponent X — the only state that counts toward
+    /// storage.
+    exponent: u32,
+    base: f64,
+    /// Probability of incrementing at the current exponent, kept in sync
+    /// with `exponent` to avoid a `powi` per event.
+    p_increment: f64,
+    rng: StdRng,
+}
+
+impl MorrisCounter {
+    /// A Morris counter with relative accuracy target `epsilon`, seeded
+    /// from the OS.
+    pub fn new(epsilon: f64) -> Self {
+        Self::with_seed(epsilon, rand::rng().random())
+    }
+
+    /// A deterministic Morris counter (for tests and experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1]`.
+    pub fn with_seed(epsilon: f64, seed: u64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0,1], got {epsilon}"
+        );
+        let base = 1.0 + 2.0 * epsilon * epsilon;
+        Self {
+            exponent: 0,
+            base,
+            p_increment: 1.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Counts one event.
+    pub fn increment(&mut self) {
+        if self.rng.random::<f64>() < self.p_increment {
+            self.exponent += 1;
+            self.p_increment /= self.base;
+        }
+    }
+
+    /// Counts `n` events (n independent probabilistic increments).
+    pub fn add(&mut self, n: u64) {
+        for _ in 0..n {
+            self.increment();
+        }
+    }
+
+    /// The unbiased estimate `(b^X − 1)/(b − 1)` of the event count.
+    pub fn estimate(&self) -> f64 {
+        (self.base.powi(self.exponent as i32) - 1.0) / (self.base - 1.0)
+    }
+
+    /// The stored exponent X (storage is `⌈log₂(X+1)⌉ ≈ log log n` bits).
+    pub fn exponent(&self) -> u32 {
+        self.exponent
+    }
+}
+
+impl StorageAccounting for MorrisCounter {
+    fn storage_bits(&self) -> u64 {
+        // Only the exponent is per-stream state; base/RNG are shared
+        // configuration.
+        bits_for_count(self.exponent as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_is_approximately_unbiased() {
+        // Average 60 independent counters over n = 20_000 events.
+        let n = 20_000u64;
+        let mut sum = 0.0;
+        let runs = 60;
+        for seed in 0..runs {
+            let mut c = MorrisCounter::with_seed(0.1, seed);
+            c.add(n);
+            sum += c.estimate();
+        }
+        let mean = sum / runs as f64;
+        let rel = (mean - n as f64).abs() / n as f64;
+        assert!(rel < 0.05, "mean={mean}, rel={rel}");
+    }
+
+    #[test]
+    fn storage_is_loglog() {
+        let mut c = MorrisCounter::with_seed(0.25, 7);
+        c.add(1_000_000);
+        // X ≈ log_b(n·(b−1)) ≈ 80 for ε=0.25 → ~7 bits, versus 20 bits
+        // for an exact counter.
+        assert!(c.storage_bits() <= 12, "bits={}", c.storage_bits());
+        assert!(c.storage_bits() < bits_for_count(1_000_000));
+    }
+
+    #[test]
+    fn zero_events_zero_estimate() {
+        let c = MorrisCounter::with_seed(0.1, 1);
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.exponent(), 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = MorrisCounter::with_seed(0.1, 99);
+        let mut b = MorrisCounter::with_seed(0.1, 99);
+        a.add(5000);
+        b.add(5000);
+        assert_eq!(a.exponent(), b.exponent());
+    }
+}

@@ -1,0 +1,335 @@
+//! Polyexponential decay via pipelined exponential counters (paper §3.4).
+
+use td_decay::storage::{bits_for_timestamp, StorageAccounting};
+use td_decay::Time;
+
+/// Tracks decay by `g(x) = x^k e^{-λx} / k!` — and, via
+/// [`PolyExpCounter::query_poly`], by any `p_k(x) e^{-λx}` — using
+/// `k + 1` pipelined exponential counters (paper §3.4).
+///
+/// The state is the vector `M_j(T) = Σ_i f_i (T−t_i)^j e^{-λ(T−t_i)}/j!`
+/// for `j = 0..=k`. Advancing time by `Δ` is the triangular linear map
+///
+/// ```text
+/// M_j(T+Δ) = e^{-λΔ} · Σ_{m=0}^{j} M_m(T) · Δ^{j−m}/(j−m)!
+/// ```
+///
+/// which for `k = 2, 3` is exactly Brown's double/triple exponential
+/// smoothing pipeline (the paper's historical note). Everything is
+/// exact up to f64 arithmetic — no histogram needed — so the storage is
+/// `k + 1` words.
+///
+/// # Examples
+///
+/// ```
+/// use td_counters::PolyExpCounter;
+/// let mut c = PolyExpCounter::new(2, 0.1);
+/// c.observe(5, 3);
+/// // weight of age 10: 10² e^{-1} / 2
+/// let want = 3.0 * 100.0 * (-1.0f64).exp() / 2.0;
+/// assert!((c.query(15) - want).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolyExpCounter {
+    k: u32,
+    lambda: f64,
+    /// `m[j] = M_j`, referenced at `upto`, over items strictly older
+    /// than `upto`.
+    m: Vec<f64>,
+    /// Raw value sum of items observed exactly at `upto`.
+    at_upto: f64,
+    upto: Time,
+    started: bool,
+}
+
+impl PolyExpCounter {
+    /// A counter for `g(x) = x^k e^{-λx}/k!`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite/positive or `k > 20`.
+    pub fn new(k: u32, lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "rate must be finite and positive, got {lambda}"
+        );
+        assert!(k <= 20, "degree {k} too large (max 20)");
+        Self {
+            k,
+            lambda,
+            m: vec![0.0; k as usize + 1],
+            at_upto: 0.0,
+            upto: 0,
+            started: false,
+        }
+    }
+
+    /// The polynomial degree k.
+    pub fn degree(&self) -> u32 {
+        self.k
+    }
+
+    /// Applies the pipelined advance-by-Δ map to a state vector.
+    fn advance_vec(m: &mut [f64], lambda: f64, delta: f64) {
+        let fade = (-lambda * delta).exp();
+        // In-place from the top: new m[j] uses old m[0..=j].
+        for j in (0..m.len()).rev() {
+            let mut acc = m[j];
+            let mut pow = 1.0;
+            for step in 1..=j {
+                pow *= delta / step as f64; // Δ^step / step!
+                acc += m[j - step] * pow;
+            }
+            m[j] = acc * fade;
+        }
+    }
+
+    /// Ingests an item of value `f` at time `t` (non-decreasing `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previously observed time.
+    pub fn observe(&mut self, t: Time, f: u64) {
+        if !self.started {
+            self.started = true;
+            self.upto = t;
+            self.at_upto = f as f64;
+            return;
+        }
+        assert!(
+            t >= self.upto,
+            "time went backwards: {t} < {}",
+            self.upto
+        );
+        if t > self.upto {
+            // Fold the pending age-0 items, then advance.
+            self.m[0] += self.at_upto;
+            Self::advance_vec(&mut self.m, self.lambda, (t - self.upto) as f64);
+            self.at_upto = 0.0;
+            self.upto = t;
+        }
+        self.at_upto += f as f64;
+    }
+
+    /// The full advanced state vector at query time `t` (items at `t`
+    /// excluded).
+    fn state_at(&self, t: Time) -> Vec<f64> {
+        assert!(
+            t >= self.upto,
+            "query time {t} precedes last observation {}",
+            self.upto
+        );
+        let mut m = self.m.clone();
+        if t > self.upto {
+            m[0] += self.at_upto;
+            Self::advance_vec(&mut m, self.lambda, (t - self.upto) as f64);
+        }
+        m
+    }
+
+    /// Merges another pipeline's state into this one (distributed
+    /// sites): both `M` vectors are advanced to the later reference
+    /// time and added — exact, because the advance map is linear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees or rates differ.
+    pub fn merge_from(&mut self, other: &PolyExpCounter) {
+        assert_eq!(self.k, other.k, "degrees differ");
+        assert!(
+            (self.lambda - other.lambda).abs() < f64::EPSILON,
+            "rates differ"
+        );
+        if !other.started {
+            return;
+        }
+        if !self.started {
+            *self = other.clone();
+            return;
+        }
+        let t = self.upto.max(other.upto);
+        // Advance self in place.
+        if t > self.upto {
+            self.m[0] += self.at_upto;
+            Self::advance_vec(&mut self.m, self.lambda, (t - self.upto) as f64);
+            self.at_upto = 0.0;
+            self.upto = t;
+        }
+        // Advance a copy of other and add.
+        let mut om = other.m.clone();
+        let mut o_at = other.at_upto;
+        if t > other.upto {
+            om[0] += o_at;
+            Self::advance_vec(&mut om, other.lambda, (t - other.upto) as f64);
+            o_at = 0.0;
+        }
+        for (a, b) in self.m.iter_mut().zip(om.iter()) {
+            *a += b;
+        }
+        self.at_upto += o_at;
+    }
+
+    /// The decaying sum under `g(x) = x^k e^{-λx}/k!`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last observed time.
+    pub fn query(&self, t: Time) -> f64 {
+        if !self.started {
+            return 0.0;
+        }
+        self.state_at(t)[self.k as usize]
+    }
+
+    /// The decaying sum under `p(x) e^{-λx}` for
+    /// `p(x) = Σ_j coeffs[j] · x^j` (at most degree `k`):
+    /// `S = Σ_j coeffs[j] · j! · M_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() > k + 1` or the query time precedes the
+    /// last observation.
+    pub fn query_poly(&self, t: Time, coeffs: &[f64]) -> f64 {
+        assert!(
+            coeffs.len() <= self.k as usize + 1,
+            "polynomial degree {} exceeds pipeline degree {}",
+            coeffs.len().saturating_sub(1),
+            self.k
+        );
+        if !self.started {
+            return 0.0;
+        }
+        let m = self.state_at(t);
+        let mut fact = 1.0;
+        let mut total = 0.0;
+        for (j, &a) in coeffs.iter().enumerate() {
+            if j > 0 {
+                fact *= j as f64;
+            }
+            total += a * fact * m[j];
+        }
+        total
+    }
+}
+
+impl StorageAccounting for PolyExpCounter {
+    fn storage_bits(&self) -> u64 {
+        // k + 2 accumulators plus the reference timestamp.
+        (self.m.len() as u64 + 1) * 64 + bits_for_timestamp(self.upto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactDecayedSum;
+    use td_decay::PolyExponential;
+
+    #[test]
+    fn degree_zero_matches_exponential_counter() {
+        use crate::ewma::ExpCounter;
+        use td_decay::Exponential;
+        let mut p = PolyExpCounter::new(0, 0.3);
+        let mut e = ExpCounter::new(Exponential::new(0.3));
+        for t in 1..=300u64 {
+            let f = t % 4;
+            p.observe(t, f);
+            e.observe(t, f);
+        }
+        assert!((p.query(350) - e.query(350)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_exact_for_k_up_to_4() {
+        for k in 0..=4u32 {
+            let lambda = 0.07;
+            let g = PolyExponential::new(k, lambda);
+            let mut c = PolyExpCounter::new(k, lambda);
+            let mut exact = ExactDecayedSum::new(g);
+            let mut t = 0;
+            for step in 0..400u64 {
+                t += 1 + step % 3;
+                let f = step % 6;
+                c.observe(t, f);
+                exact.observe(t, f);
+            }
+            for q in [t + 1, t + 10, t + 100] {
+                let (got, want) = (c.query(q), exact.query(q));
+                let scale = want.abs().max(1e-9);
+                assert!(
+                    (got - want).abs() / scale < 1e-6,
+                    "k={k} q={q}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_poly_combines_basis() {
+        // p(x) = 2 + 3x with λ = 0.2, vs exact sums of the same weight.
+        let lambda = 0.2;
+        let mut c = PolyExpCounter::new(1, lambda);
+        let mut items: Vec<(u64, u64)> = Vec::new();
+        for t in 1..=100u64 {
+            let f = 1 + t % 3;
+            c.observe(t, f);
+            items.push((t, f));
+        }
+        let q = 150u64;
+        let want: f64 = items
+            .iter()
+            .map(|&(t, f)| {
+                let x = (q - t) as f64;
+                f as f64 * (2.0 + 3.0 * x) * (-lambda * x).exp()
+            })
+            .sum();
+        let got = c.query_poly(q, &[2.0, 3.0]);
+        assert!((got - want).abs() / want.abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn merge_from_matches_whole_stream() {
+        let (k, lambda) = (3u32, 0.04);
+        let mut whole = PolyExpCounter::new(k, lambda);
+        let mut a = PolyExpCounter::new(k, lambda);
+        let mut b = PolyExpCounter::new(k, lambda);
+        let mut x = 11u64;
+        for t in 1..=1_500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = x % 7;
+            whole.observe(t, f);
+            if x % 3 == 0 {
+                a.observe(t, f);
+            } else {
+                b.observe(t, f);
+            }
+        }
+        a.merge_from(&b);
+        let (m, w) = (a.query(1_600), whole.query(1_600));
+        assert!((m - w).abs() <= 1e-9 * w.abs().max(1.0), "{m} vs {w}");
+    }
+
+    #[test]
+    fn excludes_items_at_query_time() {
+        let mut c = PolyExpCounter::new(2, 0.5);
+        c.observe(10, 4);
+        assert_eq!(c.query(10), 0.0);
+        assert!(c.query(12) > 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let c = PolyExpCounter::new(3, 0.1);
+        assert_eq!(c.query(42), 0.0);
+        assert_eq!(c.query_poly(42, &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pipeline degree")]
+    fn rejects_overlong_polynomial() {
+        let c = PolyExpCounter::new(1, 0.1);
+        let _ = c.query_poly(1, &[1.0, 2.0, 3.0]);
+    }
+}

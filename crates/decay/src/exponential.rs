@@ -1,0 +1,136 @@
+//! Exponential decay `EXPD_λ` (paper §3.1).
+
+use crate::func::{DecayClass, DecayFunction, Time};
+
+/// Exponential decay: `g(x) = exp(-λx)` for a rate `λ > 0`.
+///
+/// The relative significance of each measurement decreases exponentially
+/// with elapsed time; equivalently, the weight ratio of two items is
+/// *fixed forever* — which is exactly why the paper argues EXPD cannot
+/// model a "less severe but more recent" event eventually overtaking a
+/// "more severe but older" one (§1.2).
+///
+/// EXPD is the one family with a trivial O(1)-word algorithm
+/// (`C ← f + e^{-λ} C`, Eq. 1 of the paper; see `td-counters`).
+///
+/// # Examples
+///
+/// ```
+/// use td_decay::{DecayFunction, Exponential};
+/// let g = Exponential::new(0.1);
+/// assert!((g.weight(0) - 1.0).abs() < 1e-12);
+/// assert!(g.weight(10) < g.weight(9));
+/// // half-life constructor: weight halves every `h` ticks
+/// let h = Exponential::with_half_life(100);
+/// assert!((h.weight(100) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Exponential decay with rate `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and strictly positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "EXPD rate must be finite and positive, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// Exponential decay whose weight halves every `half_life` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_life == 0`.
+    pub fn with_half_life(half_life: Time) -> Self {
+        assert!(half_life > 0, "half-life must be positive");
+        Self::new(std::f64::consts::LN_2 / half_life as f64)
+    }
+
+    /// The rate parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The per-tick multiplier `e^{-λ}` used by the classic counter
+    /// update (Eq. 1).
+    pub fn per_tick_factor(&self) -> f64 {
+        (-self.lambda).exp()
+    }
+}
+
+impl DecayFunction for Exponential {
+    fn weight(&self, age: Time) -> f64 {
+        (-self.lambda * age as f64).exp()
+    }
+
+    fn classify(&self) -> DecayClass {
+        DecayClass::Exponential {
+            lambda: self.lambda,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("EXPD(lambda={})", self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn weight_matches_closed_form() {
+        let g = Exponential::new(0.25);
+        for age in 0..200u64 {
+            let expect = (-0.25 * age as f64).exp();
+            assert!((g.weight(age) - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn non_increasing_and_ratio_constant() {
+        let g = Exponential::new(0.03);
+        assert!(properties::is_non_increasing(&g, 10_000));
+        // g(x)/g(x+1) = e^λ for all x: ratio-monotone with equality.
+        assert!(properties::check_ratio_monotone(&g, 10_000));
+    }
+
+    #[test]
+    fn half_life() {
+        let g = Exponential::with_half_life(50);
+        assert!((g.weight(50) - 0.5).abs() < 1e-12);
+        assert!((g.weight(100) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_tick_factor_consistent() {
+        let g = Exponential::new(0.7);
+        let mut w = 1.0;
+        for age in 0..64u64 {
+            assert!((g.weight(age) - w).abs() < 1e-9 * w.max(1e-300));
+            w *= g.per_tick_factor();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn classification() {
+        match Exponential::new(0.5).classify() {
+            DecayClass::Exponential { lambda } => assert_eq!(lambda, 0.5),
+            other => panic!("unexpected class {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The [`DecayFunction`] trait and its classification hints.
+
+/// Discrete time, measured in ticks since an arbitrary epoch.
+///
+/// The paper assumes time is discretized and obtains integral values
+/// (§2); every structure in this workspace uses `u64` ticks.
+pub type Time = u64;
+
+/// Structural classification of a decay function.
+///
+/// Downstream code uses this hint to pick the storage-optimal backend
+/// (paper summary, §8):
+///
+/// * exponential decay — a single (quantized) counter, Θ(log N) bits
+///   (Lemma 3.1);
+/// * sliding windows — an Exponential Histogram, Θ(log²N) bits (\[9\]);
+/// * ratio-monotone sub-exponential decay (e.g. polynomial) — a
+///   weight-based merging histogram, O(log N · log log N) bits
+///   (Lemma 5.1);
+/// * anything else — a cascaded Exponential Histogram, O(log²N) bits
+///   (Theorem 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecayClass {
+    /// `g(x) = 1` for all ages: no decay at all.
+    Constant,
+    /// `g(x) = exp(-λx)` with the given `λ > 0`.
+    Exponential {
+        /// The rate parameter λ.
+        lambda: f64,
+    },
+    /// `g(x) = 1` for `x <= window`, `0` afterwards.
+    SlidingWindow {
+        /// The window length W, in ticks.
+        window: Time,
+    },
+    /// `g(x) = x^k e^{-λx} / k!` (§3.4) — *not* non-increasing for
+    /// `k >= 1`, but trackable exactly by `k + 1` pipelined exponential
+    /// counters (`td-counters::pipeline`).
+    PolyExponential {
+        /// The polynomial degree k.
+        degree: u32,
+        /// The rate parameter λ.
+        lambda: f64,
+    },
+    /// `g(x)/g(x+1)` is non-increasing in `x` (WBMH-applicable, §5), but
+    /// the function is not one of the closed forms above. Polynomial decay
+    /// is the canonical member.
+    RatioMonotone,
+    /// No structural guarantee; only the cascaded-EH algorithm of
+    /// Theorem 1 applies.
+    General,
+}
+
+/// A decay function: a non-increasing, non-negative weight of elapsed age.
+///
+/// `weight(x)` is the paper's `g(x)`. Implementations must satisfy, for
+/// all ages `x`:
+///
+/// * `weight(x) >= 0`,
+/// * `weight(x + 1) <= weight(x)` (non-increasing),
+/// * `weight` is a pure function of `x` (no interior mutability).
+///
+/// Violations are not undefined behaviour — everything stays safe — but
+/// the approximation guarantees of the histogram algorithms assume them,
+/// and [`crate::properties::is_non_increasing`] can audit a candidate.
+///
+/// The trait is object-safe; summaries typically hold a
+/// `Box<dyn DecayFunction>` or are generic over `G: DecayFunction`.
+pub trait DecayFunction {
+    /// The weight `g(x)` assigned to an item of age `x` ticks.
+    fn weight(&self, age: Time) -> f64;
+
+    /// The horizon `N(g) = argmax_x g(x) > 0` (§2.3): the largest age that
+    /// still carries positive weight, or `None` when the support is
+    /// infinite (as for exponential and polynomial decay).
+    fn horizon(&self) -> Option<Time> {
+        None
+    }
+
+    /// A structural classification hint used for backend selection.
+    ///
+    /// The default is [`DecayClass::General`]; closed-form families
+    /// override this. Returning a stronger class than the function
+    /// satisfies voids the storage/accuracy guarantees of the selected
+    /// backend, so custom implementations should be conservative (or use
+    /// [`crate::properties::check_ratio_monotone`] to certify
+    /// [`DecayClass::RatioMonotone`] numerically).
+    fn classify(&self) -> DecayClass {
+        DecayClass::General
+    }
+
+    /// Human-readable name used in experiment tables and error messages.
+    fn describe(&self) -> String {
+        "custom".to_string()
+    }
+}
+
+impl<G: DecayFunction + ?Sized> DecayFunction for &G {
+    fn weight(&self, age: Time) -> f64 {
+        (**self).weight(age)
+    }
+    fn horizon(&self) -> Option<Time> {
+        (**self).horizon()
+    }
+    fn classify(&self) -> DecayClass {
+        (**self).classify()
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl<G: DecayFunction + ?Sized> DecayFunction for Box<G> {
+    fn weight(&self, age: Time) -> f64 {
+        (**self).weight(age)
+    }
+    fn horizon(&self) -> Option<Time> {
+        (**self).horizon()
+    }
+    fn classify(&self) -> DecayClass {
+        (**self).classify()
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Exponential;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let g: Box<dyn DecayFunction> = Box::new(Exponential::new(0.5));
+        assert!(g.weight(3) > 0.0);
+        assert_eq!(g.horizon(), None);
+    }
+
+    #[test]
+    fn references_delegate() {
+        let g = Exponential::new(0.25);
+        let r: &dyn DecayFunction = &g;
+        assert_eq!(r.weight(7), g.weight(7));
+        assert_eq!(r.classify(), g.classify());
+        assert_eq!(r.describe(), g.describe());
+    }
+}

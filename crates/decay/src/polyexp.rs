@@ -1,0 +1,171 @@
+//! Polyexponential decay (paper §3.4).
+
+use crate::func::{DecayClass, DecayFunction, Time};
+
+/// Polyexponential decay: `g(x) = x^k e^{-λx} / k!`.
+///
+/// The paper's §3.4 family, trackable by `k + 1` pipelined exponential
+/// counters (Brown's double/triple exponential smoothing for `k = 2, 3`;
+/// see `td-counters::pipeline`). Linear combinations
+/// `p_k(x) e^{-λx}` of these basis functions cover every
+/// polynomial-times-exponential decay.
+///
+/// **Caution:** for `k >= 1` the function *increases* on `[0, k/λ]` before
+/// decaying, so it is not a decay function in the strict §2 sense on that
+/// prefix. [`PolyExponential::is_non_increasing_from`] reports the first
+/// age from which the monotone regime holds; the histogram algorithms'
+/// guarantees apply only to genuinely non-increasing weights, while the
+/// pipelined-counter algorithm tracks the weighted sum *exactly in
+/// expectation* regardless.
+///
+/// # Examples
+///
+/// ```
+/// use td_decay::{DecayFunction, PolyExponential};
+/// let g = PolyExponential::new(2, 0.1);
+/// // peak at x = k/λ = 20
+/// assert!(g.weight(20) > g.weight(10));
+/// assert!(g.weight(20) > g.weight(40));
+/// assert_eq!(g.is_non_increasing_from(), 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolyExponential {
+    k: u32,
+    lambda: f64,
+    /// 1/k!, precomputed.
+    inv_k_factorial: f64,
+}
+
+impl PolyExponential {
+    /// Polyexponential decay with degree `k` and rate `lambda > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite/positive or `k > 20` (k! would
+    /// overflow the exact integer range of f64 and the family is of no
+    /// practical use at such degrees).
+    pub fn new(k: u32, lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "rate must be finite and positive, got {lambda}"
+        );
+        assert!(k <= 20, "degree {k} too large (max 20)");
+        let mut fact = 1.0f64;
+        for i in 2..=k as u64 {
+            fact *= i as f64;
+        }
+        Self {
+            k,
+            lambda,
+            inv_k_factorial: 1.0 / fact,
+        }
+    }
+
+    /// The polynomial degree k.
+    pub fn degree(&self) -> u32 {
+        self.k
+    }
+
+    /// The rate parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The first age `x0 = ceil(k/λ)` from which `g` is non-increasing.
+    ///
+    /// For ages `>= x0` the function behaves as a legitimate decay
+    /// function; `x0 = 0` iff `k = 0` (plain EXPD).
+    pub fn is_non_increasing_from(&self) -> Time {
+        (self.k as f64 / self.lambda).ceil() as Time
+    }
+}
+
+impl DecayFunction for PolyExponential {
+    fn weight(&self, age: Time) -> f64 {
+        let x = age as f64;
+        // x^k e^{-λx} / k!, computed in log space for large k·ln(x) to
+        // avoid overflow of the intermediate power.
+        if age == 0 {
+            return if self.k == 0 { 1.0 } else { 0.0 };
+        }
+        let ln = self.k as f64 * x.ln() - self.lambda * x;
+        ln.exp() * self.inv_k_factorial
+    }
+
+    fn classify(&self) -> DecayClass {
+        if self.k == 0 {
+            DecayClass::Exponential {
+                lambda: self.lambda,
+            }
+        } else {
+            // Not non-increasing near zero (so no histogram bound
+            // applies), but exactly trackable by the §3.4 pipeline.
+            DecayClass::PolyExponential {
+                degree: self.k,
+                lambda: self.lambda,
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("POLYEXP(k={}, lambda={})", self.k, self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerates_to_expd_at_k0() {
+        let g = PolyExponential::new(0, 0.3);
+        for age in 0..100u64 {
+            let expect = (-0.3 * age as f64).exp();
+            assert!((g.weight(age) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn peak_location() {
+        let g = PolyExponential::new(3, 0.05);
+        let peak = g.is_non_increasing_from();
+        assert_eq!(peak, 60);
+        assert!(g.weight(peak) >= g.weight(peak + 1));
+        assert!(g.weight(peak) >= g.weight(peak.saturating_sub(2)));
+        // monotone afterwards
+        for age in peak..peak + 500 {
+            assert!(g.weight(age) >= g.weight(age + 1));
+        }
+    }
+
+    #[test]
+    fn factorial_normalization() {
+        // k = 4, x = 1: g(1) = e^{-λ} / 24.
+        let g = PolyExponential::new(4, 1.0);
+        let expect = (-1.0f64).exp() / 24.0;
+        assert!((g.weight(1) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn classifies_as_pipeline_family() {
+        match PolyExponential::new(2, 0.25).classify() {
+            DecayClass::PolyExponential { degree, lambda } => {
+                assert_eq!(degree, 2);
+                assert_eq!(lambda, 0.25);
+            }
+            other => panic!("unexpected class {other:?}"),
+        }
+        assert!(matches!(
+            PolyExponential::new(0, 0.25).classify(),
+            DecayClass::Exponential { .. }
+        ));
+    }
+
+    #[test]
+    fn no_overflow_for_large_age() {
+        let g = PolyExponential::new(20, 1e-3);
+        let w = g.weight(1_000_000_000);
+        assert!(w.is_finite());
+        assert!(w >= 0.0);
+    }
+}

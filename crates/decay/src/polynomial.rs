@@ -1,0 +1,284 @@
+//! Polynomial decay `POLYD_α` (paper §3.3).
+
+use crate::func::{DecayClass, DecayFunction, Time};
+
+/// Polynomial decay: `g(x) = x^{-α}` for `x >= 1`, with `g(0) = 1`.
+///
+/// The paper's headline family. Polynomial decay is *ratio-monotone*
+/// (`g(x)/g(x+1) = (1 + 1/x)^α` strictly decreases in `x`), which is
+/// exactly the property that (a) lets the weight of a severe-but-old event
+/// and a mild-but-recent one converge over time — the Figure 1 "link L2
+/// eventually overtakes L1" behaviour — and (b) makes the WBMH algorithm
+/// of §5 applicable, so POLYD sums can be maintained in
+/// `O(log N · log log N)` bits, almost as cheaply as exponential decay.
+///
+/// The mathematical `x^{-α}` diverges at `x = 0`; the paper only ever
+/// evaluates weights at age `>= 1` (items strictly older than the query
+/// time contribute). We cap `g(0) = 1 = g(1)` so the function is total and
+/// still non-increasing.
+///
+/// # Examples
+///
+/// ```
+/// use td_decay::{DecayFunction, Polynomial};
+/// let g = Polynomial::new(2.0);
+/// assert_eq!(g.weight(1), 1.0);
+/// assert_eq!(g.weight(2), 0.25);
+/// assert_eq!(g.weight(10), 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Polynomial {
+    alpha: f64,
+}
+
+impl Polynomial {
+    /// Polynomial decay with exponent `alpha > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite and strictly positive.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "POLYD exponent must be finite and positive, got {alpha}"
+        );
+        Self { alpha }
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl DecayFunction for Polynomial {
+    fn weight(&self, age: Time) -> f64 {
+        let x = age.max(1) as f64;
+        x.powf(-self.alpha)
+    }
+
+    fn classify(&self) -> DecayClass {
+        DecayClass::RatioMonotone
+    }
+
+    fn describe(&self) -> String {
+        format!("POLYD(alpha={})", self.alpha)
+    }
+}
+
+/// Shifted polynomial decay: `g(x) = (1 + x/s)^{-α}`.
+///
+/// A POLYD variant that is smooth at age zero and decays on a time scale
+/// set by `s`: the weight halves roughly every `s·(2^{1/α} − 1)` ticks at
+/// first and ever more slowly later. Normalized so `g(0) = 1`, which makes
+/// ratings comparable across parameter choices (used by the Figure 1
+/// experiment). Ratio-monotone like plain POLYD.
+///
+/// # Examples
+///
+/// ```
+/// use td_decay::{DecayFunction, ShiftedPolynomial};
+/// let g = ShiftedPolynomial::new(1.0, 100);
+/// assert_eq!(g.weight(0), 1.0);
+/// assert!((g.weight(100) - 0.5).abs() < 1e-12); // (1 + 1)^-1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftedPolynomial {
+    alpha: f64,
+    shift: f64,
+}
+
+impl ShiftedPolynomial {
+    /// Shifted polynomial decay with exponent `alpha > 0` and time scale
+    /// `shift >= 1` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite/positive or `shift == 0`.
+    pub fn new(alpha: f64, shift: Time) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "exponent must be finite and positive, got {alpha}"
+        );
+        assert!(shift > 0, "shift must be positive");
+        Self {
+            alpha,
+            shift: shift as f64,
+        }
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl DecayFunction for ShiftedPolynomial {
+    fn weight(&self, age: Time) -> f64 {
+        (1.0 + age as f64 / self.shift).powf(-self.alpha)
+    }
+
+    fn classify(&self) -> DecayClass {
+        DecayClass::RatioMonotone
+    }
+
+    fn describe(&self) -> String {
+        format!("POLYD(alpha={}, shift={})", self.alpha, self.shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn closed_form() {
+        let g = Polynomial::new(1.5);
+        for age in 1..1000u64 {
+            let expect = (age as f64).powf(-1.5);
+            assert!((g.weight(age) - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn age_zero_is_capped() {
+        let g = Polynomial::new(3.0);
+        assert_eq!(g.weight(0), 1.0);
+        assert!(g.weight(0) >= g.weight(1));
+    }
+
+    #[test]
+    fn ratio_monotone() {
+        for alpha in [0.5, 1.0, 2.0, 3.5] {
+            let g = Polynomial::new(alpha);
+            assert!(
+                properties::check_ratio_monotone(&g, 5_000),
+                "alpha={alpha}"
+            );
+            assert!(properties::is_non_increasing(&g, 5_000));
+        }
+    }
+
+    #[test]
+    fn shifted_matches_limits() {
+        let g = ShiftedPolynomial::new(2.0, 10);
+        assert_eq!(g.weight(0), 1.0);
+        // age = shift → (1+1)^-2 = 0.25
+        assert!((g.weight(10) - 0.25).abs() < 1e-12);
+        assert!(properties::check_ratio_monotone(&g, 5_000));
+    }
+
+    #[test]
+    fn weight_ratio_converges_to_one() {
+        // The §1.2 motivation: the ratio of weights of two fixed events
+        // tends to 1 as time passes — impossible under EXPD or SLIWIN.
+        let g = Polynomial::new(1.0);
+        let r = |t: u64| g.weight(t) / g.weight(t + 100);
+        assert!(r(1) > r(10));
+        assert!(r(10) > r(1_000));
+        assert!((r(1_000_000) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_negative_alpha() {
+        let _ = Polynomial::new(-1.0);
+    }
+}
+
+/// Logarithmic (sub-polynomial) decay: `g(x) = 1 / ln(e + x/s)`.
+///
+/// The slowest-decaying family in the workspace: weights fall off like
+/// `1/log x`, retaining old history far longer than any polynomial. The
+/// paper's §5 notes that WBMH "beats CEHs also for sub-polynomial
+/// decay, as the number of buckets of WBMH is sub-logarithmic in
+/// elapsed time" — here `D(g) = ln(e + N/s)/ln(e + 1/s)`, so the
+/// bucket count is `O(ε⁻¹ log log N)` (experiment E14 measures it).
+/// Ratio-monotone, so the WBMH backend applies; normalized to
+/// `g(0) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use td_decay::{DecayFunction, LogDecay};
+/// let g = LogDecay::new(1);
+/// assert_eq!(g.weight(0), 1.0);
+/// assert!(g.weight(1_000_000) > 0.06); // barely decayed after 1e6 ticks
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDecay {
+    scale: f64,
+}
+
+impl LogDecay {
+    /// Logarithmic decay with time scale `scale >= 1` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`.
+    pub fn new(scale: Time) -> Self {
+        assert!(scale > 0, "scale must be positive");
+        Self {
+            scale: scale as f64,
+        }
+    }
+}
+
+impl DecayFunction for LogDecay {
+    fn weight(&self, age: Time) -> f64 {
+        1.0 / (std::f64::consts::E + age as f64 / self.scale).ln()
+    }
+
+    fn classify(&self) -> DecayClass {
+        DecayClass::RatioMonotone
+    }
+
+    fn describe(&self) -> String {
+        format!("LOGD(scale={})", self.scale)
+    }
+}
+
+#[cfg(test)]
+mod log_tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn normalized_and_monotone() {
+        let g = LogDecay::new(10);
+        assert_eq!(g.weight(0), 1.0);
+        assert!(properties::is_non_increasing(&g, 100_000));
+        assert!(properties::check_ratio_monotone(&g, 100_000));
+    }
+
+    #[test]
+    fn weight_ratio_is_doubly_logarithmic() {
+        // D(g) at N and N² differ by ~2x in log, i.e. log D grows like
+        // log log N.
+        let g = LogDecay::new(1);
+        let d1 = properties::weight_ratio(&g, 1 << 10);
+        let d2 = properties::weight_ratio(&g, 1 << 20);
+        // D doubles-ish when log N doubles; both stay tiny.
+        assert!(d2 < 2.0 * d1, "d1={d1}, d2={d2}");
+        assert!(d2 < 20.0);
+    }
+
+    #[test]
+    fn region_count_is_sub_logarithmic() {
+        let g = LogDecay::new(1);
+        let r10 = crate::RegionSchedule::compute(&g, 0.2, 1 << 10).num_regions();
+        let r20 = crate::RegionSchedule::compute(&g, 0.2, 1 << 20).num_regions();
+        let r30 = crate::RegionSchedule::compute(&g, 0.2, 1 << 30).num_regions();
+        // Each doubling of log N adds only ~constant regions (log log
+        // growth), unlike POLYD where regions scale with log N.
+        assert!(r20 - r10 <= 8, "r10={r10}, r20={r20}");
+        assert!(r30 - r20 <= 8, "r20={r20}, r30={r30}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_scale() {
+        let _ = LogDecay::new(0);
+    }
+}

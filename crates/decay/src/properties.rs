@@ -1,0 +1,191 @@
+//! Numeric audits and derived quantities of decay functions.
+//!
+//! The storage bounds of the paper are phrased in terms of two derived
+//! quantities (§2.3, §5):
+//!
+//! * `N` — the **effective horizon**: the minimum of elapsed time and
+//!   `N(g)`, the largest age with positive weight ([`effective_horizon`]);
+//! * `D(g) = g(1) / g(N)` — the **weight ratio** between the newest and
+//!   the oldest positively-weighted item ([`weight_ratio`]); the WBMH
+//!   bucket count is `O(ε⁻¹ log D(g))` (Lemma 5.1).
+//!
+//! The audits ([`is_non_increasing`], [`check_ratio_monotone`]) verify the
+//! §2 and §5 requirements numerically over a finite age range; they are
+//! used by tests and by [`certify`] for custom decay functions.
+
+use crate::func::{DecayClass, DecayFunction, Time};
+
+/// The effective horizon `N = min(elapsed, N(g))` of §2.3.
+///
+/// All storage bounds in the paper are functions of this `N`: a sliding
+/// window never needs state older than `W`, while an infinite-support
+/// decay is limited only by how long the stream has run.
+pub fn effective_horizon<G: DecayFunction + ?Sized>(g: &G, elapsed: Time) -> Time {
+    match g.horizon() {
+        Some(h) => h.min(elapsed),
+        None => elapsed,
+    }
+}
+
+/// The weight ratio `D(g) = g(1) / g(N)` over the effective horizon
+/// (paper §5).
+///
+/// Returns `f64::INFINITY` when `g(N) == 0` (e.g. asking past a finite
+/// horizon) and `1.0` for constant decay. For EXPD this is `e^{λ(N-1)}`
+/// (so `log D = Θ(N)` and WBMH degenerates); for POLYD it is `N^α`
+/// (so `log D = Θ(log N)` and WBMH wins).
+pub fn weight_ratio<G: DecayFunction + ?Sized>(g: &G, n: Time) -> f64 {
+    let newest = g.weight(1);
+    let oldest = g.weight(n.max(1));
+    if oldest <= 0.0 {
+        f64::INFINITY
+    } else {
+        newest / oldest
+    }
+}
+
+/// Checks `g(x+1) <= g(x)` and `g(x) >= 0` for all `x <= max_age`.
+///
+/// A `false` result proves the candidate is not a decay function in the
+/// §2 sense; `true` certifies it on the tested range only.
+pub fn is_non_increasing<G: DecayFunction + ?Sized>(g: &G, max_age: Time) -> bool {
+    let mut prev = g.weight(0);
+    // NaN fails is_finite, so these checks also reject NaN weights.
+    if prev < 0.0 || !prev.is_finite() {
+        return false;
+    }
+    for age in 1..=max_age {
+        let w = g.weight(age);
+        if w < 0.0 || !w.is_finite() || w > prev {
+            return false;
+        }
+        prev = w;
+    }
+    true
+}
+
+/// Checks the WBMH applicability condition of §5: `g(x)/g(x+1)` is
+/// non-increasing in `x`, over `1 <= x <= max_age`.
+///
+/// The paper notes it suffices to check the condition for age step
+/// `Δ = 1`; this routine does exactly that. Once `g` reaches zero, every
+/// later ratio is taken as satisfied (`0/0` treated as 1): a function
+/// that has *already nullified* trivially keeps item weights comparable.
+/// A function that *jumps* to zero from a positive value (sliding
+/// windows) fails, as the paper requires.
+///
+/// A small relative slack (1 part in 10⁹) absorbs floating-point noise in
+/// closed-form weights.
+pub fn check_ratio_monotone<G: DecayFunction + ?Sized>(g: &G, max_age: Time) -> bool {
+    const SLACK: f64 = 1.0 + 1e-9;
+    let mut prev_ratio = f64::INFINITY;
+    for age in 1..=max_age {
+        let (a, b) = (g.weight(age), g.weight(age + 1));
+        if a <= 0.0 {
+            // Function already nullified; nothing left to compare.
+            return true;
+        }
+        if b <= 0.0 {
+            // Positive → zero jump: the ratio is +∞, which is only
+            // non-increasing if it is the very first ratio (the function
+            // nullifies from age 2 on, leaving nothing to compare).
+            return age == 1;
+        }
+        let ratio = a / b;
+        if ratio > prev_ratio * SLACK {
+            return false;
+        }
+        prev_ratio = prev_ratio.min(ratio);
+    }
+    true
+}
+
+/// Numerically certifies a classification for a custom decay function.
+///
+/// Runs both audits over `0..=max_age` and returns the strongest class
+/// this evidence supports: [`DecayClass::RatioMonotone`] if the §5
+/// condition holds, [`DecayClass::General`] if only monotonicity holds,
+/// and `None` if the candidate is not a decay function at all.
+///
+/// This is a *finite* certificate; callers choose `max_age` at least as
+/// large as the lifetime of the stream they will run.
+pub fn certify<G: DecayFunction + ?Sized>(g: &G, max_age: Time) -> Option<DecayClass> {
+    if !is_non_increasing(g, max_age) {
+        return None;
+    }
+    if check_ratio_monotone(g, max_age) {
+        Some(DecayClass::RatioMonotone)
+    } else {
+        Some(DecayClass::General)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        ClosureDecay, Constant, Exponential, Polynomial, SlidingWindow,
+    };
+
+    #[test]
+    fn effective_horizon_minimum() {
+        let w = SlidingWindow::new(100);
+        assert_eq!(effective_horizon(&w, 50), 50);
+        assert_eq!(effective_horizon(&w, 500), 100);
+        let p = Polynomial::new(1.0);
+        assert_eq!(effective_horizon(&p, 12345), 12345);
+    }
+
+    #[test]
+    fn weight_ratio_matches_paper_examples() {
+        // POLYD: D = N^α → log D = Θ(log N).
+        let p = Polynomial::new(2.0);
+        assert!((weight_ratio(&p, 1000) - 1e6).abs() / 1e6 < 1e-9);
+        // EXPD: D = e^{λ(N-1)} → log D = Θ(N).
+        let e = Exponential::new(0.1);
+        let expect = (0.1f64 * 999.0).exp();
+        assert!((weight_ratio(&e, 1000) - expect).abs() / expect < 1e-9);
+        // Constant: D = 1.
+        assert_eq!(weight_ratio(&Constant, 1 << 30), 1.0);
+        // Past a finite horizon: infinite.
+        assert!(weight_ratio(&SlidingWindow::new(10), 11).is_infinite());
+    }
+
+    #[test]
+    fn audit_catches_increasing_function() {
+        let bad = ClosureDecay::new(|age| age as f64);
+        assert!(!is_non_increasing(&bad, 10));
+        assert_eq!(certify(&bad, 10), None);
+    }
+
+    #[test]
+    fn audit_catches_nan() {
+        let bad = ClosureDecay::new(|age| if age == 3 { f64::NAN } else { 1.0 });
+        assert!(!is_non_increasing(&bad, 10));
+    }
+
+    #[test]
+    fn sliwin_fails_ratio_monotonicity() {
+        assert!(!check_ratio_monotone(&SlidingWindow::new(16), 64));
+    }
+
+    #[test]
+    fn certify_levels() {
+        assert_eq!(
+            certify(&Polynomial::new(1.0), 1_000),
+            Some(DecayClass::RatioMonotone)
+        );
+        assert_eq!(
+            certify(&SlidingWindow::new(8), 1_000),
+            Some(DecayClass::General)
+        );
+    }
+
+    #[test]
+    fn zero_tail_after_age_one_is_accepted() {
+        // g positive only at ages 0..=1: ratios never jump from a finite
+        // positive history, so the condition holds vacuously.
+        let g = ClosureDecay::new(|age| if age <= 1 { 1.0 } else { 0.0 });
+        assert!(check_ratio_monotone(&g, 100));
+    }
+}

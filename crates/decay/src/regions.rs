@@ -1,0 +1,266 @@
+//! WBMH region boundaries (paper §5).
+//!
+//! The weight-based merging histogram partitions the *age axis* into
+//! regions inside which all weights agree to within a factor `(1 + ε)`:
+//! `b_1` is the maximum age with `(1+ε)·g(b_1 − 1) >= g(1)`, and for
+//! `i > 1`, `b_i` is the maximum age with `(1+ε)·g(b_i − 1) >= g(b_{i-1})`.
+//! Region `i` is the age interval `[b_i, b_{i+1} − 1]` (with an implicit
+//! `b_0 = 1` for the youngest region).
+//!
+//! The boundaries depend only on `(g, ε)` — never on the stream — which
+//! is the crux of the paper's storage argument: per-stream state is just
+//! one (approximate) count per bucket, and the number of regions is
+//! `⌈log_{1+ε} D(g)⌉` (so `O(log N)` regions for polynomial decay and a
+//! degenerate `Θ(N)` for exponential decay, reproduced by experiment E6).
+
+use crate::func::{DecayFunction, Time};
+
+/// The deterministic region schedule of a WBMH for a given `(g, ε)`.
+///
+/// # Examples
+///
+/// The paper's §5 worked example, `g(x) = 1/x²` and `1 + ε = 5`:
+///
+/// ```
+/// use td_decay::{Polynomial, RegionSchedule};
+/// let s = RegionSchedule::compute(&Polynomial::new(2.0), 4.0, 1_000);
+/// assert_eq!(s.boundary(1), 3);  // b1
+/// assert_eq!(s.boundary(2), 7);  // b2
+/// assert_eq!(s.boundary(3), 16); // b3
+/// assert_eq!(s.region_of(1), 0);
+/// assert_eq!(s.region_of(2), 0);
+/// assert_eq!(s.region_of(3), 1);
+/// assert_eq!(s.region_of(15), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSchedule {
+    /// `boundaries[i] = b_i`, with `boundaries\[0\] = b_0 = 1`. Region `i`
+    /// covers ages `[boundaries[i], boundaries[i+1] - 1]`; the final
+    /// region extends to `max_age` (or to the horizon of `g`).
+    boundaries: Vec<Time>,
+    epsilon: f64,
+    max_age: Time,
+}
+
+impl RegionSchedule {
+    /// Computes all region boundaries for ages `1..=max_age`.
+    ///
+    /// Memory and time are linear in the number of regions,
+    /// `O(ε⁻¹ log D(g))` — logarithmic in `max_age` for polynomial decay
+    /// but linear for exponential decay (the paper's reason WBMH should
+    /// not be used with EXPD; see experiment E6). Choose `max_age`
+    /// accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not finite and strictly positive, or if
+    /// `max_age == 0`.
+    pub fn compute<G: DecayFunction + ?Sized>(g: &G, epsilon: f64, max_age: Time) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be finite and positive, got {epsilon}"
+        );
+        assert!(max_age > 0, "max_age must be positive");
+        let one_plus_eps = 1.0 + epsilon;
+        let mut boundaries = vec![1];
+        // Weight at the start of the region currently being closed.
+        let mut anchor = g.weight(1);
+        while anchor > 0.0 {
+            let prev_b = *boundaries.last().expect("non-empty");
+            if prev_b > max_age {
+                break;
+            }
+            // Find the max b with (1+ε)·g(b−1) >= anchor. The predicate
+            // is monotone (true for small b), always true at b = prev_b+1,
+            // so binary search over (prev_b, max_age + 1].
+            let holds = |b: Time| one_plus_eps * g.weight(b - 1) >= anchor;
+            if holds(max_age + 1) {
+                // The current region swallows the entire remaining range;
+                // no further boundary below max_age exists.
+                break;
+            }
+            let mut lo = prev_b + 1; // holds(lo) is true
+            let mut hi = max_age + 1; // holds(hi) is false
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if holds(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            boundaries.push(lo);
+            anchor = g.weight(lo);
+        }
+        Self {
+            boundaries,
+            epsilon,
+            max_age,
+        }
+    }
+
+    /// The approximation parameter ε this schedule was built for.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The maximum age the schedule covers.
+    pub fn max_age(&self) -> Time {
+        self.max_age
+    }
+
+    /// The number of regions (the final, open-ended region included).
+    pub fn num_regions(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// The boundary `b_i`; `boundary(0) == 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_regions()`.
+    pub fn boundary(&self, i: usize) -> Time {
+        self.boundaries[i]
+    }
+
+    /// The index of the region containing `age` (ages below 1 are clamped
+    /// into region 0; ages beyond the last boundary land in the final
+    /// region).
+    pub fn region_of(&self, age: Time) -> usize {
+        let age = age.max(1);
+        match self.boundaries.binary_search(&age) {
+            Ok(i) => i,
+            Err(i) => i - 1, // boundaries[0] = 1 <= age, so i >= 1
+        }
+    }
+
+    /// The inclusive age interval `[start, end]` of region `i`; `end` is
+    /// `None` for the final (open-ended) region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_regions()`.
+    pub fn region_span(&self, i: usize) -> (Time, Option<Time>) {
+        let start = self.boundaries[i];
+        let end = self.boundaries.get(i + 1).map(|&b| b - 1);
+        (start, end)
+    }
+
+    /// The width `b_1 − 1` of the youngest region: the cadence at which
+    /// the WBMH seals its open bucket (`T mod (b_1 − 1) == 0`, or every
+    /// tick when `b_1 = 2`). Reproduces the §5 trace where, for
+    /// `b_1 = 3`, the newest sealed bucket alternates between time-width
+    /// 1 and 2.
+    pub fn seal_period(&self) -> Time {
+        if self.boundaries.len() < 2 {
+            // Single region covering everything: any cadence preserves
+            // the ε guarantee; use 1 (seal every tick) for simplicity.
+            return 1;
+        }
+        (self.boundaries[1] - 1).max(1)
+    }
+
+    /// Iterates over `(region_index, start_age, inclusive_end_age)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Time, Option<Time>)> + '_ {
+        (0..self.num_regions()).map(move |i| {
+            let (s, e) = self.region_span(i);
+            (i, s, e)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Constant, Exponential, Polynomial, SlidingWindow};
+
+    /// Paper §5: g(x) = 1/x², 1+ε = 5 ⇒ b1 = 3, b2 = 7, b3 = 16.
+    #[test]
+    fn paper_worked_example() {
+        let s = RegionSchedule::compute(&Polynomial::new(2.0), 4.0, 10_000);
+        assert_eq!(s.boundary(0), 1);
+        assert_eq!(s.boundary(1), 3);
+        assert_eq!(s.boundary(2), 7);
+        assert_eq!(s.boundary(3), 16);
+        assert_eq!(s.seal_period(), 2);
+        // Weight groups quoted by the paper:
+        // (1, 1/4); (1/9, 1/16, 1/25, 1/36); (1/49, ..., 1/225); ...
+        assert_eq!(s.region_span(0), (1, Some(2)));
+        assert_eq!(s.region_span(1), (3, Some(6)));
+        assert_eq!(s.region_span(2), (7, Some(15)));
+    }
+
+    #[test]
+    fn weights_within_region_agree_to_one_plus_eps() {
+        for (alpha, eps) in [(1.0, 0.5), (2.0, 4.0), (3.0, 0.1)] {
+            let g = Polynomial::new(alpha);
+            let s = RegionSchedule::compute(&g, eps, 50_000);
+            for (_, start, end) in s.iter() {
+                let end = end.unwrap_or(s.max_age());
+                let hi = g.weight(start);
+                let lo = g.weight(end);
+                assert!(
+                    (1.0 + eps) * lo >= hi * (1.0 - 1e-12),
+                    "alpha={alpha} eps={eps} region [{start},{end}]: {hi} vs {lo}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polynomial_region_count_is_logarithmic() {
+        // #regions ≈ log_{1+ε} D(g) = α·log_{1+ε}(N).
+        let g = Polynomial::new(2.0);
+        let n1 = RegionSchedule::compute(&g, 0.5, 1 << 10).num_regions();
+        let n2 = RegionSchedule::compute(&g, 0.5, 1 << 20).num_regions();
+        // Doubling log(N) should roughly double the region count.
+        assert!(n2 < 3 * n1, "n1={n1}, n2={n2}");
+        assert!(n2 > n1, "n1={n1}, n2={n2}");
+    }
+
+    #[test]
+    fn exponential_regions_degenerate_linearly() {
+        // For EXPD, region width is the constant ln(1+ε)/λ, so the count
+        // is Θ(max_age) — the paper's reason to prefer CEH for EXPD.
+        // λ chosen small enough that e^{-λ·max_age} stays above the f64
+        // underflow threshold (weights that underflow to 0 truncate the
+        // schedule, which is correct behaviour but not what we measure).
+        let g = Exponential::new(0.1);
+        let s1 = RegionSchedule::compute(&g, 0.5, 1_000);
+        let s2 = RegionSchedule::compute(&g, 0.5, 2_000);
+        let (n1, n2) = (s1.num_regions() as f64, s2.num_regions() as f64);
+        assert!(n2 / n1 > 1.8, "n1={n1}, n2={n2}");
+    }
+
+    #[test]
+    fn constant_decay_is_one_region() {
+        let s = RegionSchedule::compute(&Constant, 0.1, 1 << 20);
+        assert_eq!(s.num_regions(), 1);
+        assert_eq!(s.region_of(123456), 0);
+        assert_eq!(s.seal_period(), 1);
+    }
+
+    #[test]
+    fn sliding_window_stops_at_horizon() {
+        // Inside the window all weights are equal (one region); the
+        // schedule terminates when the weight hits zero.
+        let s = RegionSchedule::compute(&SlidingWindow::new(64), 0.5, 1_000);
+        assert_eq!(s.boundary(0), 1);
+        assert_eq!(s.boundary(1), 65); // first age with weight 0... region 0 is [1,64]
+        assert_eq!(s.num_regions(), 2);
+    }
+
+    #[test]
+    fn region_of_is_consistent_with_spans() {
+        let s = RegionSchedule::compute(&Polynomial::new(1.5), 0.3, 5_000);
+        for (i, start, end) in s.iter() {
+            assert_eq!(s.region_of(start), i);
+            if let Some(end) = end {
+                assert_eq!(s.region_of(end), i);
+                assert_eq!(s.region_of(end + 1), i + 1);
+            }
+        }
+        // Beyond max_age clamps into the last region.
+        assert_eq!(s.region_of(u64::MAX), s.num_regions() - 1);
+    }
+}

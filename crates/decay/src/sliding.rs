@@ -1,0 +1,107 @@
+//! Sliding-window decay `SLIWIN_W` (paper §3.2).
+
+use crate::func::{DecayClass, DecayFunction, Time};
+
+/// Sliding-window decay: `g(x) = 1` for `x <= W`, `g(x) = 0` otherwise.
+///
+/// All data in the most recent window of `W` ticks counts fully; anything
+/// older is discarded entirely. Introduced as a streaming model by Datar,
+/// Gionis, Indyk & Motwani \[9\], who showed Θ(ε⁻¹ log² W) bits are necessary
+/// and sufficient for (1+ε)-approximate window counts — the Exponential
+/// Histogram in `td-eh` is that algorithm.
+///
+/// SLIWIN is *not* ratio-monotone: `g(x)/g(x+1)` jumps from `1` to `∞` at
+/// the window edge, so the WBMH algorithm of §5 does not apply (and indeed
+/// Theorem 1 shows sliding windows are, in a precise sense, the *hardest*
+/// decay function).
+///
+/// # Examples
+///
+/// ```
+/// use td_decay::{DecayFunction, SlidingWindow};
+/// let g = SlidingWindow::new(100);
+/// assert_eq!(g.weight(100), 1.0);
+/// assert_eq!(g.weight(101), 0.0);
+/// assert_eq!(g.horizon(), Some(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlidingWindow {
+    window: Time,
+}
+
+impl SlidingWindow {
+    /// A window covering ages `0..=window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` (an empty window would weight nothing —
+    /// the paper's model always has `W >= 1`).
+    pub fn new(window: Time) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self { window }
+    }
+
+    /// The window length W.
+    pub fn window(&self) -> Time {
+        self.window
+    }
+}
+
+impl DecayFunction for SlidingWindow {
+    fn weight(&self, age: Time) -> f64 {
+        if age <= self.window {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn horizon(&self) -> Option<Time> {
+        Some(self.window)
+    }
+
+    fn classify(&self) -> DecayClass {
+        DecayClass::SlidingWindow {
+            window: self.window,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("SLIWIN(W={})", self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn step_shape() {
+        let g = SlidingWindow::new(10);
+        for age in 0..=10 {
+            assert_eq!(g.weight(age), 1.0, "age {age} inside window");
+        }
+        for age in 11..100 {
+            assert_eq!(g.weight(age), 0.0, "age {age} outside window");
+        }
+    }
+
+    #[test]
+    fn non_increasing_but_not_ratio_monotone() {
+        let g = SlidingWindow::new(32);
+        assert!(properties::is_non_increasing(&g, 100));
+        assert!(!properties::check_ratio_monotone(&g, 100));
+    }
+
+    #[test]
+    fn horizon_is_window() {
+        assert_eq!(SlidingWindow::new(77).horizon(), Some(77));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_empty_window() {
+        let _ = SlidingWindow::new(0);
+    }
+}

@@ -1,0 +1,82 @@
+//! The bit-level storage cost model shared by every summary.
+//!
+//! The paper's results are statements about *storage bits* as a function
+//! of the effective horizon `N` (§2.3). To make those statements
+//! measurable, every summary in this workspace implements
+//! [`StorageAccounting`] under one documented cost model:
+//!
+//! * an exact count `c` costs `⌈log₂(c + 1)⌉` bits ([`bits_for_count`]);
+//! * a timestamp that must distinguish `span` instants costs
+//!   `⌈log₂(span + 1)⌉` bits ([`bits_for_timestamp`]);
+//! * an approximate (mantissa/exponent) count costs its mantissa width
+//!   plus `⌈log₂ log₂ N⌉`-ish exponent bits (computed by the approximate
+//!   counter types themselves);
+//! * **stream-independent** state (e.g. WBMH region boundaries, which are
+//!   functions of `(g, ε, T)` only) is *not* charged — the paper's
+//!   argument for WBMH is precisely that such state is shared across all
+//!   streams being summarized (§2.3, §5).
+//!
+//! Experiments E2/E3/E6 plot exactly these numbers.
+
+/// A summary that can report the bit cost of its per-stream state.
+pub trait StorageAccounting {
+    /// Bits of per-stream state under the workspace cost model.
+    fn storage_bits(&self) -> u64;
+}
+
+/// Bits to store an exact non-negative count `c`: `⌈log₂(c + 1)⌉`,
+/// with a minimum of 1 bit.
+///
+/// ```
+/// use td_decay::storage::bits_for_count;
+/// assert_eq!(bits_for_count(0), 1);
+/// assert_eq!(bits_for_count(1), 1);
+/// assert_eq!(bits_for_count(2), 2);
+/// assert_eq!(bits_for_count(255), 8);
+/// assert_eq!(bits_for_count(256), 9);
+/// ```
+pub fn bits_for_count(c: u64) -> u64 {
+    (u64::BITS - c.leading_zeros()).max(1) as u64
+}
+
+/// Bits to store a timestamp that must distinguish `span + 1` distinct
+/// instants (e.g. ages `0..=span`).
+pub fn bits_for_timestamp(span: u64) -> u64 {
+    bits_for_count(span)
+}
+
+/// Bits of a quantized float: `mantissa_bits` plus enough exponent bits
+/// to cover binary exponents up to `max_exponent` in magnitude.
+///
+/// ```
+/// use td_decay::storage::bits_for_quantized_float;
+/// // 10-bit mantissa, exponents up to ±64 → 10 + 8 bits.
+/// assert_eq!(bits_for_quantized_float(10, 64), 18);
+/// ```
+pub fn bits_for_quantized_float(mantissa_bits: u64, max_exponent: u64) -> u64 {
+    // Sign of the exponent needs one extra bit.
+    mantissa_bits + bits_for_count(max_exponent) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_bits_are_ceil_log2() {
+        for c in 0..10_000u64 {
+            let expect = if c == 0 {
+                1
+            } else {
+                (64 - c.leading_zeros()) as u64
+            };
+            assert_eq!(bits_for_count(c), expect.max(1), "c={c}");
+        }
+    }
+
+    #[test]
+    fn count_bits_grow_logarithmically() {
+        assert_eq!(bits_for_count(u64::MAX), 64);
+        assert_eq!(bits_for_count(1 << 20), 21);
+    }
+}

@@ -1,0 +1,287 @@
+//! User-defined decay functions: tables, closures, and the constant
+//! (no-decay) baseline.
+
+use crate::func::{DecayClass, DecayFunction, Time};
+
+/// The constant decay `g(x) = 1`: the classic landmark (never-forget)
+/// stream model.
+///
+/// Useful as a baseline: under `Constant`, the decaying sum is the plain
+/// running sum of the stream, trackable exactly in `Θ(log n)` bits or
+/// approximately in `O(log log n)` bits (Morris counting; see
+/// `td-counters::morris`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Constant;
+
+impl DecayFunction for Constant {
+    fn weight(&self, _age: Time) -> f64 {
+        1.0
+    }
+
+    fn classify(&self) -> DecayClass {
+        DecayClass::Constant
+    }
+
+    fn describe(&self) -> String {
+        "CONST".to_string()
+    }
+}
+
+/// A decay function given by an explicit weight table.
+///
+/// `weights[x]` is `g(x)` for ages inside the table; older ages get the
+/// `tail` value (commonly `0.0`, giving finite support with horizon
+/// `weights.len() - 1`, or the table's last entry, extending it flat).
+///
+/// The constructor validates the §2 requirements (non-negative,
+/// non-increasing, tail not above the last entry), so a `TableDecay` is
+/// always a legitimate decay function.
+///
+/// # Examples
+///
+/// ```
+/// use td_decay::{DecayFunction, TableDecay};
+/// // The worked example of paper §4.2: consecutive weights 8, 5, 3, 2.
+/// let g = TableDecay::new(vec![8.0, 8.0, 5.0, 3.0, 2.0], 0.0).unwrap();
+/// assert_eq!(g.weight(1), 8.0);
+/// assert_eq!(g.weight(4), 2.0);
+/// assert_eq!(g.weight(5), 0.0);
+/// assert_eq!(g.horizon(), Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDecay {
+    weights: Vec<f64>,
+    tail: f64,
+}
+
+/// Why a weight table was rejected by [`TableDecay::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// The table was empty.
+    Empty,
+    /// Some entry was negative, NaN, or infinite; holds its index.
+    InvalidWeight(usize),
+    /// `weights[i] > weights[i-1]` for the given `i`.
+    Increasing(usize),
+    /// The tail value was negative/non-finite or exceeded the last entry.
+    InvalidTail,
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Empty => write!(f, "weight table is empty"),
+            TableError::InvalidWeight(i) => {
+                write!(f, "weight at index {i} is negative or non-finite")
+            }
+            TableError::Increasing(i) => {
+                write!(f, "weight table increases at index {i}")
+            }
+            TableError::InvalidTail => write!(
+                f,
+                "tail weight is invalid or exceeds the last table entry"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl TableDecay {
+    /// Builds a table decay, validating non-negativity and monotonicity.
+    pub fn new(weights: Vec<f64>, tail: f64) -> Result<Self, TableError> {
+        if weights.is_empty() {
+            return Err(TableError::Empty);
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(TableError::InvalidWeight(i));
+            }
+            if i > 0 && w > weights[i - 1] {
+                return Err(TableError::Increasing(i));
+            }
+        }
+        let last = *weights.last().expect("non-empty");
+        if !tail.is_finite() || tail < 0.0 || tail > last {
+            return Err(TableError::InvalidTail);
+        }
+        Ok(Self { weights, tail })
+    }
+
+    /// The number of explicit table entries (ages `0..len`).
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the table has no entries (never true for a constructed
+    /// value; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+impl DecayFunction for TableDecay {
+    fn weight(&self, age: Time) -> f64 {
+        match usize::try_from(age) {
+            Ok(i) if i < self.weights.len() => self.weights[i],
+            _ => self.tail,
+        }
+    }
+
+    fn horizon(&self) -> Option<Time> {
+        if self.tail > 0.0 {
+            return None;
+        }
+        // Last index with positive weight.
+        self.weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .map(|i| i as Time)
+    }
+
+    fn describe(&self) -> String {
+        format!("TABLE(len={}, tail={})", self.weights.len(), self.tail)
+    }
+}
+
+/// A decay function defined by an arbitrary closure.
+///
+/// The closure is trusted to be non-increasing and non-negative; audit
+/// candidates with [`crate::properties::is_non_increasing`]. Classified
+/// as [`DecayClass::General`] unless overridden via
+/// [`ClosureDecay::with_class`], so the conservative cascaded-EH backend
+/// is selected by default.
+///
+/// # Examples
+///
+/// ```
+/// use td_decay::{ClosureDecay, DecayFunction};
+/// let g = ClosureDecay::new(|age| 1.0 / (1.0 + (age as f64).sqrt()));
+/// assert!(g.weight(0) > g.weight(100));
+/// ```
+#[derive(Clone)]
+pub struct ClosureDecay<F> {
+    f: F,
+    class: DecayClass,
+    horizon: Option<Time>,
+    name: String,
+}
+
+impl<F: Fn(Time) -> f64> ClosureDecay<F> {
+    /// Wraps `f` as a decay function with no structural claims.
+    pub fn new(f: F) -> Self {
+        Self {
+            f,
+            class: DecayClass::General,
+            horizon: None,
+            name: "CLOSURE".to_string(),
+        }
+    }
+
+    /// Overrides the classification hint (e.g. to certify ratio
+    /// monotonicity established analytically or via
+    /// [`crate::properties::check_ratio_monotone`]).
+    pub fn with_class(mut self, class: DecayClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Declares a finite horizon: `f` must return `0.0` beyond it.
+    pub fn with_horizon(mut self, horizon: Time) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Sets the display name used in experiment tables.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl<F: Fn(Time) -> f64> DecayFunction for ClosureDecay<F> {
+    fn weight(&self, age: Time) -> f64 {
+        (self.f)(age)
+    }
+
+    fn horizon(&self) -> Option<Time> {
+        self.horizon
+    }
+
+    fn classify(&self) -> DecayClass {
+        self.class
+    }
+
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_decays() {
+        let g = Constant;
+        assert_eq!(g.weight(0), 1.0);
+        assert_eq!(g.weight(u64::MAX), 1.0);
+        assert_eq!(g.classify(), DecayClass::Constant);
+    }
+
+    #[test]
+    fn table_lookup_and_tail() {
+        let g = TableDecay::new(vec![4.0, 2.0, 1.0], 0.5).unwrap();
+        assert_eq!(g.weight(0), 4.0);
+        assert_eq!(g.weight(2), 1.0);
+        assert_eq!(g.weight(3), 0.5);
+        assert_eq!(g.weight(1_000_000), 0.5);
+        assert_eq!(g.horizon(), None); // positive tail → infinite support
+    }
+
+    #[test]
+    fn table_horizon_with_zero_tail() {
+        let g = TableDecay::new(vec![3.0, 1.0, 0.0, 0.0], 0.0).unwrap();
+        assert_eq!(g.horizon(), Some(1));
+    }
+
+    #[test]
+    fn table_rejects_increasing() {
+        assert_eq!(
+            TableDecay::new(vec![1.0, 2.0], 0.0),
+            Err(TableError::Increasing(1))
+        );
+    }
+
+    #[test]
+    fn table_rejects_bad_tail() {
+        assert_eq!(
+            TableDecay::new(vec![1.0, 0.5], 0.6),
+            Err(TableError::InvalidTail)
+        );
+        assert_eq!(
+            TableDecay::new(vec![1.0], f64::NAN),
+            Err(TableError::InvalidTail)
+        );
+    }
+
+    #[test]
+    fn table_rejects_invalid_weight() {
+        assert_eq!(
+            TableDecay::new(vec![1.0, f64::INFINITY], 0.0),
+            Err(TableError::InvalidWeight(1))
+        );
+        assert_eq!(TableDecay::new(vec![], 0.0), Err(TableError::Empty));
+    }
+
+    #[test]
+    fn closure_with_metadata() {
+        let g = ClosureDecay::new(|age| if age <= 5 { 1.0 } else { 0.0 })
+            .with_horizon(5)
+            .with_name("STEP5");
+        assert_eq!(g.horizon(), Some(5));
+        assert_eq!(g.describe(), "STEP5");
+        assert_eq!(g.weight(5), 1.0);
+        assert_eq!(g.weight(6), 0.0);
+    }
+}

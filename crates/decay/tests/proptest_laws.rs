@@ -1,0 +1,109 @@
+//! Property tests of the decay-function algebra: every constructor and
+//! combinator must produce a legitimate §2 decay function, and the
+//! classification hints must never overstate structure.
+
+use proptest::prelude::*;
+use td_decay::properties::{check_ratio_monotone, is_non_increasing, weight_ratio};
+use td_decay::{
+    DecayClass, DecayFunction, Exponential, MaxOf, Polynomial, ProductOf, Scaled,
+    ShiftedPolynomial, SlidingWindow, SumOf, TableDecay,
+};
+
+proptest! {
+    #[test]
+    fn closed_forms_are_non_increasing(
+        lambda in 0.0001f64..2.0,
+        alpha in 0.1f64..4.0,
+        window in 1u64..10_000,
+        shift in 1u64..1_000,
+    ) {
+        prop_assert!(is_non_increasing(&Exponential::new(lambda), 2_000));
+        prop_assert!(is_non_increasing(&Polynomial::new(alpha), 2_000));
+        prop_assert!(is_non_increasing(&SlidingWindow::new(window), 2_000));
+        prop_assert!(is_non_increasing(&ShiftedPolynomial::new(alpha, shift), 2_000));
+    }
+
+    #[test]
+    fn combinators_preserve_monotonicity(
+        lambda in 0.001f64..1.0,
+        alpha in 0.1f64..3.0,
+        window in 1u64..5_000,
+        factor in 0.01f64..100.0,
+    ) {
+        let e = Exponential::new(lambda);
+        let p = Polynomial::new(alpha);
+        let w = SlidingWindow::new(window);
+        prop_assert!(is_non_increasing(&Scaled::new(p, factor), 2_000));
+        prop_assert!(is_non_increasing(&SumOf::new(e, w), 2_000));
+        prop_assert!(is_non_increasing(&ProductOf::new(p, e), 2_000));
+        prop_assert!(is_non_increasing(&MaxOf::new(w, p), 2_000));
+    }
+
+    /// The classification hint is sound: anything claiming
+    /// RatioMonotone really passes the §5 audit.
+    #[test]
+    fn classification_is_sound(
+        alpha in 0.1f64..3.0,
+        lambda in 0.001f64..1.0,
+        factor in 0.1f64..10.0,
+    ) {
+        let candidates: Vec<(DecayClass, Box<dyn DecayFunction>)> = vec![
+            (Polynomial::new(alpha).classify(), Box::new(Polynomial::new(alpha))),
+            (
+                Scaled::new(Polynomial::new(alpha), factor).classify(),
+                Box::new(Scaled::new(Polynomial::new(alpha), factor)),
+            ),
+            (
+                ProductOf::new(Polynomial::new(alpha), Exponential::new(lambda)).classify(),
+                Box::new(ProductOf::new(Polynomial::new(alpha), Exponential::new(lambda))),
+            ),
+        ];
+        // Audit below the f64 underflow horizon: past e^{-λx} ≈ 1e-300
+        // the realized weights hit literal zero, which the (correctly
+        // strict) audit reports as a ratio jump even though the
+        // mathematical function is ratio-monotone.
+        let max_age = 2_000u64.min((650.0 / lambda) as u64).max(16);
+        for (class, g) in candidates {
+            if class == DecayClass::RatioMonotone {
+                prop_assert!(
+                    check_ratio_monotone(&g, max_age),
+                    "{} claims RatioMonotone but fails the audit",
+                    g.describe()
+                );
+            }
+        }
+    }
+
+    /// D(g) monotonicity: the weight ratio never decreases as the
+    /// horizon grows (g is non-increasing).
+    #[test]
+    fn weight_ratio_is_monotone_in_horizon(alpha in 0.1f64..3.0) {
+        let g = Polynomial::new(alpha);
+        let mut prev = 0.0;
+        for n in [2u64, 8, 64, 512, 4_096] {
+            let d = weight_ratio(&g, n);
+            prop_assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    /// Table decays round-trip the §2 requirements by construction.
+    #[test]
+    fn table_decays_validate(
+        mut weights in proptest::collection::vec(0.0f64..100.0, 1..50),
+    ) {
+        // Sort descending to make a valid table, then check the
+        // constructed function.
+        weights.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let tail = weights.last().copied().unwrap_or(0.0) / 2.0;
+        let g = TableDecay::new(weights.clone(), tail).expect("sorted table is valid");
+        prop_assert!(is_non_increasing(&g, weights.len() as u64 + 10));
+    }
+
+    /// Sliding windows are exactly their indicator function.
+    #[test]
+    fn sliding_window_indicator(window in 1u64..10_000, age in 0u64..20_000) {
+        let g = SlidingWindow::new(window);
+        prop_assert_eq!(g.weight(age), if age <= window { 1.0 } else { 0.0 });
+    }
+}

@@ -1,0 +1,135 @@
+//! Histogram buckets and the shared window-estimation routine.
+
+use td_decay::Time;
+
+/// One histogram bucket: all items observed in the time interval
+/// `[start, end]`, with their exact total count (§2.3's *time-width* is
+/// `end − start`, the *count-width* is `count`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bucket {
+    /// Arrival time of the oldest item in the bucket.
+    pub start: Time,
+    /// Arrival time of the newest item in the bucket (the Datar et al.
+    /// "timestamp"; the bucket expires when this leaves the window).
+    pub end: Time,
+    /// Exact sum of item values in the bucket.
+    pub count: u64,
+}
+
+impl Bucket {
+    /// A fresh bucket holding `count` items that all arrived at `t`.
+    pub fn unit(t: Time, count: u64) -> Self {
+        Self {
+            start: t,
+            end: t,
+            count,
+        }
+    }
+
+    /// Merges a pair of buckets: the merged bucket spans the union of
+    /// the two intervals and sums the counts (§2.3). For the usual
+    /// adjacent-pair merge this inherits the older start and newer end;
+    /// cross-histogram merges (`DominationEh::merge_from`) may combine
+    /// overlapping intervals, which the min/max form handles too.
+    pub fn merge_with(&self, newer: &Bucket) -> Bucket {
+        Bucket {
+            start: self.start.min(newer.start),
+            end: self.end.max(newer.end),
+            count: self.count.saturating_add(newer.count),
+        }
+    }
+}
+
+/// How a window query treats the bucket straddling the window boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Estimator {
+    /// Include the straddling bucket in full — the paper's Eq. (2)
+    /// (`S' = Σ_{ℓ>=j} C_ℓ` over buckets with end time inside the
+    /// window). One-sided: never underestimates.
+    Paper,
+    /// Include half the straddling bucket — Datar et al.'s estimator,
+    /// two-sided with half the worst-case error.
+    #[default]
+    Halved,
+}
+
+/// Estimates the count of items with arrival time in `[T − w, T − 1]`
+/// from `buckets` (sorted by end time, oldest first).
+///
+/// Buckets whose `end < T − w` contribute nothing; buckets whose
+/// `start >= T − w` contribute fully (items at time `T` itself never
+/// enter a bucket before time `T` is past, so no upper-edge correction
+/// is needed); straddlers contribute per `estimator`. In a single
+/// histogram exactly one bucket can straddle; after a cross-histogram
+/// merge (`merge_from`) intervals may nest, so every straddler is
+/// accounted (each is individually ε-dominated in its origin, so k
+/// merged histograms carry a k·ε bound — see `DominationEh::merge_from`).
+pub fn estimate_window(buckets: &[Bucket], t: Time, w: Time, estimator: Estimator) -> f64 {
+    let cutoff = t.saturating_sub(w); // earliest in-window arrival time
+    let mut total = 0.0;
+    for b in buckets.iter().rev() {
+        if b.end < cutoff {
+            break; // sorted by end: everything older is fully outside
+        }
+        if b.start >= cutoff {
+            total += b.count as f64;
+        } else {
+            // A straddler: items span [start, end] with start < cutoff
+            // <= end.
+            total += match estimator {
+                Estimator::Paper => b.count as f64,
+                Estimator::Halved => b.count as f64 / 2.0,
+            };
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(start: Time, end: Time, count: u64) -> Bucket {
+        Bucket { start, end, count }
+    }
+
+    #[test]
+    fn full_containment() {
+        let buckets = [b(1, 4, 8), b(5, 6, 4), b(7, 8, 2)];
+        // T = 9, w = 8: cutoff 1, all buckets inside.
+        assert_eq!(estimate_window(&buckets, 9, 8, Estimator::Paper), 14.0);
+        assert_eq!(estimate_window(&buckets, 9, 8, Estimator::Halved), 14.0);
+    }
+
+    #[test]
+    fn straddler_treatment() {
+        let buckets = [b(1, 4, 8), b(5, 6, 4), b(7, 8, 2)];
+        // T = 9, w = 6: cutoff 3 → bucket [1,4] straddles.
+        assert_eq!(estimate_window(&buckets, 9, 6, Estimator::Paper), 14.0);
+        assert_eq!(estimate_window(&buckets, 9, 6, Estimator::Halved), 10.0);
+    }
+
+    #[test]
+    fn old_buckets_excluded() {
+        let buckets = [b(1, 2, 8), b(5, 6, 4), b(7, 8, 2)];
+        // T = 9, w = 4: cutoff 5 → [1,2] fully out.
+        assert_eq!(estimate_window(&buckets, 9, 4, Estimator::Paper), 6.0);
+    }
+
+    #[test]
+    fn window_larger_than_history() {
+        let buckets = [b(10, 12, 3)];
+        assert_eq!(estimate_window(&buckets, 13, 1_000, Estimator::Halved), 3.0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        assert_eq!(estimate_window(&[], 5, 5, Estimator::Paper), 0.0);
+    }
+
+    #[test]
+    fn merge_inherits_extremes() {
+        let m = b(1, 3, 5).merge_with(&b(4, 9, 7));
+        assert_eq!(m, b(1, 9, 12));
+    }
+}

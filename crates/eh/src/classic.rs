@@ -1,0 +1,395 @@
+//! The literal Datar et al. Exponential Histogram for 0/1 streams.
+
+use std::collections::VecDeque;
+
+use td_decay::storage::{bits_for_count, bits_for_timestamp, StorageAccounting};
+use td_decay::Time;
+
+use crate::bucket::{estimate_window, Bucket, Estimator};
+use crate::WindowSketch;
+
+/// The classic Exponential Histogram of Datar, Gionis, Indyk & Motwani
+/// for 0/1 streams (paper §4.1).
+///
+/// Every arriving `1` opens a fresh size-1 bucket; when a size class
+/// `2^p` exceeds its cap of `⌈1/(2ε)⌉ + 2` buckets, the two **oldest**
+/// buckets of that class merge into one bucket of size `2^(p+1)`,
+/// cascading upward. The resulting invariants (verified by this module's
+/// tests and the crate's property tests):
+///
+/// * bucket sizes are powers of two, non-decreasing toward the past;
+/// * each size class holds at most `cap` buckets;
+/// * consequently there are `O(ε⁻¹ log N)` buckets and every window
+///   estimate has relative error at most ε with the default
+///   [`Estimator::Halved`] rule (the one-sided [`Estimator::Paper`] rule
+///   of Eq. (2) doubles the bound but never underestimates).
+///
+/// Construct with `window = None` to keep the whole history live (the
+/// mode used for infinite-horizon decay functions by `td-ceh`) or
+/// `Some(W)` to expire buckets that leave a sliding window of `W` ticks.
+///
+/// # Examples
+///
+/// ```
+/// use td_eh::{ClassicEh, WindowSketch};
+/// let mut eh = ClassicEh::new(0.1, Some(100));
+/// for t in 1..=1000 {
+///     eh.observe(t, 1);
+/// }
+/// let est = eh.query_window(1001, 100);
+/// assert!((est - 100.0).abs() <= 10.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassicEh {
+    epsilon: f64,
+    window: Option<Time>,
+    /// Max buckets per size class before the two oldest merge.
+    cap_per_class: usize,
+    /// Buckets, oldest first. Counts are powers of two.
+    buckets: VecDeque<Bucket>,
+    live_total: u64,
+    last_t: Time,
+    started: bool,
+}
+
+impl ClassicEh {
+    /// A histogram targeting relative error `epsilon`, optionally
+    /// expiring items older than `window` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1]` or `window == Some(0)`.
+    pub fn new(epsilon: f64, window: Option<Time>) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0,1], got {epsilon}"
+        );
+        assert!(window != Some(0), "window must be positive");
+        let cap_per_class = (1.0 / (2.0 * epsilon)).ceil() as usize + 2;
+        Self {
+            epsilon,
+            window,
+            cap_per_class,
+            buckets: VecDeque::new(),
+            live_total: 0,
+            last_t: 0,
+            started: false,
+        }
+    }
+
+    /// The configured window, if any.
+    pub fn window(&self) -> Option<Time> {
+        self.window
+    }
+
+    /// The per-size-class bucket cap (`⌈1/(2ε)⌉ + 2`).
+    pub fn cap_per_class(&self) -> usize {
+        self.cap_per_class
+    }
+
+    /// Number of live buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The time of the most recent observation.
+    pub fn last_time(&self) -> Time {
+        self.last_t
+    }
+
+    /// Drops buckets that are entirely outside the window at time `now`.
+    fn expire(&mut self, now: Time) {
+        if let Some(w) = self.window {
+            let cutoff = now.saturating_sub(w);
+            while let Some(front) = self.buckets.front() {
+                if front.end < cutoff {
+                    self.live_total -= front.count;
+                    self.buckets.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Cascading canonicalization: while any size class exceeds the cap,
+    /// merge the two oldest buckets of that class into the next class.
+    fn canonicalize(&mut self) {
+        loop {
+            // Walk newest → oldest counting the current class run; the
+            // first class found over cap is the lowest such class, and
+            // the last two run members encountered are its two oldest.
+            let mut class_size = 0u64;
+            let mut run = 0usize;
+            let mut overfull_at: Option<usize> = None;
+            for idx in (0..self.buckets.len()).rev() {
+                let c = self.buckets[idx].count;
+                if c != class_size {
+                    debug_assert!(
+                        c > class_size,
+                        "sizes must be non-decreasing toward the past"
+                    );
+                    class_size = c;
+                    run = 0;
+                }
+                run += 1;
+                if run > self.cap_per_class {
+                    overfull_at = Some(idx);
+                    break;
+                }
+            }
+            match overfull_at {
+                Some(idx) => {
+                    // idx is the oldest member of the overfull class
+                    // (the run has exactly cap+1 members right after an
+                    // insert); merge it with its newer neighbour.
+                    let older = self.buckets[idx];
+                    let newer = self.buckets[idx + 1];
+                    debug_assert_eq!(older.count, newer.count);
+                    self.buckets[idx + 1] = older.merge_with(&newer);
+                    self.buckets.remove(idx);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Estimates a window count with an explicit straddler rule.
+    pub fn query_window_with(&self, t: Time, w: Time, estimator: Estimator) -> f64 {
+        let (a, b) = self.buckets.as_slices();
+        if b.is_empty() {
+            estimate_window(a, t, w, estimator)
+        } else {
+            let all: Vec<Bucket> = self.buckets.iter().copied().collect();
+            estimate_window(&all, t, w, estimator)
+        }
+    }
+}
+
+impl WindowSketch for ClassicEh {
+    /// Ingests `f ∈ {0, 1}` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f > 1` (use [`crate::DominationEh`] for bulk values)
+    /// or if `t` precedes a previous observation.
+    fn observe(&mut self, t: Time, f: u64) {
+        assert!(f <= 1, "ClassicEh is for 0/1 streams; got value {f}");
+        if self.started {
+            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+        }
+        self.started = true;
+        self.last_t = t;
+        self.expire(t);
+        if f == 0 {
+            return;
+        }
+        self.buckets.push_back(Bucket::unit(t, 1));
+        self.live_total += 1;
+        self.canonicalize();
+    }
+
+    fn query_window(&self, t: Time, w: Time) -> f64 {
+        self.query_window_with(t, w, Estimator::Halved)
+    }
+
+    fn live_total(&self) -> u64 {
+        self.live_total
+    }
+
+    fn buckets(&self) -> Vec<Bucket> {
+        self.buckets.iter().copied().collect()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl StorageAccounting for ClassicEh {
+    fn storage_bits(&self) -> u64 {
+        // Per bucket: one timestamp over the elapsed span plus a size-
+        // class index (sizes are powers of two, so only the exponent is
+        // stored).
+        let span = self.last_t;
+        self.buckets
+            .iter()
+            .map(|b| {
+                let class = 63 - b.count.leading_zeros() as u64;
+                bits_for_timestamp(span) + bits_for_count(class)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sizes are powers of two, non-decreasing toward the past, and no
+    /// class exceeds the cap.
+    fn assert_invariants(eh: &ClassicEh) {
+        let counts: Vec<u64> = eh.buckets.iter().map(|b| b.count).collect();
+        for &c in &counts {
+            assert!(c.is_power_of_two(), "count {c} not a power of 2");
+        }
+        for w in counts.windows(2) {
+            assert!(w[0] >= w[1], "sizes decrease toward the past: {counts:?}");
+        }
+        let mut runs: Vec<(u64, usize)> = Vec::new();
+        for &c in &counts {
+            match runs.last_mut() {
+                Some((size, n)) if *size == c => *n += 1,
+                _ => runs.push((c, 1)),
+            }
+        }
+        for &(size, n) in &runs {
+            assert!(
+                n <= eh.cap_per_class(),
+                "class {size} holds {n} > cap {}",
+                eh.cap_per_class()
+            );
+        }
+        // Bucket intervals are disjoint and ordered.
+        for pair in eh.buckets.iter().collect::<Vec<_>>().windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+            assert!(pair[0].start <= pair[0].end);
+        }
+    }
+
+    #[test]
+    fn dense_stream_invariants_and_accuracy() {
+        let eps = 0.1;
+        let mut eh = ClassicEh::new(eps, None);
+        for t in 1..=20_000u64 {
+            eh.observe(t, 1);
+            if t % 997 == 0 {
+                assert_invariants(&eh);
+            }
+        }
+        assert_invariants(&eh);
+        for w in [1u64, 10, 100, 1_000, 10_000, 19_999] {
+            let est = eh.query_window(20_001, w);
+            let truth = w as f64;
+            assert!(
+                (est - truth).abs() <= eps * truth + 1.0,
+                "w={w}: est={est}, truth={truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_count_is_logarithmic() {
+        let mut eh = ClassicEh::new(0.1, None);
+        for t in 1..=(1u64 << 14) {
+            eh.observe(t, 1);
+        }
+        let n14 = eh.num_buckets();
+        for t in (1u64 << 14) + 1..=(1u64 << 18) {
+            eh.observe(t, 1);
+        }
+        let n18 = eh.num_buckets();
+        assert!(n18 <= n14 + 5 * eh.cap_per_class(), "n14={n14}, n18={n18}");
+    }
+
+    #[test]
+    fn sparse_stream_accuracy() {
+        let eps = 0.05;
+        let mut eh = ClassicEh::new(eps, None);
+        let mut ones: Vec<Time> = Vec::new();
+        let mut x = 12345u64;
+        for t in 1..=30_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = (x % 10 < 3) as u64;
+            eh.observe(t, f);
+            if f == 1 {
+                ones.push(t);
+            }
+        }
+        for w in [100u64, 1_000, 29_999] {
+            let truth = ones.iter().filter(|&&t| t >= 30_001 - w).count() as f64;
+            let est = eh.query_window(30_001, w);
+            assert!(
+                (est - truth).abs() <= eps * truth + 1.0,
+                "w={w}: est={est}, truth={truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_mode_expires_and_stays_accurate() {
+        let eps = 0.1;
+        let w = 500u64;
+        let mut eh = ClassicEh::new(eps, Some(w));
+        for t in 1..=10_000u64 {
+            eh.observe(t, 1);
+        }
+        assert!(eh.live_total() <= 2 * w, "live={}", eh.live_total());
+        let est = eh.query_window(10_001, w);
+        assert!((est - w as f64).abs() <= eps * w as f64 + 1.0, "est={est}");
+    }
+
+    #[test]
+    fn paper_estimator_never_underestimates() {
+        let mut eh = ClassicEh::new(0.1, None);
+        for t in 1..=5_000u64 {
+            eh.observe(t, 1);
+        }
+        for w in [10u64, 100, 1_000, 4_999] {
+            let est = eh.query_window_with(5_001, w, Estimator::Paper);
+            assert!(est >= w as f64 - 1e-9, "w={w}: est={est}");
+            assert!(est <= (1.0 + 2.0 * 0.1) * w as f64 + 1.0, "w={w}: est={est}");
+        }
+    }
+
+    #[test]
+    fn zeros_do_not_create_buckets() {
+        let mut eh = ClassicEh::new(0.1, None);
+        for t in 1..=100 {
+            eh.observe(t, 0);
+        }
+        assert_eq!(eh.num_buckets(), 0);
+        assert_eq!(eh.query_window(101, 100), 0.0);
+    }
+
+    #[test]
+    fn bursty_same_tick_arrivals() {
+        // Many 1s at the same tick (the DCP model allows one item per
+        // tick, but the structure must tolerate bursts for use by the
+        // aggregates layer).
+        let mut eh = ClassicEh::new(0.2, None);
+        for _ in 0..100 {
+            eh.observe(10, 1);
+        }
+        for _ in 0..50 {
+            eh.observe(20, 1);
+        }
+        assert_eq!(eh.live_total(), 150);
+        let est = eh.query_window(21, 5);
+        assert!((est - 50.0).abs() <= 0.2 * 50.0 + 1.0, "est={est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "0/1 streams")]
+    fn rejects_bulk_values() {
+        let mut eh = ClassicEh::new(0.1, None);
+        eh.observe(1, 5);
+    }
+
+    #[test]
+    fn storage_bits_scale_like_log_squared() {
+        let mut eh = ClassicEh::new(0.1, None);
+        for t in 1..=(1u64 << 10) {
+            eh.observe(t, 1);
+        }
+        let b10 = eh.storage_bits();
+        for t in (1u64 << 10) + 1..=(1u64 << 20) {
+            eh.observe(t, 1);
+        }
+        let b20 = eh.storage_bits();
+        let ratio = b20 as f64 / b10 as f64;
+        assert!(ratio > 1.5 && ratio < 8.0, "ratio={ratio}");
+    }
+}

@@ -1,0 +1,481 @@
+//! The domination-based Exponential Histogram for general values.
+
+use std::collections::VecDeque;
+
+use td_decay::storage::{bits_for_count, bits_for_timestamp, StorageAccounting};
+use td_decay::Time;
+
+use crate::bucket::{estimate_window, Bucket, Estimator};
+use crate::WindowSketch;
+
+/// An Exponential Histogram driven by the merge rule exactly as
+/// Cohen–Strauss characterize it (§4.1):
+///
+/// > *two consecutive buckets are merged if the combined count of the
+/// > merged buckets is dominated by the total count of all more-recent
+/// > buckets*
+///
+/// concretely: adjacent buckets `a` (older) and `b` (newer) merge when
+/// `count(a) + count(b) <= ε · Σ(counts of buckets newer than b)`.
+///
+/// Properties (all verified by tests):
+///
+/// * **general values** — each tick may carry any `u64` value, giving
+///   the paper's §2.1 generalization to polynomial values for free;
+/// * **persistent dominance** — once created, a merged bucket's count
+///   stays `<= ε ×` the (only ever growing) count of newer items, so a
+///   window straddler always costs at most an ε fraction of the true
+///   in-window count. Single-tick buckets never straddle, so unmerged
+///   bulk arrivals never contribute error;
+/// * **logarithmic size** — any two adjacent unmerged buckets grow the
+///   suffix count by a `(1 + ε)` factor, so there are
+///   `O(ε⁻¹ log(total))` buckets.
+///
+/// # Examples
+///
+/// ```
+/// use td_eh::{DominationEh, WindowSketch};
+/// let mut eh = DominationEh::new(0.1, None);
+/// eh.observe(1, 500);  // bulk arrival
+/// eh.observe(2, 1);
+/// assert_eq!(eh.live_total(), 501);
+/// assert!((eh.query_window(3, 2) - 501.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DominationEh {
+    epsilon: f64,
+    window: Option<Time>,
+    /// Buckets, oldest first.
+    buckets: VecDeque<Bucket>,
+    live_total: u64,
+    last_t: Time,
+    started: bool,
+    /// Inserts since the last merge pass (the pass is amortized: it
+    /// costs O(#buckets) and runs every ~#buckets/4 inserts, so the
+    /// amortized cost per insert is O(1) — the §4.2 claim — at the
+    /// price of at most 25% transiently-unmerged extra buckets).
+    inserts_since_merge: usize,
+}
+
+impl DominationEh {
+    /// A histogram targeting relative error `epsilon`, optionally
+    /// expiring items older than `window` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1]` or `window == Some(0)`.
+    pub fn new(epsilon: f64, window: Option<Time>) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0,1], got {epsilon}"
+        );
+        assert!(window != Some(0), "window must be positive");
+        Self {
+            epsilon,
+            window,
+            buckets: VecDeque::new(),
+            live_total: 0,
+            last_t: 0,
+            started: false,
+            inserts_since_merge: 0,
+        }
+    }
+
+    /// The configured window, if any.
+    pub fn window(&self) -> Option<Time> {
+        self.window
+    }
+
+    /// Forces the deferred merge pass to run now (tests and storage
+    /// audits call this to measure the canonical size).
+    pub fn force_canonicalize(&mut self) {
+        self.canonicalize();
+        self.inserts_since_merge = 0;
+    }
+
+    /// Number of live buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The time of the most recent observation.
+    pub fn last_time(&self) -> Time {
+        self.last_t
+    }
+
+    fn expire(&mut self, now: Time) {
+        if let Some(w) = self.window {
+            let cutoff = now.saturating_sub(w);
+            while let Some(front) = self.buckets.front() {
+                if front.end < cutoff {
+                    self.live_total -= front.count;
+                    self.buckets.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// One merge pass, newest → oldest, with a running suffix count.
+    /// Merges cascade naturally: a merged bucket is immediately
+    /// re-considered against its next-older neighbour under the same
+    /// suffix count.
+    fn canonicalize(&mut self) {
+        if self.buckets.len() < 2 {
+            return;
+        }
+        let mut idx = self.buckets.len() - 1;
+        // suffix = total count of buckets strictly newer than `idx`.
+        let mut suffix: f64 = 0.0;
+        while idx > 0 {
+            let newer = self.buckets[idx];
+            let older = self.buckets[idx - 1];
+            let combined = older.count + newer.count;
+            if (combined as f64) <= self.epsilon * suffix {
+                self.buckets[idx - 1] = older.merge_with(&newer);
+                self.buckets.remove(idx);
+                // The merged bucket sits at idx − 1; re-examine it
+                // against its next-older neighbour with the same suffix.
+                idx -= 1;
+            } else {
+                suffix += newer.count as f64;
+                idx -= 1;
+            }
+        }
+    }
+
+    /// Merges another histogram's contents into this one — the
+    /// distributed-streams operation (cf. Gibbons–Tirthapura, the
+    /// paper's reference \[12\]): summaries built at k sites over disjoint
+    /// substreams combine into a summary of the union.
+    ///
+    /// Bucket lists are interleaved by end time and re-canonicalized.
+    /// Each incoming multi-tick bucket was ε-dominated by newer items in
+    /// its *origin* stream, and union only adds newer mass, so after
+    /// merging `k` histograms every window estimate carries a `k·ε`
+    /// relative bound (build the site histograms with `ε/k` for an
+    /// end-to-end ε; the merge test pins this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built with different `epsilon`
+    /// or different expiry windows.
+    pub fn merge_from(&mut self, other: &DominationEh) {
+        assert!(
+            (self.epsilon - other.epsilon).abs() < f64::EPSILON,
+            "cannot merge histograms with different epsilon"
+        );
+        assert_eq!(self.window, other.window, "expiry windows differ");
+        if other.buckets.is_empty() {
+            return;
+        }
+        let mut merged: Vec<Bucket> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let mut a = self.buckets.iter().copied().peekable();
+        let mut b = other.buckets.iter().copied().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.end <= y.end {
+                        merged.push(*x);
+                        a.next();
+                    } else {
+                        merged.push(*y);
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.extend(a.by_ref());
+                    break;
+                }
+                (None, Some(_)) => {
+                    merged.extend(b.by_ref());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged.into();
+        self.live_total = self.live_total.saturating_add(other.live_total);
+        self.last_t = self.last_t.max(other.last_t);
+        self.started |= other.started;
+        self.expire(self.last_t);
+        self.canonicalize();
+        self.inserts_since_merge = 0;
+    }
+
+    /// Estimates a window count with an explicit straddler rule.
+    pub fn query_window_with(&self, t: Time, w: Time, estimator: Estimator) -> f64 {
+        let (a, b) = self.buckets.as_slices();
+        if b.is_empty() {
+            estimate_window(a, t, w, estimator)
+        } else {
+            let all: Vec<Bucket> = self.buckets.iter().copied().collect();
+            estimate_window(&all, t, w, estimator)
+        }
+    }
+}
+
+impl WindowSketch for DominationEh {
+    /// Ingests a bulk value `f` at time `t` (non-decreasing `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previous observation.
+    fn observe(&mut self, t: Time, f: u64) {
+        if self.started {
+            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+        }
+        self.started = true;
+        self.last_t = t;
+        self.expire(t);
+        if f == 0 {
+            return;
+        }
+        // Same-tick arrivals accumulate into the newest bucket when it
+        // is single-tick at the same time; this keeps bucket starts
+        // unique without affecting the merge analysis.
+        match self.buckets.back_mut() {
+            Some(b) if b.start == t && b.end == t => b.count = b.count.saturating_add(f),
+            _ => self.buckets.push_back(Bucket::unit(t, f)),
+        }
+        self.live_total = self.live_total.saturating_add(f);
+        self.inserts_since_merge += 1;
+        if self.inserts_since_merge >= (self.buckets.len() / 4).max(8) {
+            self.canonicalize();
+            self.inserts_since_merge = 0;
+        }
+    }
+
+    fn query_window(&self, t: Time, w: Time) -> f64 {
+        self.query_window_with(t, w, Estimator::Halved)
+    }
+
+    fn live_total(&self) -> u64 {
+        self.live_total
+    }
+
+    fn buckets(&self) -> Vec<Bucket> {
+        self.buckets.iter().copied().collect()
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+impl StorageAccounting for DominationEh {
+    fn storage_bits(&self) -> u64 {
+        // Per bucket: one timestamp plus an exact count.
+        let span = self.last_t;
+        self.buckets
+            .iter()
+            .map(|b| bits_for_timestamp(span) + bits_for_count(b.count))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every multi-tick (merged) bucket is dominated: its count is at
+    /// most ε × the total count of strictly newer buckets, measured NOW
+    /// (dominance only strengthens as newer items arrive).
+    fn assert_dominance(eh: &DominationEh) {
+        let buckets: Vec<Bucket> = eh.buckets.iter().copied().collect();
+        let mut suffix = 0u64;
+        for i in (0..buckets.len()).rev() {
+            let b = buckets[i];
+            if b.start != b.end {
+                assert!(
+                    b.count as f64 <= eh.epsilon * suffix as f64 + 1e-9,
+                    "bucket {i} ({b:?}) not dominated by suffix {suffix}"
+                );
+            }
+            suffix += b.count;
+        }
+    }
+
+    #[test]
+    fn dense_unit_stream_accuracy() {
+        let eps = 0.1;
+        let mut eh = DominationEh::new(eps, None);
+        for t in 1..=20_000u64 {
+            eh.observe(t, 1);
+            if t % 1009 == 0 {
+                assert_dominance(&eh);
+            }
+        }
+        assert_dominance(&eh);
+        for w in [1u64, 10, 100, 1_000, 10_000, 19_999] {
+            let est = eh.query_window(20_001, w);
+            let truth = w as f64;
+            assert!(
+                (est - truth).abs() <= eps * truth + 1.0,
+                "w={w}: est={est}, truth={truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_values_accuracy() {
+        let eps = 0.05;
+        let mut eh = DominationEh::new(eps, None);
+        let mut items: Vec<(Time, u64)> = Vec::new();
+        let mut x = 98765u64;
+        for t in 1..=10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = x % 50; // bulk values 0..49
+            eh.observe(t, f);
+            items.push((t, f));
+        }
+        for w in [50u64, 500, 5_000, 9_999] {
+            let truth: u64 = items
+                .iter()
+                .filter(|&&(t, _)| t >= 10_001 - w)
+                .map(|&(_, f)| f)
+                .sum();
+            let est = eh.query_window(10_001, w);
+            assert!(
+                (est - truth as f64).abs() <= eps * truth as f64 + 25.0,
+                "w={w}: est={est}, truth={truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_count_logarithmic_in_total() {
+        let eps = 0.1;
+        let mut eh = DominationEh::new(eps, None);
+        for t in 1..=(1u64 << 16) {
+            eh.observe(t, 1);
+        }
+        let n = eh.num_buckets() as f64;
+        // O(ε⁻¹ log total): generous bound 4·(1/ε)·log2(total).
+        let bound = 4.0 * (1.0 / eps) * 16.0;
+        assert!(n <= bound, "n={n}, bound={bound}");
+    }
+
+    #[test]
+    fn huge_single_burst_then_trickle() {
+        // A 10^6 burst followed by unit arrivals: the burst bucket is
+        // single-tick so window queries around it are exact.
+        let mut eh = DominationEh::new(0.1, None);
+        eh.observe(100, 1_000_000);
+        for t in 101..=200u64 {
+            eh.observe(t, 1);
+        }
+        // Window covering only the trickle.
+        let est = eh.query_window(201, 100);
+        assert!((est - 100.0).abs() <= 0.1 * 100.0 + 1.0, "est={est}");
+        // Window covering everything.
+        let est_all = eh.query_window(201, 101);
+        let truth = 1_000_100.0;
+        assert!((est_all - truth).abs() <= 0.1 * truth, "est={est_all}");
+    }
+
+    #[test]
+    fn window_mode_expires() {
+        let mut eh = DominationEh::new(0.1, Some(100));
+        for t in 1..=10_000u64 {
+            eh.observe(t, 3);
+        }
+        assert!(eh.live_total() <= 3 * 200);
+        let est = eh.query_window(10_001, 100);
+        let truth = 300.0;
+        assert!((est - truth).abs() <= 0.1 * truth + 3.0, "est={est}");
+    }
+
+    #[test]
+    fn same_tick_accumulation() {
+        let mut eh = DominationEh::new(0.1, None);
+        for _ in 0..10 {
+            eh.observe(5, 7);
+        }
+        assert_eq!(eh.live_total(), 70);
+        assert_eq!(eh.num_buckets(), 1);
+        assert_eq!(eh.query_window(6, 1), 70.0);
+    }
+
+    #[test]
+    fn estimate_is_exact_when_no_straddler() {
+        let mut eh = DominationEh::new(0.25, None);
+        for t in 1..=1000u64 {
+            eh.observe(t, 2);
+        }
+        // Whole-history window: every bucket fully inside.
+        let est = eh.query_window(1001, 1000);
+        assert_eq!(est, 2000.0);
+    }
+
+    #[test]
+    fn merge_from_combines_disjoint_sites() {
+        // Two sites see interleaved substreams of one logical stream;
+        // the merged histogram must estimate union windows within 2ε.
+        let eps = 0.05;
+        let mut site_a = DominationEh::new(eps, None);
+        let mut site_b = DominationEh::new(eps, None);
+        let mut items: Vec<(Time, u64)> = Vec::new();
+        let mut x = 4242u64;
+        for t in 1..=20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = x % 6;
+            items.push((t, f));
+            if x % 2 == 0 {
+                site_a.observe(t, f);
+            } else {
+                site_b.observe(t, f);
+            }
+        }
+        site_a.merge_from(&site_b);
+        assert_eq!(
+            site_a.live_total(),
+            items.iter().map(|&(_, f)| f).sum::<u64>()
+        );
+        for w in [100u64, 1_000, 10_000, 19_999] {
+            let truth: u64 = items
+                .iter()
+                .filter(|&&(t, _)| t >= 20_001 - w)
+                .map(|&(_, f)| f)
+                .sum();
+            let est = site_a.query_window(20_001, w);
+            assert!(
+                (est - truth as f64).abs() <= 2.0 * eps * truth as f64 + 12.0,
+                "w={w}: est={est}, truth={truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_from_empty_is_noop() {
+        let mut a = DominationEh::new(0.1, None);
+        a.observe(1, 5);
+        let b = DominationEh::new(0.1, None);
+        a.merge_from(&b);
+        assert_eq!(a.live_total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different epsilon")]
+    fn merge_from_rejects_mismatched_epsilon() {
+        let mut a = DominationEh::new(0.1, None);
+        let b = DominationEh::new(0.2, None);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn zeros_are_free() {
+        let mut eh = DominationEh::new(0.1, None);
+        for t in 1..=1000 {
+            eh.observe(t, 0);
+        }
+        assert_eq!(eh.num_buckets(), 0);
+        assert_eq!(eh.live_total(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The seed-regenerated Indyk sketch matrix (§7.1).
+
+use crate::stable::sample_stable;
+
+/// Generates the entries of the conceptual `L × d` p-stable sketch
+/// matrix on the fly from a seed — the matrix is never stored, exactly
+/// as §7.1 prescribes ("the matrix entries need not be stored and can be
+/// generated from seeds on the fly").
+///
+/// Entry `(row, coord)` is produced by hashing `(seed, row, coord)` with
+/// SplitMix64 into two uniforms and applying the Chambers–Mallows–Stuck
+/// transform, so the same `(seed, row, coord)` always yields the same
+/// variate — a requirement for sketch linearity across bucket merges.
+///
+/// # Examples
+///
+/// ```
+/// use td_sketch::StableSketcher;
+/// let sk = StableSketcher::new(1.0, 16, 42);
+/// let a = sk.entry(3, 1000);
+/// let b = sk.entry(3, 1000);
+/// assert_eq!(a, b); // deterministic
+/// assert_ne!(a, sk.entry(4, 1000)); // rows independent
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StableSketcher {
+    p: f64,
+    rows: usize,
+    seed: u64,
+}
+
+/// SplitMix64: a fast, well-distributed 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a 64-bit hash to a uniform in the open interval (0, 1).
+fn to_open_unit(h: u64) -> f64 {
+    // 53 mantissa bits, then nudge off the endpoints.
+    let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u.clamp(1e-15, 1.0 - 1e-15)
+}
+
+impl StableSketcher {
+    /// A sketcher for `L_p` with `rows` sketch rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 2]` or `rows == 0`.
+    pub fn new(p: f64, rows: usize, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 2.0, "p must be in (0,2], got {p}");
+        assert!(rows > 0, "need at least one sketch row");
+        Self { p, rows, seed }
+    }
+
+    /// The norm exponent p.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The number of sketch rows L.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The matrix entry `X_{row, coord}` — a standard p-stable variate,
+    /// regenerated deterministically.
+    pub fn entry(&self, row: usize, coord: u64) -> f64 {
+        debug_assert!(row < self.rows);
+        let h1 = splitmix64(
+            self.seed ^ (row as u64).wrapping_mul(0xA24B_AED4_963E_E407) ^ coord,
+        );
+        let h2 = splitmix64(h1 ^ 0xD6E8_FEB8_6659_FD93);
+        sample_stable(self.p, to_open_unit(h1), to_open_unit(h2))
+    }
+
+    /// Adds `amount × column(coord)` into an `L`-vector accumulator —
+    /// the per-update work of the sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc.len() != rows()`.
+    pub fn accumulate(&self, acc: &mut [f64], coord: u64, amount: f64) {
+        assert_eq!(acc.len(), self.rows, "accumulator length mismatch");
+        for (row, slot) in acc.iter_mut().enumerate() {
+            *slot += amount * self.entry(row, coord);
+        }
+    }
+
+    /// Estimates `‖v‖_p` from an accumulated `L`-vector.
+    pub fn estimate(&self, acc: &[f64]) -> f64 {
+        crate::stable::estimate_norm(self.p, acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_row_independent() {
+        let sk = StableSketcher::new(1.5, 8, 7);
+        for row in 0..8 {
+            for coord in [0u64, 1, 1_000_000] {
+                assert_eq!(sk.entry(row, coord), sk.entry(row, coord));
+            }
+        }
+        assert_ne!(sk.entry(0, 5), sk.entry(1, 5));
+        assert_ne!(sk.entry(0, 5), sk.entry(0, 6));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = StableSketcher::new(1.0, 4, 1);
+        let b = StableSketcher::new(1.0, 4, 2);
+        assert_ne!(a.entry(0, 0), b.entry(0, 0));
+    }
+
+    #[test]
+    fn recovers_l1_norm_of_sparse_vector() {
+        let sk = StableSketcher::new(1.0, 401, 99);
+        let mut acc = vec![0.0; 401];
+        // v = 5·e_10 + 3·e_77 + 2·e_900: ‖v‖₁ = 10.
+        sk.accumulate(&mut acc, 10, 5.0);
+        sk.accumulate(&mut acc, 77, 3.0);
+        sk.accumulate(&mut acc, 900, 2.0);
+        let est = sk.estimate(&acc);
+        assert!((est - 10.0).abs() / 10.0 < 0.15, "est={est}");
+    }
+
+    #[test]
+    fn recovers_l2_norm() {
+        let sk = StableSketcher::new(2.0, 401, 5);
+        let mut acc = vec![0.0; 401];
+        // v = (3, 4): ‖v‖₂ = 5.
+        sk.accumulate(&mut acc, 0, 3.0);
+        sk.accumulate(&mut acc, 1, 4.0);
+        let est = sk.estimate(&acc);
+        assert!((est - 5.0).abs() / 5.0 < 0.15, "est={est}");
+    }
+
+    #[test]
+    fn linearity_under_split_accumulation() {
+        // Accumulating in two halves then summing the accumulators must
+        // equal one-shot accumulation — the property bucket merges use.
+        let sk = StableSketcher::new(1.3, 32, 11);
+        let mut one = vec![0.0; 32];
+        let mut a = vec![0.0; 32];
+        let mut b = vec![0.0; 32];
+        for c in 0..100u64 {
+            let amt = (c % 7) as f64;
+            sk.accumulate(&mut one, c, amt);
+            if c < 50 {
+                sk.accumulate(&mut a, c, amt);
+            } else {
+                sk.accumulate(&mut b, c, amt);
+            }
+        }
+        for i in 0..32 {
+            let merged = a[i] + b[i];
+            assert!((one[i] - merged).abs() < 1e-9, "row {i}");
+        }
+    }
+}

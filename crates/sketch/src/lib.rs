@@ -1,0 +1,29 @@
+//! Randomized substrates for the §7 aggregates: p-stable sketches
+//! (Indyk \[10\]) for time-decaying `L_p` norms, and MV/D suffix-minima
+//! lists (Cohen \[3\], Cohen–Kaplan \[5\]) for time-decaying random
+//! selection.
+//!
+//! Everything here is built from scratch per the published descriptions:
+//!
+//! * [`stable`] — p-stable random variates via the
+//!   Chambers–Mallows–Stuck transform (Cauchy at `p = 1`, Gaussian-like
+//!   at `p = 2`), plus the median-based norm estimator scaling;
+//! * [`indyk`] — the seed-regenerated sketch matrix: entry `(j, c)` is a
+//!   deterministic function of `(seed, j, c)`, so the `L × d` matrix is
+//!   never materialized (exactly as §7.1 requires);
+//! * [`mvd`] — the MV/D list: each arriving item draws a uniform rank
+//!   and is retained iff its rank is the minimum among all items that
+//!   arrived after it; the retained item of any suffix window is a
+//!   uniform random selection from that window, and the expected list
+//!   size is `H_n ≈ ln n`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod indyk;
+pub mod mvd;
+pub mod stable;
+
+pub use indyk::StableSketcher;
+pub use mvd::MvdList;
+pub use stable::{median_scale, sample_stable};

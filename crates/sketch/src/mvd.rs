@@ -1,0 +1,295 @@
+//! MV/D lists: uniform random selection from every suffix window
+//! (paper §7.2; Cohen \[3\], Cohen–Kaplan \[5\]).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use td_decay::storage::{bits_for_quantized_float, bits_for_timestamp, StorageAccounting};
+use td_decay::Time;
+
+/// One retained entry of an MV/D list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MvdEntry<V> {
+    /// Arrival time of the item.
+    pub t: Time,
+    /// The item's uniform rank in `(0, 1)`.
+    pub rank: f64,
+    /// The item's payload.
+    pub value: V,
+}
+
+/// An MV/D list: each arriving item draws a uniform *rank*, and is
+/// retained iff its rank is the minimum among all items that arrived at
+/// or after it (a suffix minimum).
+///
+/// Consequences (paper §7.2):
+///
+/// * retained ranks strictly *increase* from the oldest entry to the
+///   newest (each retained item's rank is below every later item's);
+/// * for **any** suffix window `w`, the minimum-rank item of the window
+///   is always retained (the window is a suffix, so nothing after it
+///   can have killed that item), and it is a *uniform* random selection
+///   from all items in the window;
+/// * the expected list length after `n` arrivals is the harmonic number
+///   `H_n ≈ ln n`.
+///
+/// # Examples
+///
+/// ```
+/// use td_sketch::MvdList;
+/// let mut list: MvdList<u64> = MvdList::with_seed(42);
+/// for t in 1..=1000 {
+///     list.observe(t, t);
+/// }
+/// // Logarithmic retention.
+/// assert!(list.len() < 40);
+/// // A uniform pick from the last 100 items.
+/// let pick = list.select_window(1001, 100).unwrap();
+/// assert!(pick.t >= 901);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MvdList<V> {
+    /// Retained entries, oldest first; ranks strictly increase from
+    /// oldest to newest.
+    entries: VecDeque<MvdEntry<V>>,
+    rng: StdRng,
+    arrivals: u64,
+    last_t: Time,
+    started: bool,
+}
+
+impl<V: Clone> MvdList<V> {
+    /// An empty list seeded from the OS.
+    pub fn new() -> Self {
+        Self::with_seed(rand::rng().random())
+    }
+
+    /// An empty list with a deterministic rank stream.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            entries: VecDeque::new(),
+            rng: StdRng::seed_from_u64(seed),
+            arrivals: 0,
+            last_t: 0,
+            started: false,
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total arrivals observed.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Ingests an item (non-decreasing `t`), drawing its rank
+    /// internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previous observation.
+    pub fn observe(&mut self, t: Time, value: V) {
+        let rank = self.rng.random::<f64>();
+        self.observe_with_rank(t, value, rank);
+    }
+
+    /// Ingests an item with an explicit rank (tests and the §7.2
+    /// unbiased-count construction use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previous observation.
+    pub fn observe_with_rank(&mut self, t: Time, value: V, rank: f64) {
+        if self.started {
+            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+        }
+        self.started = true;
+        self.last_t = t;
+        self.arrivals += 1;
+        // Kill every stored entry whose rank is >= the newcomer's: they
+        // are no longer suffix minima.
+        while let Some(back) = self.entries.back() {
+            if back.rank >= rank {
+                self.entries.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.entries.push_back(MvdEntry { t, rank, value });
+    }
+
+    /// Discards entries older than `cutoff` (callers with a finite decay
+    /// horizon use this to bound retention).
+    pub fn expire_before(&mut self, cutoff: Time) {
+        while let Some(front) = self.entries.front() {
+            if front.t < cutoff {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The minimum-rank retained entry with arrival time in
+    /// `[T − w, T − 1]` — a uniform random selection from that window
+    /// (`None` if the window holds no retained entry).
+    ///
+    /// Ranks increase toward the newest entry, so the minimum-rank
+    /// in-window entry is the **oldest retained entry inside the
+    /// window**; and because the window is a suffix of the stream, the
+    /// window's true minimum-rank item is always retained — which is
+    /// what makes the pick uniform over the window (distributional test
+    /// below).
+    ///
+    /// Caveat: if items have already been observed at time `t` itself,
+    /// they are excluded per §2.1 but their ranks may have evicted
+    /// in-window suffix minima; querying at `t` strictly greater than
+    /// the last arrival avoids this edge entirely.
+    pub fn select_window(&self, t: Time, w: Time) -> Option<&MvdEntry<V>> {
+        let cutoff = t.saturating_sub(w);
+        self.entries.iter().find(|e| e.t >= cutoff && e.t < t)
+    }
+
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &MvdEntry<V>> {
+        self.entries.iter()
+    }
+}
+
+impl<V: Clone> Default for MvdList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> StorageAccounting for MvdList<V> {
+    fn storage_bits(&self) -> u64 {
+        // Per entry: timestamp + rank (a 24-bit-mantissa float is ample:
+        // rank collisions at 2^-24 are negligible for ln(n)-sized lists).
+        self.entries.len() as u64
+            * (bits_for_timestamp(self.last_t) + bits_for_quantized_float(24, 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_strictly_increase_toward_newest() {
+        let mut list: MvdList<()> = MvdList::with_seed(1);
+        for t in 1..=10_000 {
+            list.observe(t, ());
+        }
+        let ranks: Vec<f64> = list.entries().map(|e| e.rank).collect();
+        for w in ranks.windows(2) {
+            assert!(w[0] < w[1], "ranks must increase toward the newest");
+        }
+    }
+
+    #[test]
+    fn expected_size_is_logarithmic() {
+        // Average over seeds: E[len] = H_n ≈ ln(10_000) ≈ 9.2.
+        let n = 10_000u64;
+        let mut total = 0usize;
+        let runs = 40;
+        for seed in 0..runs {
+            let mut list: MvdList<()> = MvdList::with_seed(seed);
+            for t in 1..=n {
+                list.observe(t, ());
+            }
+            total += list.len();
+        }
+        let mean = total as f64 / runs as f64;
+        let h_n = (n as f64).ln() + 0.5772;
+        assert!((mean - h_n).abs() < 2.0, "mean={mean}, H_n={h_n}");
+    }
+
+    #[test]
+    fn window_selection_is_uniform() {
+        // Fix a 50-item window; over many independent rank streams, each
+        // item should be selected ~equally often.
+        let w = 50u64;
+        let n = 200u64;
+        let runs = 20_000;
+        let mut hits = vec![0u32; w as usize];
+        for seed in 0..runs {
+            let mut list: MvdList<u64> = MvdList::with_seed(seed);
+            for t in 1..=n {
+                list.observe(t, t);
+            }
+            let pick = list.select_window(n + 1, w).expect("window non-empty");
+            hits[(pick.t - (n + 1 - w)) as usize] += 1;
+        }
+        let expect = runs as f64 / w as f64; // 400
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                (h as f64 - expect).abs() < expect * 0.25,
+                "slot {i}: {h} vs {expect}"
+            );
+        }
+        // χ² sanity: 49 dof, mean 49, sd ~9.9 — allow a wide band.
+        let chi2: f64 = hits
+            .iter()
+            .map(|&h| (h as f64 - expect).powi(2) / expect)
+            .sum();
+        assert!(chi2 < 120.0, "chi2={chi2}");
+    }
+
+    #[test]
+    fn selection_respects_window_boundaries() {
+        let mut list: MvdList<u64> = MvdList::with_seed(3);
+        for t in 1..=100 {
+            list.observe(t, t);
+        }
+        for w in [1u64, 5, 50, 99] {
+            if let Some(e) = list.select_window(101, w) {
+                assert!(e.t >= 101 - w && e.t < 101);
+            }
+        }
+        // The w=1 window contains only t=100, and the newest item is
+        // always retained.
+        assert_eq!(list.select_window(101, 1).map(|e| e.t), Some(100));
+    }
+
+    #[test]
+    fn empty_window_yields_none() {
+        let mut list: MvdList<u64> = MvdList::with_seed(4);
+        list.observe(10, 10);
+        assert!(list.select_window(100, 5).is_none());
+        assert!(list.select_window(10, 5).is_none()); // §2.1: item at T excluded
+    }
+
+    #[test]
+    fn expiry_drops_old_entries() {
+        let mut list: MvdList<u64> = MvdList::with_seed(5);
+        for t in 1..=1000 {
+            list.observe(t, t);
+        }
+        list.expire_before(900);
+        assert!(list.entries().all(|e| e.t >= 900));
+    }
+
+    #[test]
+    fn explicit_ranks_are_honored() {
+        let mut list: MvdList<&str> = MvdList::with_seed(0);
+        list.observe_with_rank(1, "a", 0.9); // [a]
+        list.observe_with_rank(2, "b", 0.5); // a killed (0.9 >= 0.5) → [b]
+        list.observe_with_rank(3, "c", 0.7); // b survives (0.5 < 0.7) → [b, c]
+        list.observe_with_rank(4, "d", 0.6); // c killed (0.7 >= 0.6) → [b, d]
+        let vals: Vec<&str> = list.entries().map(|e| e.value).collect();
+        assert_eq!(vals, vec!["b", "d"]);
+        // Suffix-minima invariant: ranks increase toward the newest.
+        let ranks: Vec<f64> = list.entries().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![0.5, 0.6]);
+    }
+}

@@ -1,0 +1,152 @@
+//! 0/1 streams for the Decaying Count Problem.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use td_decay::Time;
+
+/// An i.i.d. Bernoulli 0/1 stream: at each tick, `1` with probability
+/// `p`.
+///
+/// # Examples
+///
+/// ```
+/// use td_stream::BernoulliStream;
+/// let ones: u64 = BernoulliStream::new(0.3, 42).take(10_000).map(|(_, f)| f).sum();
+/// assert!((ones as f64 - 3_000.0).abs() < 300.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BernoulliStream {
+    p: f64,
+    rng: StdRng,
+    t: Time,
+}
+
+impl BernoulliStream {
+    /// A stream emitting `1` with probability `p` per tick, starting at
+    /// tick 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            t: 0,
+        }
+    }
+}
+
+impl Iterator for BernoulliStream {
+    type Item = (Time, u64);
+
+    fn next(&mut self) -> Option<(Time, u64)> {
+        self.t += 1;
+        let f = u64::from(self.rng.random::<f64>() < self.p);
+        Some((self.t, f))
+    }
+}
+
+/// A two-state (on/off) bursty stream: geometric dwell times in each
+/// state; the *on* state emits `1` per tick, the *off* state `0`.
+///
+/// Models the §1.1 applications' burstiness (packet trains, failure
+/// episodes) more faithfully than i.i.d. coins.
+#[derive(Debug, Clone)]
+pub struct BurstyStream {
+    /// Probability of leaving the off state per tick.
+    p_start: f64,
+    /// Probability of leaving the on state per tick.
+    p_stop: f64,
+    on: bool,
+    rng: StdRng,
+    t: Time,
+}
+
+impl BurstyStream {
+    /// A bursty stream with mean burst length `1/p_stop` and mean gap
+    /// `1/p_start`, starting (off) at tick 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `(0, 1]`.
+    pub fn new(p_start: f64, p_stop: f64, seed: u64) -> Self {
+        assert!(p_start > 0.0 && p_start <= 1.0, "p_start out of range");
+        assert!(p_stop > 0.0 && p_stop <= 1.0, "p_stop out of range");
+        Self {
+            p_start,
+            p_stop,
+            on: false,
+            rng: StdRng::seed_from_u64(seed),
+            t: 0,
+        }
+    }
+}
+
+impl Iterator for BurstyStream {
+    type Item = (Time, u64);
+
+    fn next(&mut self) -> Option<(Time, u64)> {
+        self.t += 1;
+        let flip = self.rng.random::<f64>();
+        if self.on {
+            if flip < self.p_stop {
+                self.on = false;
+            }
+        } else if flip < self.p_start {
+            self.on = true;
+        }
+        Some((self.t, u64::from(self.on)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bernoulli_density_matches_p() {
+        for p in [0.1, 0.5, 0.9] {
+            let ones: u64 = BernoulliStream::new(p, 7).take(50_000).map(|(_, f)| f).sum();
+            let frac = ones as f64 / 50_000.0;
+            assert!((frac - p).abs() < 0.02, "p={p}: frac={frac}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_times_are_consecutive() {
+        let ts: Vec<Time> = BernoulliStream::new(0.5, 1).take(100).map(|(t, _)| t).collect();
+        assert_eq!(ts, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bursty_produces_runs() {
+        // Mean burst 50, mean gap 200 → long runs of 1s, unlike iid.
+        let stream: Vec<u64> = BurstyStream::new(0.005, 0.02, 3)
+            .take(100_000)
+            .map(|(_, f)| f)
+            .collect();
+        let mut max_run = 0;
+        let mut run = 0;
+        for &f in &stream {
+            if f == 1 {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(max_run > 30, "max_run={max_run}");
+        let density = stream.iter().sum::<u64>() as f64 / stream.len() as f64;
+        // Stationary density = p_start/(p_start + p_stop) = 0.2.
+        assert!((density - 0.2).abs() < 0.1, "density={density}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<_> = BernoulliStream::new(0.4, 9).take(1000).collect();
+        let b: Vec<_> = BernoulliStream::new(0.4, 9).take(1000).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded workload generators for the experiments and examples.
+//!
+//! The paper's applications (§1.1) run on proprietary traces — AT&T
+//! telecom records, router queue logs, ATM circuit idle times. Per the
+//! reproduction plan (DESIGN.md §5) we substitute seeded synthetic
+//! generators that control the properties those experiments actually
+//! exercise: burstiness, heavy tails, non-stationarity, and the §6
+//! adversarial structure.
+//!
+//! * [`binary`] — Bernoulli and bursty (on/off) 0/1 streams for the
+//!   DCP experiments;
+//! * [`values`] — value streams: uniform, drifting, heavy-tailed;
+//! * [`link`] — the Figure 1 link-failure scenario (experiment E1);
+//! * [`lower_bound`] — the Theorem 2 adversarial burst family
+//!   (experiment E7);
+//! * [`walks`] — queue-length walks (the RED application) and
+//!   Pareto idle times (the ATM holding-time application).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod link;
+pub mod lower_bound;
+pub mod values;
+pub mod walks;
+
+pub use binary::{BernoulliStream, BurstyStream};
+pub use link::{FailureEvent, LinkTrace};
+pub use lower_bound::LowerBoundFamily;
+pub use values::{DriftingValues, ParetoValues, UniformValues};
+pub use walks::{IdleTimes, QueueWalk};

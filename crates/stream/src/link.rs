@@ -1,0 +1,162 @@
+//! The Figure 1 link-reliability scenario (paper §1.2, experiment E1).
+
+use td_decay::Time;
+
+/// One failure episode of a link: down for `duration` ticks starting at
+/// `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// First tick of the outage.
+    pub start: Time,
+    /// Length of the outage in ticks.
+    pub duration: Time,
+}
+
+impl FailureEvent {
+    /// Whether the link is down at tick `t`.
+    pub fn covers(&self, t: Time) -> bool {
+        t >= self.start && t < self.start + self.duration
+    }
+}
+
+/// A link's failure trace: per tick, `1` when the link is down (a
+/// demerit item for the reliability rating), `0` otherwise.
+///
+/// The paper's Figure 1 scenario is provided by [`LinkTrace::paper_l1`]
+/// and [`LinkTrace::paper_l2`] at one-minute ticks: L1 fails for 5
+/// hours; 24 hours later L2 fails for 30 minutes; both are otherwise
+/// reliable. §1.2 argues that a rich decay family should let L2 —
+/// whose failure is milder but more recent — start out rated *worse*
+/// (higher decayed demerit) and *eventually emerge as the more
+/// reliable link* once the severity difference outweighs recency.
+/// Sliding windows and exponential decay cannot produce that
+/// crossover; polynomial decay can. Experiment E1 reproduces this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkTrace {
+    events: Vec<FailureEvent>,
+}
+
+/// One minute per tick.
+pub const MINUTE: Time = 1;
+/// Sixty minutes.
+pub const HOUR: Time = 60 * MINUTE;
+/// Twenty-four hours.
+pub const DAY: Time = 24 * HOUR;
+
+impl LinkTrace {
+    /// A trace from explicit failure events.
+    pub fn new(events: Vec<FailureEvent>) -> Self {
+        Self { events }
+    }
+
+    /// Figure 1's link L1: a 5-hour failure starting at `t0`.
+    pub fn paper_l1(t0: Time) -> Self {
+        Self::new(vec![FailureEvent {
+            start: t0,
+            duration: 5 * HOUR,
+        }])
+    }
+
+    /// Figure 1's link L2: a 30-minute failure starting 24 hours after
+    /// `t0`.
+    pub fn paper_l2(t0: Time) -> Self {
+        Self::new(vec![FailureEvent {
+            start: t0 + DAY,
+            duration: 30 * MINUTE,
+        }])
+    }
+
+    /// The demerit value at tick `t` (`1` = down).
+    pub fn demerit(&self, t: Time) -> u64 {
+        u64::from(self.events.iter().any(|e| e.covers(t)))
+    }
+
+    /// Total downtime ticks.
+    pub fn total_downtime(&self) -> Time {
+        self.events.iter().map(|e| e.duration).sum()
+    }
+
+    /// Iterates `(t, demerit)` for `t` in `[1, horizon]`.
+    pub fn ticks(&self, horizon: Time) -> impl Iterator<Item = (Time, u64)> + '_ {
+        (1..=horizon).map(move |t| (t, self.demerit(t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_decay::{DecayFunction, Exponential, Polynomial, SlidingWindow};
+
+    #[test]
+    fn paper_scenario_shape() {
+        let l1 = LinkTrace::paper_l1(HOUR);
+        let l2 = LinkTrace::paper_l2(HOUR);
+        assert_eq!(l1.total_downtime(), 300);
+        assert_eq!(l2.total_downtime(), 30);
+        assert_eq!(l1.demerit(HOUR), 1);
+        assert_eq!(l1.demerit(HOUR + 5 * HOUR), 0);
+        assert_eq!(l2.demerit(HOUR + DAY), 1);
+    }
+
+    /// The §1.2 argument, computed exactly: the decayed demerit ratings
+    /// under POLYD cross over (L1 initially better *or* worse, L2
+    /// eventually better), while EXPD's relative view is eventually
+    /// frozen and SLIWIN forgets L1 entirely.
+    #[test]
+    fn crossover_only_for_polynomial() {
+        let t0 = HOUR;
+        let l1 = LinkTrace::paper_l1(t0);
+        let l2 = LinkTrace::paper_l2(t0);
+        let rate = |g: &dyn DecayFunction, trace: &LinkTrace, t: Time| -> f64 {
+            trace
+                .ticks(t - 1)
+                .map(|(ti, f)| f as f64 * g.weight(t - ti))
+                .sum()
+        };
+        // Probe from just after L2's failure to 90 days out.
+        let probes: Vec<Time> = (1..=60).map(|d| t0 + DAY + 30 + d * DAY * 3 / 2).collect();
+
+        // POLYD(1): L2's rating (demerit) should start above... L2 just
+        // failed so it is initially rated *worse per recency*, but L1's
+        // 300-minute failure dominates in severity; eventually L1 must
+        // be rated worse (higher demerit) permanently.
+        let g_poly = Polynomial::new(1.0);
+        let signs: Vec<bool> = probes
+            .iter()
+            .map(|&t| rate(&g_poly, &l1, t) > rate(&g_poly, &l2, t))
+            .collect();
+        // Eventually true (L1 worse) and stays true.
+        assert!(*signs.last().unwrap(), "L1 must eventually rate worse under POLYD");
+        // And there was a probe where L2 rated worse (crossover exists)
+        // for a steeper polynomial:
+        let g_steep = Polynomial::new(2.0);
+        let early = t0 + DAY + 35;
+        assert!(
+            rate(&g_steep, &l2, early) > rate(&g_steep, &l1, early),
+            "right after its failure, L2 must rate worse under steep POLYD"
+        );
+        let late = t0 + 90 * DAY;
+        assert!(
+            rate(&g_steep, &l1, late) > rate(&g_steep, &l2, late),
+            "long after, L1 must rate worse under steep POLYD"
+        );
+
+        // SLIWIN(12h): once both failures age out, both rate 0; while
+        // only L2's is in window, L1 rates *better* — and never worse.
+        let g_win = SlidingWindow::new(12 * HOUR);
+        assert!(rate(&g_win, &l2, early) > rate(&g_win, &l1, early));
+        assert_eq!(rate(&g_win, &l1, late), 0.0);
+        assert_eq!(rate(&g_win, &l2, late), 0.0);
+
+        // EXPD: the ratio of the two ratings is asymptotically frozen —
+        // whichever link is rated worse at one late probe stays worse at
+        // every later probe (no crossover after the events end).
+        let g_exp = Exponential::new(1.0 / (6.0 * HOUR as f64));
+        let r1 = rate(&g_exp, &l1, probes[10]) / rate(&g_exp, &l2, probes[10]).max(1e-300);
+        let r2 = rate(&g_exp, &l1, probes[40]) / rate(&g_exp, &l2, probes[40]).max(1e-300);
+        // Ratios equal (both failures decay by the same factor).
+        if r1.is_finite() && r2.is_finite() && r1 > 0.0 && r2 > 0.0 {
+            assert!((r1.ln() - r2.ln()).abs() < 1e-6, "r1={r1}, r2={r2}");
+        }
+    }
+}

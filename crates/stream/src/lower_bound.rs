@@ -1,0 +1,263 @@
+//! The Theorem 2 adversarial burst family (paper §6, experiment E7).
+
+use td_decay::Time;
+
+/// The family of streams from the Ω(log N) lower bound for polynomial
+/// decay (Theorem 2).
+///
+/// For a constant `k` (the paper suggests `k = 10`) and decay
+/// `g(x) = x^{-α}`, the stream has `r ≈ (α / 2 log k) · log(N/2)`
+/// bursts: burst `i` carries count `C_i = n_i · k^i` with a secret bit
+/// `n_i ∈ {1, 2}`, and arrives at paper-time `−k^{2i/α}` (we shift all
+/// times by an offset so they fit the `u64` clock). No data arrives
+/// after paper-time `−1`.
+///
+/// The punchline: at probe time `t_i = +k^{2i/α}`, the `i`-th burst's
+/// contribution to `S_g` **dominates** the combined contribution of all
+/// other bursts by a factor `> 4`, so any summary that answers within
+/// `ε < 1/4` at every probe must effectively remember every `n_i` —
+/// `r = Θ(log N)` bits. [`LowerBoundFamily::dominance_ratio`] computes
+/// the achieved ratio so the experiment can verify it exceeds 4, and
+/// [`LowerBoundFamily::recover_bits`] decodes the secret from exact
+/// decayed sums, demonstrating the information really is present.
+///
+/// **Reproduction note (experiment E7):** the paper suggests `k = 10`
+/// suffices. Its Equations (5)–(6) bound the prefix/suffix weights by
+/// `g(2k^{2i/α})`, but `g` is *decreasing*, so
+/// `g(k^{2i/α} + k^{2j/α}) <= g(2k^{2i/α})` points the wrong way and
+/// costs a factor up to `2^α`. Measured worst-case dominance at
+/// `k = 10` is ≈1.2 (α = 1), not > 4; the theorem's Θ(log N)
+/// conclusion is unaffected, but `k` must grow with `α`: `k = 40`
+/// restores the >4 margin at α = 1, `k = 72` at α = 2, `k = 160` at
+/// α = 3 (see `dominance_exceeds_four`).
+#[derive(Debug, Clone)]
+pub struct LowerBoundFamily {
+    k: u64,
+    alpha: f64,
+    /// The secret bits, `n_i ∈ {1, 2}`, index 1..=r.
+    bits: Vec<u8>,
+    /// Shift applied so all arrival times are non-negative:
+    /// `u64_time = offset − k^{2i/α}` for the burst, probes at
+    /// `offset + k^{2i/α}`.
+    offset: Time,
+}
+
+impl LowerBoundFamily {
+    /// Builds the stream for secret `bits` (values must be 1 or 2;
+    /// `bits\[0\]` is `n_1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 3`, `alpha <= 0`, any bit is not 1/2, or the
+    /// burst times overflow the clock.
+    pub fn new(k: u64, alpha: f64, bits: Vec<u8>) -> Self {
+        assert!(k >= 3, "k must be at least 3");
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(
+            bits.iter().all(|&b| b == 1 || b == 2),
+            "secret bits must be 1 or 2"
+        );
+        let r = bits.len() as u32;
+        let max_mag = Self::burst_age(k, alpha, r);
+        let offset = max_mag
+            .checked_add(1)
+            .expect("burst times overflow the u64 clock");
+        Self {
+            k,
+            alpha,
+            bits,
+            offset,
+        }
+    }
+
+    /// `⌊k^{2i/α}⌋`, the magnitude of burst `i`'s paper-time.
+    fn burst_age(k: u64, alpha: f64, i: u32) -> Time {
+        ((k as f64).powf(2.0 * i as f64 / alpha)).floor() as Time
+    }
+
+    /// The number of bursts r.
+    pub fn r(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The time-shift offset (paper-time 0 maps here).
+    pub fn offset(&self) -> Time {
+        self.offset
+    }
+
+    /// The secret bits.
+    pub fn bits(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// The arrivals `(t, count)`, in non-decreasing time order.
+    pub fn arrivals(&self) -> Vec<(Time, u64)> {
+        let mut v: Vec<(Time, u64)> = self
+            .bits
+            .iter()
+            .enumerate()
+            .map(|(idx, &n)| {
+                let i = idx as u32 + 1;
+                let age = Self::burst_age(self.k, self.alpha, i);
+                let count = n as u64 * self.k.pow(i);
+                (self.offset - age, count)
+            })
+            .collect();
+        v.sort_by_key(|&(t, _)| t);
+        v
+    }
+
+    /// Probe time for index `i` (1-based): `offset + k^{2i/α}`.
+    pub fn probe_time(&self, i: u32) -> Time {
+        self.offset + Self::burst_age(self.k, self.alpha, i)
+    }
+
+    /// The exact decayed sum `S_g(T)` under `g(x) = x^{-α}` for this
+    /// stream.
+    pub fn exact_decayed_sum(&self, t: Time) -> f64 {
+        self.arrivals()
+            .iter()
+            .filter(|&&(ti, _)| ti < t)
+            .map(|&(ti, c)| c as f64 * ((t - ti) as f64).powf(-self.alpha))
+            .sum()
+    }
+
+    /// At probe `i`, the ratio of burst `i`'s own contribution to the
+    /// combined contribution of all other bursts — Theorem 2 requires
+    /// this to exceed 4 (so that a 1/4-accurate answer pins `n_i`).
+    pub fn dominance_ratio(&self, i: u32) -> f64 {
+        let t = self.probe_time(i);
+        let mut own = 0.0;
+        let mut rest = 0.0;
+        for (idx, &n) in self.bits.iter().enumerate() {
+            let j = idx as u32 + 1;
+            let age = Self::burst_age(self.k, self.alpha, j);
+            let arrival = self.offset - age;
+            let contrib =
+                (n as u64 * self.k.pow(j)) as f64 * ((t - arrival) as f64).powf(-self.alpha);
+            if j == i {
+                own += contrib;
+            } else {
+                rest += contrib;
+            }
+        }
+        own / rest.max(f64::MIN_POSITIVE)
+    }
+
+    /// Decodes every secret bit from (estimates of) the decayed sums at
+    /// the probe times — the constructive half of the experiment: if
+    /// `sums[i-1]` is within a factor `1 ± 1/4` of `S_g(t_i)`, the
+    /// decoded bits equal the secret.
+    pub fn recover_bits(&self, sums: &[f64]) -> Vec<u8> {
+        assert_eq!(sums.len(), self.r(), "need one sum per probe");
+        (1..=self.r() as u32)
+            .map(|i| {
+                // The i-th term is n_i · 2^{-α} k^{-i} (paper §6); the
+                // rest contributes < 1/4 of it. Compare the probe sum
+                // against the midpoint between the n=1 and n=2 values.
+                let unit = 2f64.powf(-self.alpha) * (self.k as f64).powi(-(i as i32));
+                let midpoint = 1.5 * unit;
+                if sums[i as usize - 1] >= midpoint {
+                    2
+                } else {
+                    1
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secret(r: usize, seed: u64) -> Vec<u8> {
+        (0..r)
+            .map(|i| if (seed >> (i % 64)) & 1 == 1 { 2 } else { 1 })
+            .collect()
+    }
+
+    #[test]
+    fn dominance_exceeds_four() {
+        // (k, α, r) tuned per the reproduction note: the paper's k = 10
+        // does not achieve the >4 margin (see type docs).
+        for (k, alpha, r) in [(40u64, 1.0, 5usize), (72, 2.0, 8), (160, 3.0, 8)] {
+            let fam = LowerBoundFamily::new(k, alpha, secret(r, 0b10110101));
+            for i in 1..=r as u32 {
+                let ratio = fam.dominance_ratio(i);
+                assert!(ratio > 4.0, "k={k} alpha={alpha} i={i}: ratio={ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_k10_margin_is_insufficient() {
+        // Pins the reproduction finding: with the paper's k = 10 the
+        // worst-case dominance falls below 4 (the theorem needs larger
+        // k; the asymptotic claim is unaffected).
+        let mut bits = vec![2u8; 8];
+        bits[1] = 1; // n_2 = 1 with 2-valued neighbours is the worst case
+        let fam = LowerBoundFamily::new(10, 1.0, bits);
+        assert!(fam.dominance_ratio(2) < 4.0);
+    }
+
+    #[test]
+    fn exact_sums_recover_the_secret() {
+        let bits = secret(8, 0b01101100);
+        let fam = LowerBoundFamily::new(72, 2.0, bits.clone());
+        let sums: Vec<f64> =
+            (1..=8).map(|i| fam.exact_decayed_sum(fam.probe_time(i))).collect();
+        assert_eq!(fam.recover_bits(&sums), bits);
+    }
+
+    #[test]
+    fn quarter_accurate_sums_still_recover() {
+        let bits = secret(5, 0b11010);
+        let fam = LowerBoundFamily::new(40, 1.0, bits.clone());
+        // Perturb each exact sum by ±15% — inside the 1/4 band.
+        let sums: Vec<f64> = (1..=5)
+            .map(|i| {
+                let s = fam.exact_decayed_sum(fam.probe_time(i));
+                if i % 2 == 0 {
+                    s * 1.15
+                } else {
+                    s * 0.85
+                }
+            })
+            .collect();
+        assert_eq!(fam.recover_bits(&sums), bits);
+    }
+
+    #[test]
+    fn all_secrets_yield_distinct_probe_vectors() {
+        // 2^6 streams, r = 6: every pair must differ at some probe by a
+        // margin a 1/4-approximation cannot blur.
+        let r = 6;
+        let fams: Vec<LowerBoundFamily> = (0..64u64)
+            .map(|code| {
+                let bits = (0..r).map(|i| 1 + ((code >> i) & 1) as u8).collect();
+                LowerBoundFamily::new(72, 2.0, bits)
+            })
+            .collect();
+        for a in 0..fams.len() {
+            for b in a + 1..fams.len() {
+                let distinguishable = (1..=r as u32).any(|i| {
+                    let sa = fams[a].exact_decayed_sum(fams[a].probe_time(i));
+                    let sb = fams[b].exact_decayed_sum(fams[b].probe_time(i));
+                    (sa / sb).max(sb / sa) > 1.5
+                });
+                assert!(distinguishable, "streams {a} and {b} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_positive() {
+        let fam = LowerBoundFamily::new(40, 1.5, secret(6, 0xFF));
+        let arr = fam.arrivals();
+        for w in arr.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert!(arr.iter().all(|&(t, _)| t < fam.offset()));
+    }
+}

@@ -1,0 +1,173 @@
+//! Value streams for averages, variances, and quantiles.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use td_decay::Time;
+
+/// Uniform integer values in `[lo, hi]`, one per tick.
+#[derive(Debug, Clone)]
+pub struct UniformValues {
+    lo: u64,
+    hi: u64,
+    rng: StdRng,
+    t: Time,
+}
+
+impl UniformValues {
+    /// Uniform values in `[lo, hi]`, starting at tick 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u64, hi: u64, seed: u64) -> Self {
+        assert!(lo <= hi, "empty range");
+        Self {
+            lo,
+            hi,
+            rng: StdRng::seed_from_u64(seed),
+            t: 0,
+        }
+    }
+}
+
+impl Iterator for UniformValues {
+    type Item = (Time, u64);
+
+    fn next(&mut self) -> Option<(Time, u64)> {
+        self.t += 1;
+        Some((self.t, self.rng.random_range(self.lo..=self.hi)))
+    }
+}
+
+/// Values whose mean drifts linearly from `start_mean` to `end_mean`
+/// over `span` ticks (uniform noise of ±`jitter` around the drift) —
+/// the non-stationary regime where decayed averages earn their keep.
+#[derive(Debug, Clone)]
+pub struct DriftingValues {
+    start_mean: f64,
+    end_mean: f64,
+    span: Time,
+    jitter: u64,
+    rng: StdRng,
+    t: Time,
+}
+
+impl DriftingValues {
+    /// A drifting stream (see type docs), starting at tick 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span == 0`.
+    pub fn new(start_mean: f64, end_mean: f64, span: Time, jitter: u64, seed: u64) -> Self {
+        assert!(span > 0, "span must be positive");
+        Self {
+            start_mean,
+            end_mean,
+            span,
+            jitter,
+            rng: StdRng::seed_from_u64(seed),
+            t: 0,
+        }
+    }
+
+    /// The drift mean at tick `t`.
+    pub fn mean_at(&self, t: Time) -> f64 {
+        let frac = (t.min(self.span)) as f64 / self.span as f64;
+        self.start_mean + (self.end_mean - self.start_mean) * frac
+    }
+}
+
+impl Iterator for DriftingValues {
+    type Item = (Time, u64);
+
+    fn next(&mut self) -> Option<(Time, u64)> {
+        self.t += 1;
+        let base = self.mean_at(self.t);
+        let noise = self.rng.random_range(0..=2 * self.jitter) as f64 - self.jitter as f64;
+        Some((self.t, (base + noise).max(0.0).round() as u64))
+    }
+}
+
+/// Heavy-tailed (Pareto) integer values: `⌈x_m · U^{-1/α}⌉` — the
+/// value distribution behind the telecom-usage application (§1.1).
+#[derive(Debug, Clone)]
+pub struct ParetoValues {
+    x_m: f64,
+    inv_alpha: f64,
+    cap: u64,
+    rng: StdRng,
+    t: Time,
+}
+
+impl ParetoValues {
+    /// Pareto values with scale `x_m >= 1`, shape `alpha > 0`, capped at
+    /// `cap` (the cap keeps `f²` inside `u64` for variance feeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are out of range.
+    pub fn new(x_m: f64, alpha: f64, cap: u64, seed: u64) -> Self {
+        assert!(x_m >= 1.0, "scale must be at least 1");
+        assert!(alpha > 0.0, "shape must be positive");
+        assert!(cap >= x_m as u64, "cap below scale");
+        Self {
+            x_m,
+            inv_alpha: 1.0 / alpha,
+            cap,
+            rng: StdRng::seed_from_u64(seed),
+            t: 0,
+        }
+    }
+}
+
+impl Iterator for ParetoValues {
+    type Item = (Time, u64);
+
+    fn next(&mut self) -> Option<(Time, u64)> {
+        self.t += 1;
+        let u: f64 = self.rng.random_range(1e-12..1.0);
+        let x = self.x_m * u.powf(-self.inv_alpha);
+        Some((self.t, (x.ceil() as u64).min(self.cap)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mean() {
+        let total: u64 = UniformValues::new(0, 100, 1).take(50_000).map(|(_, f)| f).sum();
+        let mean = total as f64 / 50_000.0;
+        assert!((mean - 50.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn drift_endpoints() {
+        let d = DriftingValues::new(10.0, 90.0, 1_000, 0, 2);
+        assert_eq!(d.mean_at(0), 10.0);
+        assert_eq!(d.mean_at(500), 50.0);
+        assert_eq!(d.mean_at(1_000), 90.0);
+        assert_eq!(d.mean_at(5_000), 90.0); // clamps after the span
+        let vals: Vec<u64> = d.take(1_000).map(|(_, f)| f).collect();
+        assert!(vals[10] < 20);
+        assert!(vals[990] > 80);
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_but_capped() {
+        let vals: Vec<u64> = ParetoValues::new(1.0, 1.2, 1_000_000, 3)
+            .take(100_000)
+            .map(|(_, f)| f)
+            .collect();
+        let max = *vals.iter().max().unwrap();
+        assert!(max > 1_000, "max={max}"); // tail reaches far out
+        assert!(max <= 1_000_000);
+        let median = {
+            let mut v = vals.clone();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(median <= 3, "median={median}"); // mass near the scale
+    }
+}

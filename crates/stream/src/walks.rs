@@ -1,0 +1,147 @@
+//! Application-shaped workloads: RED queue walks and ATM idle times
+//! (paper §1.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use td_decay::Time;
+
+/// A bounded random walk modeling an output-queue length, the signal
+/// RED smooths with a decayed average (§1.1, Floyd–Jacobson \[11\]).
+///
+/// The walk drifts upward during (geometrically-dwelling) congestion
+/// episodes and downward otherwise, clamped to `[0, cap]`.
+#[derive(Debug, Clone)]
+pub struct QueueWalk {
+    cap: u64,
+    q: u64,
+    congested: bool,
+    p_flip_on: f64,
+    p_flip_off: f64,
+    rng: StdRng,
+    t: Time,
+}
+
+impl QueueWalk {
+    /// A queue walk bounded by `cap`, flipping into congestion with
+    /// probability `p_flip_on` per tick and out with `p_flip_off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` or the probabilities are outside `(0, 1]`.
+    pub fn new(cap: u64, p_flip_on: f64, p_flip_off: f64, seed: u64) -> Self {
+        assert!(cap > 0, "cap must be positive");
+        assert!(p_flip_on > 0.0 && p_flip_on <= 1.0, "p_flip_on out of range");
+        assert!(p_flip_off > 0.0 && p_flip_off <= 1.0, "p_flip_off out of range");
+        Self {
+            cap,
+            q: 0,
+            congested: false,
+            p_flip_on,
+            p_flip_off,
+            rng: StdRng::seed_from_u64(seed),
+            t: 0,
+        }
+    }
+}
+
+impl Iterator for QueueWalk {
+    type Item = (Time, u64);
+
+    fn next(&mut self) -> Option<(Time, u64)> {
+        self.t += 1;
+        let flip: f64 = self.rng.random();
+        if self.congested {
+            if flip < self.p_flip_off {
+                self.congested = false;
+            }
+        } else if flip < self.p_flip_on {
+            self.congested = true;
+        }
+        // Congested: +0..3 per tick; draining: −0..2.
+        if self.congested {
+            self.q = (self.q + self.rng.random_range(0..=3)).min(self.cap);
+        } else {
+            self.q = self.q.saturating_sub(self.rng.random_range(0..=2));
+        }
+        Some((self.t, self.q))
+    }
+}
+
+/// Inter-burst idle times for a data connection — the quantity whose
+/// decayed average drives ATM circuit holding-time policies (§1.1,
+/// Keshav et al. \[15\]). Idle times are Pareto (bursty, heavy-tailed);
+/// the iterator yields `(arrival_time, idle_duration)` pairs where the
+/// arrival time advances by each idle period.
+#[derive(Debug, Clone)]
+pub struct IdleTimes {
+    scale: f64,
+    inv_shape: f64,
+    cap: u64,
+    rng: StdRng,
+    t: Time,
+}
+
+impl IdleTimes {
+    /// Pareto idle times with the given scale/shape, capped at `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are out of range.
+    pub fn new(scale: f64, shape: f64, cap: u64, seed: u64) -> Self {
+        assert!(scale >= 1.0, "scale must be at least 1");
+        assert!(shape > 0.0, "shape must be positive");
+        assert!(cap >= scale as u64, "cap below scale");
+        Self {
+            scale,
+            inv_shape: 1.0 / shape,
+            cap,
+            rng: StdRng::seed_from_u64(seed),
+            t: 0,
+        }
+    }
+}
+
+impl Iterator for IdleTimes {
+    type Item = (Time, u64);
+
+    fn next(&mut self) -> Option<(Time, u64)> {
+        let u: f64 = self.rng.random_range(1e-12..1.0);
+        let idle = ((self.scale * u.powf(-self.inv_shape)).ceil() as u64).min(self.cap);
+        self.t += idle.max(1);
+        Some((self.t, idle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_walk_stays_bounded() {
+        let walk: Vec<u64> = QueueWalk::new(500, 0.01, 0.05, 1)
+            .take(100_000)
+            .map(|(_, q)| q)
+            .collect();
+        assert!(walk.iter().all(|&q| q <= 500));
+        // Congestion episodes push it well above zero at some point.
+        assert!(*walk.iter().max().unwrap() > 50);
+        // And it drains back down.
+        assert!(walk.iter().filter(|&&q| q == 0).count() > 100);
+    }
+
+    #[test]
+    fn idle_times_advance_clock() {
+        let pairs: Vec<(Time, u64)> = IdleTimes::new(2.0, 1.1, 10_000, 2).take(1_000).collect();
+        for w in pairs.windows(2) {
+            assert!(w[1].0 > w[0].0, "time must strictly advance");
+        }
+        assert!(pairs.iter().all(|&(_, d)| d >= 2 && d <= 10_000));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<_> = QueueWalk::new(100, 0.02, 0.1, 9).take(500).collect();
+        let b: Vec<_> = QueueWalk::new(100, 0.02, 0.1, 9).take(500).collect();
+        assert_eq!(a, b);
+    }
+}

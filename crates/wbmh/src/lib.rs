@@ -1,0 +1,1055 @@
+//! Weight-Based Merging Histograms (WBMH) — the paper's main algorithmic
+//! contribution (§5, Lemma 5.1).
+//!
+//! A WBMH aggregates the stream into buckets whose **time boundaries are
+//! determined by the decay function, the accuracy target ε, and the
+//! clock — never by the stream**. The age axis is split into regions
+//! `[b_i, b_{i+1} − 1]` inside which all weights agree to a `(1 + ε)`
+//! factor (computed by [`td_decay::RegionSchedule`]); the open bucket is
+//! sealed on a fixed cadence of `b_1 − 1` ticks, and two adjacent sealed
+//! buckets merge exactly when their combined age span fits inside a
+//! single region at the current time.
+//!
+//! Applicability: the decay must satisfy §5's condition that
+//! `g(x)/g(x+1)` is non-increasing — then items co-bucketed within a
+//! `(1+ε)` weight band *stay* within it forever. Exponential and
+//! polynomial decay qualify; sliding windows do not (and the constructor
+//! checks).
+//!
+//! Why it matters: the bucket count is `O(ε⁻¹ log D(g))` where
+//! `D(g) = g(1)/g(N)`. For POLYD that is `O(α ε⁻¹ log N)` buckets whose
+//! boundaries cost nothing per stream, and with the approximate counters
+//! of `td-counters::approx` the total is `O(log N · log log N)` bits —
+//! nearly as cheap as exponential decay and quadratically cheaper than
+//! the `O(log² N)` cascaded-EH bound (experiment E6). For EXPD,
+//! `log D(g) = Θ(N)` and WBMH degenerates — the paper's reason to keep
+//! both algorithms around.
+//!
+//! This module reproduces the paper's §5 worked trace (`g = 1/x²`,
+//! `1 + ε = 5`) *exactly*; see `paper_trace_matches_section_5`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use td_counters::approx::ApproxCount;
+use td_decay::properties::check_ratio_monotone;
+use td_decay::storage::{bits_for_count, StorageAccounting};
+use td_decay::{DecayFunction, RegionSchedule, Time};
+
+/// How a query weights the items of a bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WbmhEstimator {
+    /// Weight the whole bucket at its end (newest-item) time: one-sided,
+    /// `S <= S' <= (1+ε)·S` for exact counts.
+    #[default]
+    Paper,
+    /// Weight the bucket at the geometric mean of its end- and
+    /// start-time weights: two-sided, within `sqrt(1+ε)` each way.
+    Geometric,
+}
+
+/// How bucket counts are stored.
+#[derive(Debug, Clone)]
+enum BucketCount {
+    Exact(u64),
+    Approx(ApproxCount),
+}
+
+impl BucketCount {
+    fn value(&self) -> f64 {
+        match self {
+            BucketCount::Exact(c) => *c as f64,
+            BucketCount::Approx(a) => a.value(),
+        }
+    }
+
+    fn absorb(&mut self, f: u64) {
+        match self {
+            BucketCount::Exact(c) => *c = c.saturating_add(f),
+            BucketCount::Approx(a) => a.absorb(f),
+        }
+    }
+
+    fn merge(&self, other: &Self) -> Self {
+        match (self, other) {
+            (BucketCount::Exact(a), BucketCount::Exact(b)) => {
+                BucketCount::Exact(a.saturating_add(*b))
+            }
+            (BucketCount::Approx(a), BucketCount::Approx(b)) => {
+                BucketCount::Approx(ApproxCount::merge(a, b))
+            }
+            _ => unreachable!("count modes never mix within one histogram"),
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        match self {
+            BucketCount::Exact(c) => bits_for_count(*c),
+            BucketCount::Approx(a) => a.storage_bits(),
+        }
+    }
+}
+
+/// One WBMH bucket.
+///
+/// `start`/`end` are **partition-cell boundaries** — deterministic
+/// functions of `(g, ε, T)` — which is what makes every structural
+/// decision stream-independent (§5). `first_item`/`last_item` record
+/// the actual item extent for reporting and for weighting the open
+/// bucket.
+#[derive(Debug, Clone)]
+struct WbmhBucket {
+    start: Time,
+    end: Time,
+    first_item: Time,
+    last_item: Time,
+    count: BucketCount,
+}
+
+/// A view of one bucket's time span and (possibly approximate) count,
+/// as returned by [`Wbmh::bucket_spans`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketView {
+    /// Arrival time of the bucket's oldest item.
+    pub start: Time,
+    /// Arrival time of the bucket's newest item.
+    pub end: Time,
+    /// The stored count (exact or rounded).
+    pub count: f64,
+}
+
+/// A weight-based merging histogram for a ratio-monotone decay function.
+///
+/// # Examples
+///
+/// ```
+/// use td_wbmh::Wbmh;
+/// use td_decay::Polynomial;
+/// let mut h = Wbmh::new(Polynomial::new(1.0), 0.1, 1 << 20);
+/// for t in 1..=1000 {
+///     h.observe(t, 1);
+/// }
+/// let est = h.query(1001);
+/// let exact: f64 = (1..=1000u64).map(|t| 1.0 / (1001 - t) as f64).sum();
+/// assert!(est >= exact * (1.0 - 1e-9));
+/// assert!(est <= exact * 1.1 + 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wbmh<G> {
+    decay: G,
+    epsilon: f64,
+    schedule: RegionSchedule,
+    /// Seal cadence: the open cell covers `[k·p, (k+1)·p − 1]`.
+    seal_period: Time,
+    /// Whether buckets entirely past the last schedule boundary may
+    /// still merge (true only when the decay has nullified there).
+    merge_beyond_schedule: bool,
+    /// Approximation parameter for approximate bucket counts, if any.
+    count_epsilon: Option<f64>,
+    /// Sealed buckets, oldest first.
+    buckets: VecDeque<WbmhBucket>,
+    /// The open (unsealed) bucket, if any.
+    open: Option<WbmhBucket>,
+    /// Items at the most recent tick, kept outside the histogram so a
+    /// query at that tick can exclude them exactly (§2.1 convention).
+    pending: Option<(Time, u64)>,
+    /// Seals since the last merge pass; the pass is amortized (it runs
+    /// every ~#buckets/8 seals, and always on an explicit `advance`),
+    /// deferring merges never violates the ε band — it only keeps the
+    /// histogram transiently finer than canonical.
+    seals_since_pass: usize,
+    last_t: Time,
+    started: bool,
+}
+
+impl<G: DecayFunction> Wbmh<G> {
+    /// A WBMH with exact bucket counts.
+    ///
+    /// `max_age` is the operational lifetime: the region schedule is
+    /// precomputed for ages up to `max_age`, and buckets older than the
+    /// last boundary stop merging (choose `max_age` at least as large as
+    /// the stream you will run; for POLYD the schedule costs only
+    /// `O(ε⁻¹ α log max_age)` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not finite/positive, `max_age == 0`, or
+    /// the decay fails the §5 ratio-monotonicity audit on
+    /// `1..=min(max_age, 4096)` (use `td-ceh` for such decays).
+    pub fn new(decay: G, epsilon: f64, max_age: Time) -> Self {
+        Self::build(decay, epsilon, max_age, None)
+    }
+
+    /// A WBMH whose bucket counts use the §5 adaptive-precision ladder
+    /// with parameter `count_epsilon` — the configuration achieving the
+    /// `O(log N · log log N)` bits of Lemma 5.1. The overall estimate
+    /// error becomes `(1+ε)·(1+count_epsilon·π²/6) − 1`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Wbmh::new`], plus if `count_epsilon` is not finite/positive.
+    pub fn with_approx_counts(
+        decay: G,
+        epsilon: f64,
+        max_age: Time,
+        count_epsilon: f64,
+    ) -> Self {
+        assert!(
+            count_epsilon.is_finite() && count_epsilon > 0.0,
+            "count_epsilon must be finite and positive, got {count_epsilon}"
+        );
+        Self::build(decay, epsilon, max_age, Some(count_epsilon))
+    }
+
+    fn build(decay: G, epsilon: f64, max_age: Time, count_epsilon: Option<f64>) -> Self {
+        assert!(
+            check_ratio_monotone(&decay, max_age.min(4096)),
+            "{} is not ratio-monotone (g(x)/g(x+1) must be non-increasing, §5); \
+             use the cascaded EH instead",
+            decay.describe()
+        );
+        let schedule = RegionSchedule::compute(&decay, epsilon, max_age);
+        let seal_period = schedule.seal_period();
+        let last = schedule.boundary(schedule.num_regions() - 1);
+        let merge_beyond_schedule = decay.weight(last) == 0.0;
+        Self {
+            decay,
+            epsilon,
+            schedule,
+            seal_period,
+            merge_beyond_schedule,
+            count_epsilon,
+            buckets: VecDeque::new(),
+            open: None,
+            pending: None,
+            seals_since_pass: 0,
+            last_t: 0,
+            started: false,
+        }
+    }
+
+    /// The decay function being tracked.
+    pub fn decay(&self) -> &G {
+        &self.decay
+    }
+
+    /// The accuracy parameter ε of the region schedule.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The precomputed, stream-independent region schedule.
+    pub fn schedule(&self) -> &RegionSchedule {
+        &self.schedule
+    }
+
+    /// The open-bucket seal cadence `b_1 − 1` (ticks).
+    pub fn seal_period(&self) -> Time {
+        self.seal_period
+    }
+
+    /// Number of stored buckets (sealed + open; pending tick excluded).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len() + usize::from(self.open.is_some())
+    }
+
+    fn fresh_count(&self, f: u64) -> BucketCount {
+        match self.count_epsilon {
+            None => BucketCount::Exact(f),
+            Some(eps) => {
+                let mut a = ApproxCount::zero(eps);
+                a.absorb(f);
+                BucketCount::Approx(a)
+            }
+        }
+    }
+
+    /// Folds the pending tick into its seal cell, sealing the open
+    /// bucket when the cell changes.
+    fn fold_pending(&mut self) {
+        let Some((t, f)) = self.pending.take() else {
+            return;
+        };
+        let cell = t / self.seal_period;
+        match &mut self.open {
+            Some(open) if open.start / self.seal_period == cell => {
+                open.last_item = t;
+                open.count.absorb(f);
+            }
+            _ => {
+                if let Some(done) = self.open.take() {
+                    self.buckets.push_back(done);
+                    self.seals_since_pass += 1;
+                }
+                self.open = Some(WbmhBucket {
+                    start: cell * self.seal_period,
+                    end: cell * self.seal_period + self.seal_period - 1,
+                    first_item: t,
+                    last_item: t,
+                    count: self.fresh_count(f),
+                });
+            }
+        }
+    }
+
+    /// True when the pair (older `a`, newer `c`) may merge at time
+    /// `now` — the paper's §5 merge rule: there is a region `i` with
+    /// `b_i <= now − c.end` and `now − a.start <= b_{i+1} − 1`.
+    fn may_merge(&self, a: &WbmhBucket, c: &WbmhBucket, now: Time) -> bool {
+        let union_end = a.end.max(c.end);
+        let union_start = a.start.min(c.start);
+        if union_end >= now {
+            return false;
+        }
+        let newest_age = now - union_end;
+        let oldest_age = now - union_start;
+        let region = self.schedule.region_of(newest_age);
+        match self.schedule.region_span(region) {
+            (_, Some(end)) => oldest_age <= end,
+            (_, None) => self.merge_beyond_schedule,
+        }
+    }
+
+    /// Runs merge passes at time `now` until no adjacent pair merges.
+    fn merge_pass(&mut self, now: Time) {
+        loop {
+            let mut merged_any = false;
+            let mut i = 0;
+            while i + 1 < self.buckets.len() {
+                if self.may_merge(&self.buckets[i], &self.buckets[i + 1], now) {
+                    // min/max span handles nested/overlapping pairs that
+                    // arise transiently after `merge_from`.
+                    let merged = WbmhBucket {
+                        start: self.buckets[i].start.min(self.buckets[i + 1].start),
+                        end: self.buckets[i].end.max(self.buckets[i + 1].end),
+                        first_item: self
+                            .buckets[i]
+                            .first_item
+                            .min(self.buckets[i + 1].first_item),
+                        last_item: self
+                            .buckets[i]
+                            .last_item
+                            .max(self.buckets[i + 1].last_item),
+                        count: self.buckets[i].count.merge(&self.buckets[i + 1].count),
+                    };
+                    self.buckets[i] = merged;
+                    self.buckets.remove(i + 1);
+                    merged_any = true;
+                    // Re-check the same position against the next
+                    // neighbour.
+                } else {
+                    i += 1;
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+    }
+
+    /// Seals the open bucket purely by clock: its cell closes once `now`
+    /// has moved past it, even with no new arrivals.
+    fn seal_by_clock(&mut self, now: Time) {
+        if let Some(open) = &self.open {
+            if now > open.end {
+                let done = self.open.take().expect("checked above");
+                self.buckets.push_back(done);
+                self.seals_since_pass += 1;
+            }
+        }
+    }
+
+    /// Advances the histogram's clock to `t`, folding pending items and
+    /// running the stream-independent seal/merge schedule to its
+    /// canonical state at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previous observation.
+    pub fn advance(&mut self, t: Time) {
+        self.advance_inner(t, true);
+    }
+
+    fn advance_inner(&mut self, t: Time, force_pass: bool) {
+        if self.started {
+            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+        }
+        self.started = true;
+        if let Some((pt, _)) = self.pending {
+            if pt < t {
+                self.fold_pending();
+            }
+        }
+        self.seal_by_clock(t);
+        if force_pass || self.seals_since_pass >= (self.buckets.len() / 8).max(4) {
+            self.merge_pass(t);
+            self.seals_since_pass = 0;
+        }
+        self.last_t = t;
+    }
+
+    /// Ingests an item of value `f` at time `t` (non-decreasing `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previous observation.
+    pub fn observe(&mut self, t: Time, f: u64) {
+        self.advance_inner(t, false);
+        if f == 0 {
+            return; // zero values carry no mass and cost no state
+        }
+        match &mut self.pending {
+            Some((pt, pf)) if *pt == t => *pf = pf.saturating_add(f),
+            _ => self.pending = Some((t, f)),
+        }
+    }
+
+    /// Merges another WBMH's contents into this one — the distributed-
+    /// streams operation. Because the bucket boundaries are functions of
+    /// `(g, ε, T)` only (§5), two WBMHs over the same configuration that
+    /// have been [`Wbmh::advance`]d to the same time have *aligned*
+    /// partitions (any two buckets coincide, nest, or overlap on whole
+    /// cells). The union of the two bucket lists is therefore itself a
+    /// valid (transiently finer-than-canonical) WBMH state: every bucket
+    /// keeps the `(1+ε)` weight band it was formed under, so the merged
+    /// estimate keeps the **single**-histogram `(1+ε)` bound — merging
+    /// does not compound errors. The regular merge pass then compacts
+    /// the union wherever the §5 region rule allows (overlapping buckets
+    /// whose union span does not currently fit one region stay separate,
+    /// which costs at most a transient 2× in bucket count, never
+    /// accuracy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms differ in schedule (decay/ε/max_age),
+    /// count mode, or current time (`advance` both to the same tick
+    /// first).
+    pub fn merge_from(&mut self, other: &Wbmh<G>) {
+        assert_eq!(
+            self.schedule, other.schedule,
+            "region schedules differ (decay/epsilon/max_age must match)"
+        );
+        assert_eq!(
+            self.count_epsilon.is_some(),
+            other.count_epsilon.is_some(),
+            "count modes differ"
+        );
+        assert_eq!(
+            self.last_t, other.last_t,
+            "advance both histograms to the same tick before merging"
+        );
+        let mut all: Vec<WbmhBucket> = self
+            .buckets
+            .iter()
+            .chain(other.buckets.iter())
+            .cloned()
+            .collect();
+        all.sort_by_key(|b| (b.start, b.end));
+        self.buckets = all.into();
+        // Open buckets, if both exist, are in the same (current) cell.
+        self.open = match (self.open.take(), &other.open) {
+            (Some(mut a), Some(b)) => {
+                debug_assert_eq!(a.start, b.start, "open cells must align");
+                a.last_item = a.last_item.max(b.last_item);
+                a.first_item = a.first_item.min(b.first_item);
+                a.count = a.count.merge(&b.count);
+                Some(a)
+            }
+            (a, b) => a.or_else(|| b.clone()),
+        };
+        // Pendings are at the shared current tick.
+        self.pending = match (self.pending, other.pending) {
+            (Some((ta, fa)), Some((tb, fb))) => {
+                debug_assert_eq!(ta, tb);
+                Some((ta, fa + fb))
+            }
+            (a, b) => a.or(b),
+        };
+        self.started |= other.started;
+        self.merge_pass(self.last_t);
+        self.seals_since_pass = 0;
+    }
+
+    /// The decaying-sum estimate with the default one-sided estimator.
+    pub fn query(&self, t: Time) -> f64 {
+        self.query_with(t, WbmhEstimator::Paper)
+    }
+
+    /// The decaying-sum estimate with an explicit weighting rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last observed time.
+    pub fn query_with(&self, t: Time, estimator: WbmhEstimator) -> f64 {
+        assert!(
+            !self.started || t >= self.last_t,
+            "query time {t} precedes last observation {}",
+            self.last_t
+        );
+        // Sealed buckets are weighted at their deterministic cell end;
+        // the open bucket (whose cell may extend past `t`) at its newest
+        // item. Both stay within the region's (1+ε) band.
+        let weigh = |b: &WbmhBucket| -> f64 {
+            let eff_end = b.end.min(b.last_item);
+            if eff_end >= t {
+                return 0.0; // §2.1: items at/after the query time
+            }
+            let w_end = self.decay.weight(t - eff_end);
+            let w = match estimator {
+                WbmhEstimator::Paper => w_end,
+                WbmhEstimator::Geometric => {
+                    (w_end * self.decay.weight(t - b.start.max(b.first_item))).sqrt()
+                }
+            };
+            b.count.value() * w
+        };
+        let mut total: f64 = self.buckets.iter().map(weigh).sum();
+        if let Some(open) = &self.open {
+            total += weigh(open);
+        }
+        if let Some((pt, pf)) = self.pending {
+            if pt < t {
+                total += pf as f64 * self.decay.weight(t - pt);
+            }
+        }
+        total
+    }
+
+    /// The *item extents* and counts of all stored buckets, oldest first
+    /// (sealed, then open, then the pending tick if present) — the
+    /// groups the §5 trace quotes. Structural (cell) boundaries are the
+    /// deterministic partition and are not exposed per bucket.
+    pub fn bucket_spans(&self) -> Vec<BucketView> {
+        let mut v: Vec<BucketView> = self
+            .buckets
+            .iter()
+            .map(|b| BucketView {
+                start: b.first_item,
+                end: b.last_item,
+                count: b.count.value(),
+            })
+            .collect();
+        if let Some(open) = &self.open {
+            v.push(BucketView {
+                start: open.first_item,
+                end: open.last_item,
+                count: open.count.value(),
+            });
+        }
+        if let Some((pt, pf)) = self.pending {
+            v.push(BucketView {
+                start: pt,
+                end: pt,
+                count: pf as f64,
+            });
+        }
+        v
+    }
+
+    /// The worst-case relative error of the current configuration: the
+    /// region band `(1+ε)` composed with the approximate-count ladder
+    /// bound, minus one.
+    pub fn error_bound(&self) -> f64 {
+        let count_factor = match self.count_epsilon {
+            None => 1.0,
+            Some(eps) => 1.0 + eps * std::f64::consts::PI.powi(2) / 6.0,
+        };
+        (1.0 + self.epsilon) * count_factor - 1.0
+    }
+}
+
+/// A compact serialization of a WBMH's **per-stream** state: bucket
+/// spans and counts, the open bucket, and the pending tick. The shared
+/// configuration (decay function, ε, region schedule, count mode) is
+/// deliberately *not* included — §2.3's storage argument is exactly
+/// that it is shared across all streams, and the telecom application
+/// (§1.1) stores one such record per customer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WbmhSnapshot {
+    /// Clock state at snapshot time.
+    pub last_t: Time,
+    /// Sealed buckets then the open bucket (if any), oldest first:
+    /// `(start, end, first_item, last_item, count_value, merge_depth)`.
+    /// `merge_depth` is 0 for exact counts.
+    pub buckets: Vec<(Time, Time, Time, Time, f64, u32)>,
+    /// Whether the final entry of `buckets` is the open bucket.
+    pub has_open: bool,
+    /// The pending (current-tick) items, if any.
+    pub pending: Option<(Time, u64)>,
+    /// Merge-pass throttle state (captured so a restored histogram
+    /// replays the deterministic schedule tick-for-tick).
+    pub seals_since_pass: usize,
+}
+
+impl<G: DecayFunction> Wbmh<G> {
+    /// Captures the per-stream state for external storage.
+    pub fn snapshot(&self) -> WbmhSnapshot {
+        let encode = |b: &WbmhBucket| {
+            let (value, depth) = match &b.count {
+                BucketCount::Exact(c) => (*c as f64, 0),
+                BucketCount::Approx(a) => (a.value(), a.depth()),
+            };
+            (b.start, b.end, b.first_item, b.last_item, value, depth)
+        };
+        let mut buckets: Vec<_> = self.buckets.iter().map(encode).collect();
+        let has_open = self.open.is_some();
+        if let Some(open) = &self.open {
+            buckets.push(encode(open));
+        }
+        WbmhSnapshot {
+            last_t: self.last_t,
+            buckets,
+            has_open,
+            pending: self.pending,
+            seals_since_pass: self.seals_since_pass,
+        }
+    }
+
+    /// Rebuilds a histogram from a snapshot plus the shared
+    /// configuration. The configuration must match the one the snapshot
+    /// was taken under (same decay/ε/max_age/count mode) — restoring
+    /// under a different schedule silently reinterprets the bucket
+    /// spans, so a round-trip test on first use is advisable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's bucket spans are not sorted/disjoint,
+    /// or if a count value is negative or non-finite.
+    pub fn restore(
+        decay: G,
+        epsilon: f64,
+        max_age: Time,
+        count_epsilon: Option<f64>,
+        snap: &WbmhSnapshot,
+    ) -> Self {
+        let mut h = match count_epsilon {
+            None => Self::new(decay, epsilon, max_age),
+            Some(ce) => Self::with_approx_counts(decay, epsilon, max_age, ce),
+        };
+        let decode = |&(start, end, first_item, last_item, value, depth): &(
+            Time,
+            Time,
+            Time,
+            Time,
+            f64,
+            u32,
+        )|
+         -> WbmhBucket {
+            assert!(
+                value.is_finite() && value >= 0.0,
+                "invalid count value {value} in snapshot"
+            );
+            let count = match count_epsilon {
+                None => {
+                    assert_eq!(depth, 0, "exact-mode snapshot carries merge depths");
+                    BucketCount::Exact(value as u64)
+                }
+                Some(ce) => BucketCount::Approx(ApproxCount::from_parts(value, depth, ce)),
+            };
+            WbmhBucket {
+                start,
+                end,
+                first_item,
+                last_item,
+                count,
+            }
+        };
+        let n_sealed = snap.buckets.len() - usize::from(snap.has_open);
+        for pair in snap.buckets.windows(2) {
+            assert!(
+                pair[0].0 <= pair[1].0,
+                "snapshot buckets out of order"
+            );
+        }
+        h.buckets = snap.buckets[..n_sealed].iter().map(decode).collect();
+        h.open = snap.has_open.then(|| decode(snap.buckets.last().expect("has_open")));
+        h.pending = snap.pending;
+        h.seals_since_pass = snap.seals_since_pass;
+        h.last_t = snap.last_t;
+        h.started = snap.last_t > 0 || !snap.buckets.is_empty() || snap.pending.is_some();
+        h
+    }
+}
+
+impl<G: DecayFunction> StorageAccounting for Wbmh<G> {
+    fn storage_bits(&self) -> u64 {
+        // Per-stream state: one count per bucket plus a 2-bit presence/
+        // alignment tag per occupied partition cell. Bucket *boundaries*
+        // are functions of (g, ε, T) shared across all streams and are
+        // not charged (§2.3, §5).
+        let per_bucket_overhead = 2;
+        let mut bits: u64 = self
+            .buckets
+            .iter()
+            .map(|b| b.count.storage_bits() + per_bucket_overhead)
+            .sum();
+        if let Some(open) = &self.open {
+            bits += open.count.storage_bits() + per_bucket_overhead;
+        }
+        if let Some((_, pf)) = self.pending {
+            bits += bits_for_count(pf);
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_counters::ExactDecayedSum;
+    use td_decay::{Exponential, Polynomial};
+
+    /// The paper's §5 trace: g(x) = 1/x², 1+ε = 5, one item per tick
+    /// starting at t = 0. Bucket *time spans* at each quoted T must
+    /// match the quoted weight groups exactly.
+    #[test]
+    fn paper_trace_matches_section_5() {
+        let mut h = Wbmh::new(Polynomial::new(2.0), 4.0, 1 << 20);
+        assert_eq!(h.schedule().boundary(1), 3);
+        assert_eq!(h.schedule().boundary(2), 7);
+        assert_eq!(h.schedule().boundary(3), 16);
+        assert_eq!(h.seal_period(), 2);
+
+        let mut fed = 0u64;
+        let mut feed_until = |h: &mut Wbmh<Polynomial>, t_query: Time, fed: &mut u64| {
+            while *fed < t_query {
+                h.observe(*fed, 1);
+                *fed += 1;
+            }
+            h.advance(t_query);
+        };
+        let spans = |h: &Wbmh<Polynomial>| -> Vec<(Time, Time)> {
+            h.bucket_spans().iter().map(|b| (b.start, b.end)).collect()
+        };
+
+        // T=1: "(1)" → items {0}.
+        feed_until(&mut h, 1, &mut fed);
+        assert_eq!(spans(&h), vec![(0, 0)]);
+        // T=2: "(1, 1/4)" → {0,1} in one bucket.
+        feed_until(&mut h, 2, &mut fed);
+        assert_eq!(spans(&h), vec![(0, 1)]);
+        // T=3: "(1); (1/4, 1/9)" → {2} and {0,1}.
+        feed_until(&mut h, 3, &mut fed);
+        assert_eq!(spans(&h), vec![(0, 1), (2, 2)]);
+        // T=4: "(1,1/4); (1/9,1/16)" → {2,3} and {0,1}.
+        feed_until(&mut h, 4, &mut fed);
+        assert_eq!(spans(&h), vec![(0, 1), (2, 3)]);
+        // T=6: "(1,1/4); (1/9..1/36)" → {4,5} and {0..3}.
+        feed_until(&mut h, 6, &mut fed);
+        assert_eq!(spans(&h), vec![(0, 3), (4, 5)]);
+        // T=8: "(1,1/4); (1/9,1/16); (1/25..1/64)" → {6,7},{4,5},{0..3}.
+        feed_until(&mut h, 8, &mut fed);
+        assert_eq!(spans(&h), vec![(0, 3), (4, 5), (6, 7)]);
+        // T=9: "(1); (1/4,1/9); (1/16,1/25); (1/36..1/81)"
+        //      → {8},{6,7},{4,5},{0..3}.
+        feed_until(&mut h, 9, &mut fed);
+        assert_eq!(spans(&h), vec![(0, 3), (4, 5), (6, 7), (8, 8)]);
+        // T=10: "(1,1/4); (1/9..1/36); (1/49..1/100)"
+        //      → {8,9},{4..7},{0..3}.
+        feed_until(&mut h, 10, &mut fed);
+        assert_eq!(spans(&h), vec![(0, 3), (4, 7), (8, 9)]);
+    }
+
+    /// The paper's stream-independence claim (§5): "the count in each
+    /// bucket depends on the stream, but the boundaries of each bucket
+    /// do not". Two streams with identical arrival times but completely
+    /// different values must produce identical bucket time-partitions.
+    #[test]
+    fn boundaries_are_value_independent() {
+        let mk = || Wbmh::new(Polynomial::new(1.0), 0.2, 1 << 20);
+        let mut ones = mk();
+        let mut wild = mk();
+        for t in 0..=2_000u64 {
+            if t % 3 != 2 {
+                ones.observe(t, 1);
+                wild.observe(t, 1 + (t * t) % 97);
+            }
+        }
+        ones.advance(2_001);
+        wild.advance(2_001);
+        let sa: Vec<(Time, Time)> =
+            ones.bucket_spans().iter().map(|b| (b.start, b.end)).collect();
+        let sb: Vec<(Time, Time)> =
+            wild.bucket_spans().iter().map(|b| (b.start, b.end)).collect();
+        assert_eq!(sa, sb, "bucket boundaries must not depend on values");
+        // Counts, of course, differ.
+        let ca: f64 = ones.bucket_spans().iter().map(|b| b.count).sum();
+        let cb: f64 = wild.bucket_spans().iter().map(|b| b.count).sum();
+        assert!(cb > ca);
+    }
+
+    /// With identical occupancy patterns the *entire* structure —
+    /// including merge cascades — is reproducible tick for tick.
+    #[test]
+    fn structure_is_deterministic() {
+        let mk = || Wbmh::new(Polynomial::new(2.0), 0.5, 1 << 16);
+        let mut a = mk();
+        let mut b = mk();
+        let mut x = 5u64;
+        for t in 0..=3_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 4 == 0 {
+                a.observe(t, 2);
+                b.observe(t, 2);
+            } else {
+                a.advance(t);
+                b.advance(t);
+            }
+        }
+        let sa: Vec<(Time, Time)> =
+            a.bucket_spans().iter().map(|v| (v.start, v.end)).collect();
+        let sb: Vec<(Time, Time)> =
+            b.bucket_spans().iter().map(|v| (v.start, v.end)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    fn audit_accuracy<G: DecayFunction + Clone>(g: G, eps: f64, n: u64, seed: u64) {
+        let mut h = Wbmh::new(g.clone(), eps, 1 << 22);
+        let mut exact = ExactDecayedSum::new(g);
+        let mut x = seed;
+        for t in 1..=n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = x % 5;
+            h.observe(t, f);
+            exact.observe(t, f);
+            if t % 479 == 0 || t == n {
+                let truth = exact.query(t + 1);
+                let est = h.query(t + 1);
+                assert!(
+                    est >= truth * (1.0 - 1e-9),
+                    "t={t}: est={est} < truth={truth}"
+                );
+                assert!(
+                    est <= truth * (1.0 + eps) + 1e-9,
+                    "t={t}: est={est} > (1+{eps})·truth={truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_sided_bound_polynomial() {
+        audit_accuracy(Polynomial::new(1.0), 0.1, 5_000, 11);
+        audit_accuracy(Polynomial::new(2.0), 0.25, 5_000, 12);
+        audit_accuracy(Polynomial::new(0.5), 0.05, 5_000, 13);
+    }
+
+    #[test]
+    fn one_sided_bound_exponential() {
+        // WBMH is storage-inefficient for EXPD but still correct.
+        audit_accuracy(Exponential::new(0.01), 0.1, 3_000, 14);
+    }
+
+    #[test]
+    fn approx_counts_respect_combined_bound() {
+        let g = Polynomial::new(1.0);
+        let (eps, ceps) = (0.1, 0.05);
+        let mut h = Wbmh::with_approx_counts(g.clone(), eps, 1 << 22, ceps);
+        let mut exact = ExactDecayedSum::new(g);
+        let mut x = 99u64;
+        for t in 1..=8_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = x % 5;
+            h.observe(t, f);
+            exact.observe(t, f);
+        }
+        let truth = exact.query(8_001);
+        let est = h.query(8_001);
+        let bound = h.error_bound();
+        let rel = (est - truth) / truth;
+        assert!(rel >= -bound - 1e-9 && rel <= bound + 1e-9, "rel={rel}, bound={bound}");
+    }
+
+    #[test]
+    fn bucket_count_is_logarithmic_for_polyd() {
+        let eps = 0.5;
+        let mut h1 = Wbmh::new(Polynomial::new(2.0), eps, 1 << 22);
+        for t in 1..=(1u64 << 12) {
+            h1.observe(t, 1);
+        }
+        h1.advance(1 << 12);
+        let n12 = h1.num_buckets();
+        let mut h2 = Wbmh::new(Polynomial::new(2.0), eps, 1 << 22);
+        for t in 1..=(1u64 << 18) {
+            h2.observe(t, 1);
+        }
+        h2.advance(1 << 18);
+        let n18 = h2.num_buckets();
+        assert!(n18 as f64 <= 2.5 * n12 as f64, "n12={n12}, n18={n18}");
+        let regions = h2.schedule().num_regions();
+        assert!(n18 <= 3 * regions + 4, "n18={n18}, regions={regions}");
+    }
+
+    #[test]
+    fn storage_grows_subquadratically() {
+        // Lemma 5.1: WBMH-with-approx-counts bits grow ~ log N·log log N.
+        let run = |n: u64| -> u64 {
+            let mut h =
+                Wbmh::with_approx_counts(Polynomial::new(1.0), 0.2, 1 << 26, 0.1);
+            for t in 1..=n {
+                h.observe(t, 1);
+            }
+            h.advance(n + 1);
+            h.storage_bits()
+        };
+        let b12 = run(1 << 12);
+        let b24 = run(1 << 24);
+        let ratio = b24 as f64 / b12 as f64;
+        assert!(ratio < 3.5, "ratio={ratio} (b12={b12}, b24={b24})");
+        assert!(ratio > 1.3, "ratio={ratio}");
+    }
+
+    #[test]
+    fn sparse_stream_with_long_gaps() {
+        let g = Polynomial::new(1.5);
+        let mut h = Wbmh::new(g.clone(), 0.2, 1 << 22);
+        let mut exact = ExactDecayedSum::new(g);
+        let times = [1u64, 2, 3, 1000, 1001, 50_000, 50_001, 200_000];
+        for &t in &times {
+            h.observe(t, 10);
+            exact.observe(t, 10);
+        }
+        let (est, truth) = (h.query(200_001), exact.query(200_001));
+        assert!(est >= truth * (1.0 - 1e-9));
+        assert!(est <= truth * 1.2 + 1e-9, "{est} vs {truth}");
+    }
+
+    #[test]
+    fn merge_from_distributed_sites() {
+        let g = Polynomial::new(1.0);
+        let eps = 0.1;
+        let mk = || Wbmh::new(g, eps, 1 << 20);
+        let mut site_a = mk();
+        let mut site_b = mk();
+        let mut exact = ExactDecayedSum::new(g);
+        let mut x = 31337u64;
+        let n = 10_000u64;
+        for t in 0..=n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = x % 5;
+            exact.observe(t, f);
+            if x % 2 == 0 {
+                site_a.observe(t, f);
+                site_b.advance(t);
+            } else {
+                site_b.observe(t, f);
+                site_a.advance(t);
+            }
+        }
+        site_a.advance(n + 1);
+        site_b.advance(n + 1);
+        site_a.merge_from(&site_b);
+        let truth = exact.query(n + 1);
+        let est = site_a.query(n + 1);
+        assert!(est >= truth * (1.0 - 1e-9), "{est} < {truth}");
+        assert!(est <= truth * (1.0 + eps) + 1e-9, "{est} > (1+eps){truth}");
+        // Bucket structure stays canonical (no blow-up from merging).
+        let regions = site_a.schedule().num_regions();
+        assert!(site_a.num_buckets() <= 3 * regions + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same tick")]
+    fn merge_from_rejects_time_skew() {
+        let mk = || Wbmh::new(Polynomial::new(1.0), 0.1, 1 << 10);
+        let mut a = mk();
+        let mut b = mk();
+        a.observe(5, 1);
+        b.observe(9, 1);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn query_excludes_pending_tick() {
+        let mut h = Wbmh::new(Polynomial::new(1.0), 0.5, 1 << 10);
+        h.observe(5, 3);
+        assert_eq!(h.query(5), 0.0);
+        assert!((h.query(6) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trip_exact_counts() {
+        let g = Polynomial::new(1.0);
+        let mut h = Wbmh::new(g, 0.1, 1 << 20);
+        for t in 1..=5_000u64 {
+            h.observe(t, 1 + t % 3);
+        }
+        let snap = h.snapshot();
+        let restored = Wbmh::restore(g, 0.1, 1 << 20, None, &snap);
+        assert_eq!(h.query(5_001), restored.query(5_001));
+        // And both continue identically.
+        let mut a = h;
+        let mut b = restored;
+        for t in 5_001..=6_000u64 {
+            a.observe(t, t % 2);
+            b.observe(t, t % 2);
+        }
+        assert_eq!(a.query(6_001), b.query(6_001));
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn snapshot_round_trip_approx_counts() {
+        let g = Polynomial::new(2.0);
+        let mut h = Wbmh::with_approx_counts(g, 0.2, 1 << 20, 0.1);
+        for t in 1..=3_000u64 {
+            h.observe(t, 2);
+        }
+        let snap = h.snapshot();
+        let restored = Wbmh::restore(g, 0.2, 1 << 20, Some(0.1), &snap);
+        assert_eq!(h.query(3_001), restored.query(3_001));
+        use td_decay::storage::StorageAccounting;
+        assert_eq!(h.storage_bits(), restored.storage_bits());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trip() {
+        let g = Polynomial::new(1.0);
+        let h = Wbmh::new(g, 0.5, 1 << 10);
+        let snap = h.snapshot();
+        let restored = Wbmh::restore(g, 0.5, 1 << 10, None, &snap);
+        assert_eq!(restored.query(100), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Wbmh::new(Polynomial::new(1.0), 0.5, 1 << 10);
+        assert_eq!(h.query(100), 0.0);
+        assert_eq!(h.num_buckets(), 0);
+        assert_eq!(h.storage_bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not ratio-monotone")]
+    fn rejects_sliding_window() {
+        use td_decay::SlidingWindow;
+        let _ = Wbmh::new(SlidingWindow::new(100), 0.1, 1 << 10);
+    }
+
+    #[test]
+    fn geometric_estimator_is_two_sided_and_tighter() {
+        let g = Polynomial::new(1.0);
+        let mut h = Wbmh::new(g.clone(), 0.5, 1 << 22);
+        let mut exact = ExactDecayedSum::new(g);
+        for t in 1..=20_000u64 {
+            h.observe(t, 1);
+            exact.observe(t, 1);
+        }
+        let truth = exact.query(20_001);
+        let paper = h.query_with(20_001, WbmhEstimator::Paper);
+        let geo = h.query_with(20_001, WbmhEstimator::Geometric);
+        assert!((geo - truth).abs() <= (paper - truth).abs());
+        let band = (1.5f64).sqrt();
+        assert!(geo <= truth * band + 1e-9 && geo >= truth / band - 1e-9);
+    }
+}

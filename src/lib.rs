@@ -1,0 +1,10 @@
+//! # timedecay
+//!
+//! Time-decaying stream aggregates, after Cohen & Strauss,
+//! *"Maintaining Time-Decaying Stream Aggregates"* (PODS 2003).
+//!
+//! This facade re-exports the unified API of `td-core`. See the README
+//! for a tour and `DESIGN.md` for the paper-to-module map.
+#![forbid(unsafe_code)]
+
+pub use td_core::*;

@@ -1,0 +1,151 @@
+//! Failure-injection and boundary-condition tests across the facade:
+//! extreme values, giant time jumps, degenerate parameters.
+
+use timedecay::{
+    BackendChoice, CascadedEh, DecayFunction, DecayedSum, Exponential, LogDecay,
+    Polynomial, SlidingWindow, StorageAccounting, Wbmh,
+};
+
+#[test]
+fn huge_values_do_not_overflow() {
+    let mut s = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.1).build();
+    for t in 1..=100u64 {
+        s.observe(t, u64::MAX / 128);
+    }
+    let v = s.query(101);
+    assert!(v.is_finite() && v > 0.0);
+}
+
+#[test]
+fn giant_time_jumps() {
+    // Items separated by ~2^50 ticks: structures must not allocate or
+    // loop proportionally to the gap.
+    let mut s = DecayedSum::builder(Polynomial::new(1.0))
+        .epsilon(0.1)
+        .max_age(1 << 60)
+        .build();
+    let times = [1u64, 1 << 20, 1 << 40, 1 << 50, (1 << 50) + 1];
+    for &t in &times {
+        s.observe(t, 5);
+    }
+    let q = (1u64 << 50) + 2;
+    let want: f64 = times
+        .iter()
+        .map(|&t| 5.0 * Polynomial::new(1.0).weight(q - t))
+        .sum();
+    let got = s.query(q);
+    assert!((got - want).abs() <= 0.25 * want, "{got} vs {want}");
+}
+
+#[test]
+fn times_near_u64_max() {
+    let start = u64::MAX - 10_000;
+    let mut s = CascadedEh::new(Exponential::new(0.001), 0.1);
+    for i in 0..5_000u64 {
+        s.observe(start + i, 1);
+    }
+    let v = s.query(start + 5_000);
+    assert!(v.is_finite() && v > 0.0);
+}
+
+#[test]
+fn epsilon_one_is_permitted_and_coarse() {
+    let mut s = DecayedSum::builder(SlidingWindow::new(100)).epsilon(1.0).build();
+    for t in 1..=1_000u64 {
+        s.observe(t, 1);
+    }
+    let v = s.query(1_001);
+    // Window truth 100; ε = 1 allows a factor-2 band.
+    assert!(v >= 40.0 && v <= 210.0, "v={v}");
+    // And it should be very cheap.
+    assert!(s.storage_bits() < 600, "bits={}", s.storage_bits());
+}
+
+#[test]
+fn tiny_epsilon_stays_tight() {
+    let mut s = DecayedSum::builder(SlidingWindow::new(512)).epsilon(0.01).build();
+    for t in 1..=5_000u64 {
+        s.observe(t, 1);
+    }
+    let v = s.query(5_001);
+    assert!((v - 512.0).abs() <= 0.01 * 512.0 + 1.0, "v={v}");
+}
+
+#[test]
+fn zero_value_streams_cost_nothing() {
+    let mut s = DecayedSum::builder(Polynomial::new(2.0)).epsilon(0.1).build();
+    for t in 1..=10_000u64 {
+        s.observe(t, 0);
+    }
+    assert_eq!(s.query(10_001), 0.0);
+    assert_eq!(s.storage_bits(), 0);
+}
+
+#[test]
+fn single_item_all_backends() {
+    let makers: Vec<Box<dyn Fn() -> DecayedSum>> = vec![
+        Box::new(|| DecayedSum::new(Exponential::new(0.1))),
+        Box::new(|| DecayedSum::new(SlidingWindow::new(50))),
+        Box::new(|| DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.1).build()),
+        Box::new(|| {
+            DecayedSum::builder(Polynomial::new(1.0))
+                .backend(BackendChoice::ForceExact)
+                .build()
+        }),
+    ];
+    for mk in &makers {
+        // One item at age 5: single buckets never approximate, so every
+        // backend answers with some positive value very close to
+        // 7·g(5) of its decay.
+        let mut s = mk();
+        s.observe(10, 7);
+        assert!(s.query(15) > 0.0, "{}", s.backend_name());
+        // Query at the arrival tick excludes the item (§2.1).
+        let mut s2 = mk();
+        s2.observe(10, 7);
+        assert_eq!(s2.query(10), 0.0, "{}", s2.backend_name());
+    }
+    // Pin the exact value for the polynomial route.
+    let mut s = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.1).build();
+    s.observe(10, 7);
+    let want = 7.0 * Polynomial::new(1.0).weight(5);
+    assert!((s.query(15) - want).abs() < 1e-9);
+}
+
+#[test]
+fn logd_summary_is_tiny_even_for_huge_streams() {
+    let mut h = Wbmh::new(LogDecay::new(1), 0.2, 1 << 40);
+    // Sparse arrivals over an enormous span.
+    let mut t = 1u64;
+    while t < 1 << 40 {
+        h.observe(t, 1);
+        t = t.saturating_mul(3) + 1;
+    }
+    h.advance(1 << 40);
+    assert!(h.num_buckets() < 40, "buckets={}", h.num_buckets());
+    assert!(h.storage_bits() < 500, "bits={}", h.storage_bits());
+    assert!(h.query(1 << 40) > 0.0);
+}
+
+#[test]
+fn repeated_queries_are_pure() {
+    let mut s = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.1).build();
+    for t in 1..=500u64 {
+        s.observe(t, 2);
+    }
+    let a = s.query(501);
+    let b = s.query(501);
+    let c = s.query(501);
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+#[test]
+fn observing_at_the_same_tick_accumulates() {
+    let mut s = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.1).build();
+    for _ in 0..1_000 {
+        s.observe(42, 1);
+    }
+    let got = s.query(43);
+    assert!((got - 1_000.0).abs() < 1e-9, "got={got}");
+}

@@ -1,0 +1,124 @@
+//! End-to-end integration: the facade API against the exact baseline,
+//! across every decay class the paper discusses.
+
+use timedecay::{
+    BackendChoice, ClosureDecay, Constant, DecayFunction, DecayedSum, Exponential,
+    Polynomial, ShiftedPolynomial, SlidingWindow, StorageAccounting,
+};
+
+fn exact_sum<G: DecayFunction>(g: &G, items: &[(u64, u64)], t: u64) -> f64 {
+    items
+        .iter()
+        .filter(|&&(ti, _)| ti < t)
+        .map(|&(ti, f)| f as f64 * g.weight(t - ti))
+        .sum()
+}
+
+fn bursty_items(n: u64, seed: u64) -> Vec<(u64, u64)> {
+    let mut x = seed | 1;
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    while t < n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        t += 1 + x % 7; // irregular arrival spacing
+        out.push((t, x % 20));
+    }
+    out
+}
+
+fn audit<G: DecayFunction + Clone + 'static>(g: G, eps: f64, band: f64) {
+    let items = bursty_items(20_000, 0xC0FFEE);
+    let mut s = DecayedSum::builder(g.clone()).epsilon(eps).build();
+    for &(t, f) in &items {
+        s.observe(t, f);
+    }
+    let t_query = items.last().unwrap().0 + 1;
+    let truth = exact_sum(&g, &items, t_query);
+    let est = s.query(t_query);
+    assert!(
+        (est - truth).abs() <= band * truth + 1e-9,
+        "{} ({}): est={est}, truth={truth}",
+        g.describe(),
+        s.backend_name()
+    );
+}
+
+#[test]
+fn facade_accuracy_exponential() {
+    audit(Exponential::new(0.01), 0.05, 0.05);
+    audit(Exponential::with_half_life(1000), 0.05, 0.05);
+}
+
+#[test]
+fn facade_accuracy_sliding_window() {
+    audit(SlidingWindow::new(500), 0.05, 0.05);
+    audit(SlidingWindow::new(10_000), 0.05, 0.05);
+}
+
+#[test]
+fn facade_accuracy_polynomial() {
+    // WBMH band: region ε composed with the count ladder.
+    audit(Polynomial::new(0.5), 0.05, 0.15);
+    audit(Polynomial::new(1.0), 0.05, 0.15);
+    audit(Polynomial::new(2.0), 0.05, 0.15);
+    audit(ShiftedPolynomial::new(1.0, 100), 0.05, 0.15);
+}
+
+#[test]
+fn facade_accuracy_general_closure() {
+    let g = ClosureDecay::new(|age| 1.0 / (1.0 + (age as f64).ln_1p()))
+        .with_name("1/(1+ln(1+x))");
+    audit(g, 0.05, 0.05);
+}
+
+#[test]
+fn facade_accuracy_constant() {
+    audit(Constant, 0.05, 1e-12);
+}
+
+#[test]
+fn storage_hierarchy_matches_paper_table() {
+    // Feed the same 50k-tick dense stream under each decay class and
+    // check the §8 storage ordering: EXPD counter < WBMH(POLYD) <
+    // CEH(SLIWIN-sized) < exact.
+    let n = 50_000u64;
+    let mut exp = DecayedSum::builder(Exponential::new(0.001)).epsilon(0.05).build();
+    let mut pol = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.05).build();
+    let mut win = DecayedSum::builder(SlidingWindow::new(n)).epsilon(0.05).build();
+    let mut exact = DecayedSum::builder(Polynomial::new(1.0))
+        .backend(BackendChoice::ForceExact)
+        .build();
+    for t in 1..=n {
+        exp.observe(t, 1);
+        pol.observe(t, 1);
+        win.observe(t, 1);
+        exact.observe(t, 1);
+    }
+    let (b_exp, b_pol, b_win, b_exact) = (
+        exp.storage_bits(),
+        pol.storage_bits(),
+        win.storage_bits(),
+        exact.storage_bits(),
+    );
+    assert!(b_exp < b_pol, "exp={b_exp} pol={b_pol}");
+    assert!(b_pol < b_win, "pol={b_pol} win={b_win}");
+    assert!(b_win < b_exact, "win={b_win} exact={b_exact}");
+}
+
+#[test]
+fn queries_between_arrivals_are_monotone_for_nonincreasing_streams() {
+    // After arrivals stop, the decayed sum must be non-increasing in T
+    // (weights only decay).
+    let mut s = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.05).build();
+    for t in 1..=1_000u64 {
+        s.observe(t, 2);
+    }
+    let mut prev = f64::INFINITY;
+    for q in 1_001..1_200u64 {
+        let v = s.query(q);
+        assert!(v <= prev + 1e-9, "q={q}: {v} > {prev}");
+        prev = v;
+    }
+}

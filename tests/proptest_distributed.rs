@@ -1,0 +1,182 @@
+//! Property tests for the distributed-merge and snapshot surfaces:
+//! arbitrary stream splits must merge back to (approximately) the
+//! whole-stream summary, and snapshots must round-trip exactly.
+
+use proptest::prelude::*;
+use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter};
+use td_eh::{DominationEh, WindowSketch};
+use timedecay::{CascadedEh, Exponential, Polynomial, Wbmh};
+
+/// A random stream plus a random site assignment for each item.
+fn split_stream_strategy() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
+    proptest::collection::vec((1u64..4, 0u64..8, any::<bool>()), 10..300).prop_map(
+        |steps| {
+            let mut t = 0u64;
+            steps
+                .into_iter()
+                .map(|(dt, f, site)| {
+                    t += dt;
+                    (t, f, site)
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    /// Exponential counters merge exactly.
+    #[test]
+    fn exp_counter_merge_is_exact(items in split_stream_strategy(), lambda in 0.001f64..0.5) {
+        let g = Exponential::new(lambda);
+        let mut whole = ExpCounter::new(g);
+        let mut a = ExpCounter::new(g);
+        let mut b = ExpCounter::new(g);
+        for &(t, f, site) in &items {
+            whole.observe(t, f);
+            if site {
+                a.observe(t, f);
+            } else {
+                b.observe(t, f);
+            }
+        }
+        a.merge_from(&b);
+        let t_end = items.last().map(|&(t, _, _)| t).unwrap_or(1) + 1;
+        let (m, w) = (a.query(t_end), whole.query(t_end));
+        prop_assert!((m - w).abs() <= 1e-9 * w.max(1.0), "{m} vs {w}");
+    }
+
+    /// Polyexponential pipelines merge exactly.
+    #[test]
+    fn polyexp_merge_is_exact(items in split_stream_strategy(), k in 0u32..4) {
+        let lambda = 0.05;
+        let mut whole = PolyExpCounter::new(k, lambda);
+        let mut a = PolyExpCounter::new(k, lambda);
+        let mut b = PolyExpCounter::new(k, lambda);
+        for &(t, f, site) in &items {
+            whole.observe(t, f);
+            if site {
+                a.observe(t, f);
+            } else {
+                b.observe(t, f);
+            }
+        }
+        a.merge_from(&b);
+        let t_end = items.last().map(|&(t, _, _)| t).unwrap_or(1) + 10;
+        let (m, w) = (a.query(t_end), whole.query(t_end));
+        prop_assert!((m - w).abs() <= 1e-9 * w.abs().max(1.0), "{m} vs {w}");
+    }
+
+    /// Two merged domination EHs answer window queries within 2ε of the
+    /// union's truth.
+    #[test]
+    fn domination_eh_merge_within_band(items in split_stream_strategy(), eps in 0.05f64..0.5) {
+        let mut a = DominationEh::new(eps, None);
+        let mut b = DominationEh::new(eps, None);
+        for &(t, f, site) in &items {
+            if site {
+                a.observe(t, f);
+            } else {
+                b.observe(t, f);
+            }
+        }
+        a.merge_from(&b);
+        let t_end = items.last().map(|&(t, _, _)| t).unwrap_or(1) + 1;
+        let mut w = 1u64;
+        while w < t_end {
+            let truth: u64 = items
+                .iter()
+                .filter(|&&(t, _, _)| t + w >= t_end)
+                .map(|&(_, f, _)| f)
+                .sum();
+            let est = a.query_window(t_end, w);
+            prop_assert!(
+                (est - truth as f64).abs() <= 2.0 * eps * truth as f64 + 8.0,
+                "w={w}: est={est}, truth={truth}"
+            );
+            w *= 2;
+        }
+    }
+
+    /// Merged WBMHs keep the single-histogram one-sided ε band.
+    #[test]
+    fn wbmh_merge_keeps_single_band(
+        items in split_stream_strategy(),
+        eps in 0.1f64..0.5,
+        alpha in 0.5f64..2.5,
+    ) {
+        let g = Polynomial::new(alpha);
+        let mut a = Wbmh::new(g, eps, 1 << 16);
+        let mut b = Wbmh::new(g, eps, 1 << 16);
+        let mut exact = ExactDecayedSum::new(g);
+        for &(t, f, site) in &items {
+            exact.observe(t, f);
+            if site {
+                a.observe(t, f);
+                b.advance(t);
+            } else {
+                b.observe(t, f);
+                a.advance(t);
+            }
+        }
+        let t_end = items.last().map(|&(t, _, _)| t).unwrap_or(1) + 1;
+        a.advance(t_end);
+        b.advance(t_end);
+        a.merge_from(&b);
+        let truth = exact.query(t_end);
+        let est = a.query(t_end);
+        prop_assert!(est >= truth * (1.0 - 1e-9), "{est} < {truth}");
+        prop_assert!(est <= truth * (1.0 + eps) + 1e-9, "{est} > (1+{eps}){truth}");
+    }
+
+    /// CEH merge: one-sided within 2ε (two sites).
+    #[test]
+    fn ceh_merge_within_two_eps(items in split_stream_strategy(), eps in 0.05f64..0.5) {
+        let g = Polynomial::new(1.0);
+        let mut a = CascadedEh::new(g, eps);
+        let mut b = CascadedEh::new(g, eps);
+        let mut exact = ExactDecayedSum::new(g);
+        for &(t, f, site) in &items {
+            exact.observe(t, f);
+            if site {
+                a.observe(t, f);
+            } else {
+                b.observe(t, f);
+            }
+        }
+        a.merge_from(&b);
+        let t_end = items.last().map(|&(t, _, _)| t).unwrap_or(1) + 1;
+        let truth = exact.query(t_end);
+        let est = a.query(t_end);
+        prop_assert!(est >= truth * (1.0 - 1e-9), "{est} < {truth}");
+        prop_assert!(est <= truth * (1.0 + 2.0 * eps) + 1e-9, "{est} vs {truth}");
+    }
+
+    /// Snapshot/restore is an exact round-trip at arbitrary cut points,
+    /// and the restored histogram continues identically.
+    #[test]
+    fn wbmh_snapshot_round_trip(
+        items in split_stream_strategy(),
+        cut in 0.1f64..0.9,
+        approx in any::<bool>(),
+    ) {
+        let g = Polynomial::new(1.0);
+        let count_eps = approx.then_some(0.1);
+        let mut h = match count_eps {
+            None => Wbmh::new(g, 0.2, 1 << 16),
+            Some(ce) => Wbmh::with_approx_counts(g, 0.2, 1 << 16, ce),
+        };
+        let cut_idx = ((items.len() as f64) * cut) as usize;
+        for &(t, f, _) in &items[..cut_idx] {
+            h.observe(t, f);
+        }
+        let snap = h.snapshot();
+        let mut restored = Wbmh::restore(g, 0.2, 1 << 16, count_eps, &snap);
+        for &(t, f, _) in &items[cut_idx..] {
+            h.observe(t, f);
+            restored.observe(t, f);
+        }
+        let t_end = items.last().map(|&(t, _, _)| t).unwrap_or(1) + 1;
+        prop_assert_eq!(h.query(t_end), restored.query(t_end));
+        prop_assert_eq!(h.snapshot(), restored.snapshot());
+    }
+}
