@@ -113,6 +113,39 @@ impl<B: StorageAccounting> StorageAccounting for DecayedAverage<B> {
     }
 }
 
+/// The unified-aggregate view: `query` returns the average (or `0.0`
+/// before any item carries weight — use [`DecayedAverage::query`] to
+/// distinguish the empty case).
+impl<B: td_decay::StreamAggregate> td_decay::StreamAggregate for DecayedAverage<B> {
+    fn observe(&mut self, t: Time, f: u64) {
+        self.values.observe(t, f);
+        self.weights.observe(t, 1);
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        self.values.observe_batch(items);
+        // The denominator stream replaces every value with 1 (one unit
+        // of decayed weight per item), so batch it through a mapped
+        // scratch vector.
+        let unit: Vec<(Time, u64)> = items.iter().map(|&(t, _)| (t, 1)).collect();
+        self.weights.observe_batch(&unit);
+    }
+    fn advance(&mut self, t: Time) {
+        self.values.advance(t);
+        self.weights.advance(t);
+    }
+    fn query(&self, t: Time) -> f64 {
+        let den = self.weights.query(t);
+        if den <= 0.0 {
+            return 0.0;
+        }
+        self.values.query(t) / den
+    }
+    fn merge_from(&mut self, other: &Self) {
+        self.values.merge_from(&other.values);
+        self.weights.merge_from(&other.weights);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,7 +184,7 @@ mod tests {
     #[test]
     fn polynomial_average_tracks_exact() {
         let g = Polynomial::new(1.0);
-        let mut a = DecayedAverage::wbmh(g.clone(), 0.1, 1 << 20);
+        let mut a = DecayedAverage::wbmh(g, 0.1, 1 << 20);
         let mut items = Vec::new();
         let mut x = 17u64;
         for t in 1..=3_000u64 {
@@ -165,7 +198,10 @@ mod tests {
         let got = a.query(3_001).unwrap();
         let want = exact_average(g, &items, 3_001).unwrap();
         // Ratio of two one-sided (1+ε) estimates.
-        assert!(got <= want * 1.1 + 1e-9 && got >= want / 1.1 - 1e-9, "{got} vs {want}");
+        assert!(
+            got <= want * 1.1 + 1e-9 && got >= want / 1.1 - 1e-9,
+            "{got} vs {want}"
+        );
     }
 
     #[test]
@@ -184,10 +220,7 @@ mod tests {
     #[test]
     fn from_backends_with_exact() {
         let g = Exponential::new(0.1);
-        let mut a = DecayedAverage::from_backends(
-            ExactDecayedSum::new(g),
-            ExactDecayedSum::new(g),
-        );
+        let mut a = DecayedAverage::from_backends(ExactDecayedSum::new(g), ExactDecayedSum::new(g));
         a.observe(1, 4);
         a.observe(2, 8);
         let want = (4.0 * g.weight(2) + 8.0 * g.weight(1)) / (g.weight(2) + g.weight(1));

@@ -2,7 +2,9 @@
 
 use std::collections::VecDeque;
 
-use td_decay::storage::{bits_for_count, bits_for_quantized_float, bits_for_timestamp, StorageAccounting};
+use td_decay::storage::{
+    bits_for_count, bits_for_quantized_float, bits_for_timestamp, StorageAccounting,
+};
 use td_decay::{DecayFunction, Time};
 use td_sketch::StableSketcher;
 
@@ -155,7 +157,11 @@ impl<G: DecayFunction> DecayedLpNorm<G> {
     /// Panics if `t` precedes a previous observation.
     pub fn observe(&mut self, t: Time, coord: u64, amount: u64) {
         if self.started {
-            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+            assert!(
+                t >= self.last_t,
+                "time went backwards: {t} < {}",
+                self.last_t
+            );
         }
         self.started = true;
         self.last_t = t;
@@ -200,7 +206,11 @@ impl<G: DecayFunction> DecayedLpNorm<G> {
     /// Panics if the two estimators differ in `p`, row count, seed
     /// configuration (checked via a probe entry), `epsilon`, or window.
     pub fn merge_from(&mut self, other: &DecayedLpNorm<G>) {
-        assert_eq!(self.sketcher.rows(), other.sketcher.rows(), "row counts differ");
+        assert_eq!(
+            self.sketcher.rows(),
+            other.sketcher.rows(),
+            "row counts differ"
+        );
         assert!(
             (self.sketcher.p() - other.sketcher.p()).abs() < f64::EPSILON,
             "norm exponents differ"
@@ -307,7 +317,10 @@ mod tests {
                 *h.entry(c).or_default() += g.weight(t - ti) * a as f64;
             }
         }
-        h.values().map(|v| v.abs().powf(p)).sum::<f64>().powf(1.0 / p)
+        h.values()
+            .map(|v| v.abs().powf(p))
+            .sum::<f64>()
+            .powf(1.0 / p)
     }
 
     fn drive<G: DecayFunction + Clone>(g: G, p: f64, n: u64, seed: u64) -> (f64, f64) {
@@ -383,22 +396,20 @@ mod tests {
             let (coord, amt) = (x % 300, 1 + (x >> 32) % 5);
             updates.push((t, coord, amt));
             whole.observe(t, coord, amt);
-            if x % 2 == 0 {
+            if x.is_multiple_of(2) {
                 site_a.observe(t, coord, amt);
             } else {
                 site_b.observe(t, coord, amt);
             }
         }
         site_a.merge_from(&site_b);
-        let truth = exact_decayed_norm(
-            &SlidingWindow::new(100_000),
-            &updates,
-            4_001,
-            1.0,
-        );
+        let truth = exact_decayed_norm(&SlidingWindow::new(100_000), &updates, 4_001, 1.0);
         let merged_est = site_a.query(4_001);
         let whole_est = whole.query(4_001);
-        assert!((merged_est - truth).abs() / truth < 0.25, "{merged_est} vs {truth}");
+        assert!(
+            (merged_est - truth).abs() / truth < 0.25,
+            "{merged_est} vs {truth}"
+        );
         // The merged and single-site estimates agree closely (identical
         // sketch matrices; only bucket granularity differs).
         assert!((merged_est - whole_est).abs() / whole_est < 0.1);

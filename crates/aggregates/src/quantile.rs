@@ -71,7 +71,10 @@ impl<G: DecayFunction + Clone, V: Clone + PartialOrd> DecayedQuantile<G, V> {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn query<R: Rng + ?Sized>(&self, t: Time, p: f64, rng: &mut R) -> Option<V> {
-        assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile must be in [0,1], got {p}"
+        );
         let mut samples: Vec<V> = self
             .samplers
             .iter()

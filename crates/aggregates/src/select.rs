@@ -5,7 +5,6 @@ use rand::Rng;
 use td_ceh::CascadedEh;
 use td_decay::storage::StorageAccounting;
 use td_decay::{DecayFunction, Time};
-use td_eh::WindowSketch;
 use td_sketch::MvdList;
 
 /// Time-decaying random selection: returns item `i` with probability
@@ -93,11 +92,7 @@ impl<G: DecayFunction + Clone, V: Clone> DecayedSampler<G, V> {
         for &(idx, w) in &weights {
             coin -= w;
             if coin <= 0.0 {
-                return self
-                    .mvd
-                    .entries()
-                    .nth(idx)
-                    .map(|e| e.value.clone());
+                return self.mvd.entries().nth(idx).map(|e| e.value.clone());
             }
         }
         // Floating-point slack: fall back to the last positive entry.
@@ -254,7 +249,7 @@ mod tests {
         let mut recent = 0u32;
         let trials = 500;
         for seed in 0..trials {
-            let mut s: DecayedSampler<_, u64> = DecayedSampler::new(g.clone(), 0.1, seed);
+            let mut s: DecayedSampler<_, u64> = DecayedSampler::new(g, 0.1, seed);
             for t in 1..=200u64 {
                 s.observe(t, t);
             }
@@ -265,7 +260,10 @@ mod tests {
         }
         // Under 1/x³ decay, the last 10 items carry the overwhelming
         // majority of the weight.
-        assert!(u64::from(recent) > trials * 3 / 5, "recent={recent}/{trials}");
+        assert!(
+            u64::from(recent) > trials * 3 / 5,
+            "recent={recent}/{trials}"
+        );
     }
 
     #[test]

@@ -138,6 +138,54 @@ impl<B: StorageAccounting> StorageAccounting for DecayedVariance<B> {
     }
 }
 
+/// The unified-aggregate view: `query` returns the variance (or `0.0`
+/// before any item carries weight — use [`DecayedVariance::query`] to
+/// distinguish the empty case).
+impl<B: td_decay::StreamAggregate> td_decay::StreamAggregate for DecayedVariance<B> {
+    fn observe(&mut self, t: Time, f: u64) {
+        let sq = f.checked_mul(f).expect("value too large: f² overflows u64");
+        self.weights.observe(t, 1);
+        self.sums.observe(t, f);
+        self.squares.observe(t, sq);
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        // Map the burst into the three component streams (1, f, f²) up
+        // front so each backend takes one amortized batch.
+        let unit: Vec<(Time, u64)> = items.iter().map(|&(t, _)| (t, 1)).collect();
+        let sq: Vec<(Time, u64)> = items
+            .iter()
+            .map(|&(t, f)| {
+                (
+                    t,
+                    f.checked_mul(f).expect("value too large: f² overflows u64"),
+                )
+            })
+            .collect();
+        self.weights.observe_batch(&unit);
+        self.sums.observe_batch(items);
+        self.squares.observe_batch(&sq);
+    }
+    fn advance(&mut self, t: Time) {
+        self.weights.advance(t);
+        self.sums.advance(t);
+        self.squares.advance(t);
+    }
+    fn query(&self, t: Time) -> f64 {
+        let w = self.weights.query(t);
+        if w <= 0.0 {
+            return 0.0;
+        }
+        let s = self.sums.query(t);
+        let q = self.squares.query(t);
+        (q - s * s / w).max(0.0)
+    }
+    fn merge_from(&mut self, other: &Self) {
+        self.weights.merge_from(&other.weights);
+        self.sums.merge_from(&other.sums);
+        self.squares.merge_from(&other.squares);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,9 +214,9 @@ mod tests {
     fn exact_backend_matches_definition() {
         let g = Polynomial::new(1.0);
         let mut v = DecayedVariance::from_backends(
-            ExactDecayedSum::new(g.clone()),
-            ExactDecayedSum::new(g.clone()),
-            ExactDecayedSum::new(g.clone()),
+            ExactDecayedSum::new(g),
+            ExactDecayedSum::new(g),
+            ExactDecayedSum::new(g),
         );
         let mut items = Vec::new();
         let mut x = 3u64;
@@ -188,7 +236,7 @@ mod tests {
     #[test]
     fn spread_values_within_band() {
         let g = Polynomial::new(1.5);
-        let mut v = DecayedVariance::wbmh(g.clone(), 0.05, 1 << 20);
+        let mut v = DecayedVariance::wbmh(g, 0.05, 1 << 20);
         let mut items = Vec::new();
         let mut x = 23u64;
         for t in 1..=3_000u64 {
@@ -243,7 +291,7 @@ mod tests {
             x ^= x << 17;
             let f = x % 100;
             whole.observe(t, f);
-            if x % 2 == 0 {
+            if x.is_multiple_of(2) {
                 a.observe(t, f);
             } else {
                 b.observe(t, f);

@@ -23,6 +23,44 @@ fn bench_observe(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_observe_batch(c: &mut Criterion) {
+    // Bursty ingest: 10k items over ~2.5k ticks, fed one-by-one vs
+    // through `observe_batch` (which expires/asserts once per distinct
+    // tick and coalesces same-tick mass).
+    let mut items = Vec::with_capacity(10_000);
+    let mut t = 0u64;
+    while items.len() < 10_000 {
+        t += 1;
+        for j in 0..4u64 {
+            items.push((t, 1 + (t + j) % 3));
+        }
+    }
+    let mut group = c.benchmark_group("ceh_ingest_10k_bursty");
+    group.bench_function("single", |b| {
+        b.iter_batched(
+            || CascadedEh::new(Polynomial::new(1.0), 0.05),
+            |mut s| {
+                for &(t, f) in &items {
+                    s.observe(t, f);
+                }
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("batched", |b| {
+        b.iter_batched(
+            || CascadedEh::new(Polynomial::new(1.0), 0.05),
+            |mut s| {
+                s.observe_batch(&items);
+                s
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
 fn bench_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("ceh_query");
     for n in [10_000u64, 1_000_000] {
@@ -44,5 +82,5 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_observe, bench_query);
+criterion_group!(benches, bench_observe, bench_observe_batch, bench_query);
 criterion_main!(benches);

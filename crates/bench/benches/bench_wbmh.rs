@@ -37,6 +37,44 @@ fn bench_observe(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_observe_batch(c: &mut Criterion) {
+    // Bursty ingest: 10k items over ~2.5k ticks, fed one-by-one vs
+    // through `observe_batch` (which advances the clock once per
+    // distinct tick).
+    let mut items = Vec::with_capacity(10_000);
+    let mut t = 0u64;
+    while items.len() < 10_000 {
+        t += 1;
+        for j in 0..4u64 {
+            items.push((t, 1 + j % 2));
+        }
+    }
+    let mut group = c.benchmark_group("wbmh_ingest_10k_bursty");
+    group.bench_function("single", |b| {
+        b.iter_batched(
+            || Wbmh::new(Polynomial::new(1.0), 0.05, 1 << 24),
+            |mut h| {
+                for &(t, f) in &items {
+                    h.observe(t, f);
+                }
+                h
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("batched", |b| {
+        b.iter_batched(
+            || Wbmh::new(Polynomial::new(1.0), 0.05, 1 << 24),
+            |mut h| {
+                h.observe_batch(&items);
+                h
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
 fn bench_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("wbmh_query");
     for n in [10_000u64, 300_000] {
@@ -64,5 +102,11 @@ fn bench_schedule(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_observe, bench_query, bench_schedule);
+criterion_group!(
+    benches,
+    bench_observe,
+    bench_observe_batch,
+    bench_query,
+    bench_schedule
+);
 criterion_main!(benches);

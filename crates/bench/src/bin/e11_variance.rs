@@ -23,13 +23,7 @@ fn exact_variance<G: DecayFunction>(g: &G, items: &[(Time, u64)], t: Time) -> f6
         .sum()
 }
 
-fn run<G: DecayFunction + Clone>(
-    name: &str,
-    g: G,
-    lo: u64,
-    hi: u64,
-    table: &mut Table,
-) {
+fn run<G: DecayFunction + Clone>(name: &str, g: G, lo: u64, hi: u64, table: &mut Table) {
     let n = 5_000u64;
     let items: Vec<(Time, u64)> = UniformValues::new(lo, hi, 17).take(n as usize).collect();
     let mut v = DecayedVariance::ceh(g.clone(), 0.05);
@@ -56,14 +50,43 @@ fn main() {
     println!("relative error degrades as values concentrate (the documented");
     println!("cancellation regime V << A^2*W; the paper defers the sharp fix to [4])\n");
     let mut table = Table::new(&[
-        "decay", "value range", "rel spread", "exact V", "estimated V", "rel err",
+        "decay",
+        "value range",
+        "rel spread",
+        "exact V",
+        "estimated V",
+        "rel err",
     ]);
     // Well-spread values: solid estimates.
-    run("SLIWIN(1000)", SlidingWindow::new(1_000), 0, 100, &mut table);
+    run(
+        "SLIWIN(1000)",
+        SlidingWindow::new(1_000),
+        0,
+        100,
+        &mut table,
+    );
     run("POLYD(1)", Polynomial::new(1.0), 0, 100, &mut table);
     // Progressively concentrated values: cancellation bites.
-    run("SLIWIN(1000)", SlidingWindow::new(1_000), 450, 550, &mut table);
-    run("SLIWIN(1000)", SlidingWindow::new(1_000), 490, 510, &mut table);
-    run("SLIWIN(1000)", SlidingWindow::new(1_000), 499, 501, &mut table);
+    run(
+        "SLIWIN(1000)",
+        SlidingWindow::new(1_000),
+        450,
+        550,
+        &mut table,
+    );
+    run(
+        "SLIWIN(1000)",
+        SlidingWindow::new(1_000),
+        490,
+        510,
+        &mut table,
+    );
+    run(
+        "SLIWIN(1000)",
+        SlidingWindow::new(1_000),
+        499,
+        501,
+        &mut table,
+    );
     table.print();
 }

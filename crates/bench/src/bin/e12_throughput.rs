@@ -1,14 +1,15 @@
 //! E12 — update/query cost of every backend (the §4.2 amortized-cost
-//! claims, in wall-clock form). Criterion micro-benches give the
+//! claims, in wall-clock form), plus the single-item vs batched ingest
+//! comparison on a bursty stream. Criterion micro-benches give the
 //! rigorous numbers (`cargo bench -p td-bench`); this binary prints a
-//! one-page summary.
+//! one-page summary and writes `BENCH_throughput.json`.
 
 use std::time::Instant;
 
 use td_bench::Table;
 use td_ceh::CascadedEh;
-use td_counters::{ExactDecayedSum, ExpCounter};
-use td_decay::{Exponential, Polynomial};
+use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCounter};
+use td_decay::{Exponential, Polynomial, StreamAggregate};
 use td_stream::BernoulliStream;
 use td_wbmh::Wbmh;
 
@@ -116,4 +117,133 @@ fn main() {
         "\n(updates for all summaries are amortized O(1)-ish; the exact baseline's \
          query scans every live item — the cost the summaries exist to avoid)"
     );
+
+    batched_vs_single();
+}
+
+/// A bursty multi-arrival stream: ~1e6 items over ~1e5 ticks, where
+/// each tick carries a geometric-ish burst of same-tick items. Same-tick
+/// runs are what `observe_batch` coalesces, so this is the shape the
+/// batch API is for.
+fn bursty_items(n: usize) -> Vec<(u64, u64)> {
+    let mut items = Vec::with_capacity(n);
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut t = 0u64;
+    while items.len() < n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        t += 1 + x % 3;
+        let burst = 1 + (x >> 17) % 20; // 1..=20 items at this tick
+        for j in 0..burst {
+            if items.len() == n {
+                break;
+            }
+            items.push((t, (x >> 23).wrapping_add(j) % 8));
+        }
+    }
+    items
+}
+
+fn time_ns_per_item(n: usize, f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Measures item-by-item `observe` against `observe_batch` (fed in
+/// 4096-item chunks, as an ingest loop draining a buffer would) for one
+/// backend, and checks the two ingests agree at query time.
+fn measure<A: StreamAggregate>(
+    name: &str,
+    items: &[(u64, u64)],
+    mut single: A,
+    mut batched: A,
+) -> (String, f64, f64) {
+    let single_ns = time_ns_per_item(items.len(), || {
+        for &(t, f) in items {
+            single.observe(t, f);
+        }
+    });
+    let batched_ns = time_ns_per_item(items.len(), || {
+        for chunk in items.chunks(4096) {
+            batched.observe_batch(chunk);
+        }
+    });
+    let t_end = items.last().map(|&(t, _)| t).unwrap_or(1) + 1;
+    let (a, b) = (single.query(t_end), batched.query(t_end));
+    assert!(
+        (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+        "{name}: batched ingest diverged ({a} vs {b})"
+    );
+    (name.to_string(), single_ns, batched_ns)
+}
+
+fn batched_vs_single() {
+    println!("\nSingle-item vs batched ingest, 1e6-item bursty stream (same-tick bursts)\n");
+    let items = bursty_items(1_000_000);
+    let exp = Exponential::new(0.001);
+    let poly = Polynomial::new(1.0);
+
+    let rows = [
+        measure(
+            "exp-counter",
+            &items,
+            ExpCounter::new(exp),
+            ExpCounter::new(exp),
+        ),
+        measure(
+            "quantized-exp",
+            &items,
+            QuantizedExpCounter::new(exp, 24),
+            QuantizedExpCounter::new(exp, 24),
+        ),
+        measure(
+            "polyexp-pipeline",
+            &items,
+            PolyExpCounter::new(2, 0.001),
+            PolyExpCounter::new(2, 0.001),
+        ),
+        measure(
+            "ceh",
+            &items,
+            CascadedEh::new(poly, 0.05),
+            CascadedEh::new(poly, 0.05),
+        ),
+        measure(
+            "wbmh",
+            &items,
+            Wbmh::new(poly, 0.05, 1 << 24),
+            Wbmh::new(poly, 0.05, 1 << 24),
+        ),
+        measure(
+            "exact",
+            &items,
+            ExactDecayedSum::new(poly),
+            ExactDecayedSum::new(poly),
+        ),
+    ];
+
+    let mut table = Table::new(&["backend", "single ns/item", "batched ns/item", "speedup"]);
+    let mut json = String::from("[\n");
+    for (i, (name, single_ns, batched_ns)) in rows.iter().enumerate() {
+        let speedup = single_ns / batched_ns;
+        table.row(&[
+            name.clone(),
+            format!("{single_ns:.1}"),
+            format!("{batched_ns:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+        json.push_str(&format!(
+            "  {{\"backend\": \"{name}\", \"single_ns_per_item\": {single_ns:.2}, \
+             \"batched_ns_per_item\": {batched_ns:.2}, \"speedup\": {speedup:.3}}}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("]\n");
+    table.print();
+
+    let path = "BENCH_throughput.json";
+    std::fs::write(path, &json).expect("write BENCH_throughput.json");
+    println!("\nwrote {path}");
 }

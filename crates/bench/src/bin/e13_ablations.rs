@@ -63,7 +63,10 @@ fn main() {
     t1.row(&[
         "wbmh".into(),
         "geometric mean".into(),
-        format!("{:+.4}", rel(wbmh.query_with(n + 1, WbmhEstimator::Geometric))),
+        format!(
+            "{:+.4}",
+            rel(wbmh.query_with(n + 1, WbmhEstimator::Geometric))
+        ),
     ]);
     t1.print();
     println!("(paper rule: one-sided overestimate; variants: two-sided, smaller)\n");
@@ -137,7 +140,12 @@ fn main() {
 
     // 4. Quantized bucket ages (§5 closing remark).
     println!("-- 4. quantized bucket ages (boundary bits vs accuracy) --");
-    let mut t4 = Table::new(&["delta", "rel err (signed)", "boundary-quantized bits", "full bits"]);
+    let mut t4 = Table::new(&[
+        "delta",
+        "rel err (signed)",
+        "boundary-quantized bits",
+        "full bits",
+    ]);
     for delta in [0.05, 0.25, 1.0] {
         t4.row(&[
             delta.to_string(),
@@ -153,8 +161,7 @@ fn main() {
     println!("-- 5. one histogram vs k merged site histograms --");
     let mut t5 = Table::new(&["k sites", "rel err (signed)", "buckets after merge"]);
     for k in [1usize, 2, 4, 8] {
-        let mut sites: Vec<Wbmh<Polynomial>> =
-            (0..k).map(|_| Wbmh::new(g, eps, 1 << 24)).collect();
+        let mut sites: Vec<Wbmh<Polynomial>> = (0..k).map(|_| Wbmh::new(g, eps, 1 << 24)).collect();
         for (i, &(t, f)) in stream.iter().enumerate() {
             for (j, site) in sites.iter_mut().enumerate() {
                 if i % k == j {

@@ -42,7 +42,12 @@ fn main() {
     // Live structures: buckets and accuracy on a dense stream.
     println!("-- live WBMH vs CEH under LOGD --");
     let mut t2 = Table::new(&[
-        "N", "wbmh buckets", "wbmh bits", "ceh buckets", "ceh bits", "wbmh rel err",
+        "N",
+        "wbmh buckets",
+        "wbmh bits",
+        "ceh buckets",
+        "ceh bits",
+        "wbmh rel err",
     ]);
     for e in [12u32, 16, 20] {
         let n = 1u64 << e;

@@ -15,9 +15,9 @@
 //!   later (severity) — the crossover neither of the other families can
 //!   produce.
 
+use td_bench::Table;
 use td_core::{DecayedSum, Exponential, Polynomial, SlidingWindow, StorageAccounting};
 use td_stream::link::{LinkTrace, DAY, HOUR};
-use td_bench::Table;
 
 struct Config {
     name: &'static str,
@@ -52,22 +52,32 @@ fn main() {
         },
         Config {
             name: "POLYD(0.5)",
-            build: || DecayedSum::builder(Polynomial::new(0.5)).epsilon(0.05).build(),
+            build: || {
+                DecayedSum::builder(Polynomial::new(0.5))
+                    .epsilon(0.05)
+                    .build()
+            },
         },
         Config {
             name: "POLYD(1)",
-            build: || DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.05).build(),
+            build: || {
+                DecayedSum::builder(Polynomial::new(1.0))
+                    .epsilon(0.05)
+                    .build()
+            },
         },
         Config {
             name: "POLYD(2)",
-            build: || DecayedSum::builder(Polynomial::new(2.0)).epsilon(0.05).build(),
+            build: || {
+                DecayedSum::builder(Polynomial::new(2.0))
+                    .epsilon(0.05)
+                    .build()
+            },
         },
     ];
 
     println!("E1: Figure 1 link-reliability ratings (decayed demerit; lower = more reliable)");
-    println!(
-        "L1: 5h failure at t0={t0}min; L2: 30min failure at t0+24h; probing to day 90\n"
-    );
+    println!("L1: 5h failure at t0={t0}min; L2: 30min failure at t0+24h; probing to day 90\n");
 
     // Probe offsets after the start of L2's failure: minutes/hours
     // first (the recency-dominated regime), then days (the
@@ -90,7 +100,12 @@ fn main() {
     ];
 
     let mut summary = Table::new(&[
-        "decay", "backend", "bits", "L2 worse at", "L1 worse at", "crossover",
+        "decay",
+        "backend",
+        "bits",
+        "L2 worse at",
+        "L1 worse at",
+        "crossover",
     ]);
 
     for cfg in &configs {

@@ -55,7 +55,14 @@ fn main() {
 
     // (c): the timestamp-list algorithm.
     println!("Timestamp-list algorithm (C most recent items):");
-    let mut t2 = Table::new(&["lambda", "epsilon", "capacity C", "bits", "rel err", "<= eps"]);
+    let mut t2 = Table::new(&[
+        "lambda",
+        "epsilon",
+        "capacity C",
+        "bits",
+        "rel err",
+        "<= eps",
+    ]);
     for (lambda, eps) in [(1.0, 0.01), (0.5, 0.05), (0.1, 0.05), (0.05, 0.1)] {
         let g = Exponential::new(lambda);
         let mut c = TimestampCounter::new(g, eps);

@@ -6,18 +6,11 @@ use td_ceh::{CascadedEh, CehEstimator};
 use td_core::StorageAccounting;
 use td_counters::ExactDecayedSum;
 use td_decay::{
-    ClosureDecay, DecayFunction, Exponential, Polynomial, ShiftedPolynomial,
-    SlidingWindow,
+    ClosureDecay, DecayFunction, Exponential, Polynomial, ShiftedPolynomial, SlidingWindow,
 };
 use td_stream::BurstyStream;
 
-fn audit<G: DecayFunction + Clone>(
-    name: &str,
-    g: G,
-    eps: f64,
-    n: u64,
-    table: &mut Table,
-) {
+fn audit<G: DecayFunction + Clone>(name: &str, g: G, eps: f64, n: u64, table: &mut Table) {
     let mut ceh = CascadedEh::new(g.clone(), eps);
     let mut exact = ExactDecayedSum::new(g);
     let mut max_over: f64 = 0.0; // (est − truth)/truth, must be in [0, ε]
@@ -57,13 +50,25 @@ fn main() {
     println!("E4: cascaded EH under arbitrary decay (Theorem 1), eps={eps}, N={n}");
     println!("(one-sided bound: 0 <= (est-truth)/truth <= eps at every probe)\n");
     let mut table = Table::new(&[
-        "decay", "probes", "min over", "max over", "in [0,eps]", "midpoint err",
-        "buckets", "bits",
+        "decay",
+        "probes",
+        "min over",
+        "max over",
+        "in [0,eps]",
+        "midpoint err",
+        "buckets",
+        "bits",
     ]);
     audit("EXPD(0.001)", Exponential::new(0.001), eps, n, &mut table);
     audit("POLYD(1)", Polynomial::new(1.0), eps, n, &mut table);
     audit("POLYD(2)", Polynomial::new(2.0), eps, n, &mut table);
-    audit("POLYD(0.5,s=100)", ShiftedPolynomial::new(0.5, 100), eps, n, &mut table);
+    audit(
+        "POLYD(0.5,s=100)",
+        ShiftedPolynomial::new(0.5, 100),
+        eps,
+        n,
+        &mut table,
+    );
     audit("SLIWIN(4096)", SlidingWindow::new(4096), eps, n, &mut table);
     let stair = ClosureDecay::new(|age| match age {
         0..=99 => 1.0,
@@ -74,8 +79,8 @@ fn main() {
     .with_name("STAIRCASE");
     audit("STAIRCASE", stair, eps, n, &mut table);
     // A cliff-free but non-smooth decay: log-spaced plateaus.
-    let sqrtish = ClosureDecay::new(|age| 1.0 / (1.0 + (age as f64).sqrt()))
-        .with_name("1/(1+sqrt)");
+    let sqrtish =
+        ClosureDecay::new(|age| 1.0 / (1.0 + (age as f64).sqrt())).with_name("1/(1+sqrt)");
     audit("1/(1+sqrt(x))", sqrtish, eps, n, &mut table);
     table.print();
     println!("\n(The same histogram also answers all decays at once: query_many.)");

@@ -16,7 +16,10 @@ fn main() {
         h.schedule().boundary(2),
         h.schedule().boundary(3),
     );
-    println!("seal period: {} (open bucket alternates width 1 and 2)\n", h.seal_period());
+    println!(
+        "seal period: {} (open bucket alternates width 1 and 2)\n",
+        h.seal_period()
+    );
 
     // The paper's quoted structure at each T, as item-time groups.
     let expected: &[(u64, &str)] = &[
@@ -55,12 +58,7 @@ fn main() {
         let got = got.join(" ");
         let ok = got == paper;
         all_match &= ok;
-        table.row(&[
-            t_query.to_string(),
-            got,
-            paper.to_string(),
-            ok.to_string(),
-        ]);
+        table.row(&[t_query.to_string(), got, paper.to_string(), ok.to_string()]);
     }
     table.print();
     println!(

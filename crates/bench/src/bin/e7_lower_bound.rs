@@ -26,7 +26,12 @@ fn main() {
     // (1) dominance ratios.
     println!("-- dominance ratio own/(prefix+suffix) at each probe (need > 4) --");
     let mut t1 = Table::new(&["k", "alpha", "i", "ratio", "> 4"]);
-    for &(k, alpha, r) in &[(10u64, 1.0, 5usize), (40, 1.0, 5), (72, 2.0, 8), (160, 3.0, 8)] {
+    for &(k, alpha, r) in &[
+        (10u64, 1.0, 5usize),
+        (40, 1.0, 5),
+        (72, 2.0, 8),
+        (160, 3.0, 8),
+    ] {
         // Worst-case secret: the probed bit is 1, neighbours 2.
         for i in 1..=r as u32 {
             let mut bits = vec![2u8; r];
@@ -61,9 +66,7 @@ fn main() {
         for (t, c) in fam.arrivals() {
             h.observe(t, c);
         }
-        let sums: Vec<f64> = (1..=r as u32)
-            .map(|i| h.query(fam.probe_time(i)))
-            .collect();
+        let sums: Vec<f64> = (1..=r as u32).map(|i| h.query(fam.probe_time(i))).collect();
         let rec = fam.recover_bits(&sums);
         let ok = rec == bits;
         all_ok &= ok;

@@ -30,13 +30,7 @@ fn exact_norm<G: DecayFunction>(g: &G, updates: &[(Time, u64, u64)], t: Time, p:
     h.values().map(|v| v.powf(p)).sum::<f64>().powf(1.0 / p)
 }
 
-fn run<G: DecayFunction + Clone>(
-    name: &str,
-    g: G,
-    p: f64,
-    rows: usize,
-    table: &mut Table,
-) {
+fn run<G: DecayFunction + Clone>(name: &str, g: G, p: f64, rows: usize, table: &mut Table) {
     let d = 1_000_000u64;
     let n = 20_000u64;
     let mut lp = DecayedLpNorm::new(g.clone(), p, 0.1, rows, 12345);
@@ -70,12 +64,30 @@ fn main() {
         "decay", "p", "L", "exact", "estimate", "rel err", "buckets", "bits",
     ]);
     for rows in [31usize, 101, 301] {
-        run("SLIWIN(5000)", SlidingWindow::new(5_000), 1.0, rows, &mut table);
+        run(
+            "SLIWIN(5000)",
+            SlidingWindow::new(5_000),
+            1.0,
+            rows,
+            &mut table,
+        );
         run("POLYD(1)", Polynomial::new(1.0), 1.0, rows, &mut table);
-        run("EXPD(0.001)", Exponential::new(0.001), 1.0, rows, &mut table);
+        run(
+            "EXPD(0.001)",
+            Exponential::new(0.001),
+            1.0,
+            rows,
+            &mut table,
+        );
     }
     for p in [1.5, 2.0] {
-        run("SLIWIN(5000)", SlidingWindow::new(5_000), p, 301, &mut table);
+        run(
+            "SLIWIN(5000)",
+            SlidingWindow::new(5_000),
+            p,
+            301,
+            &mut table,
+        );
         run("POLYD(1)", Polynomial::new(1.0), p, 301, &mut table);
         run("EXPD(0.001)", Exponential::new(0.001), p, 301, &mut table);
     }

@@ -38,7 +38,11 @@ pub fn fit_loglog(xs: &[f64], ys: &[f64]) -> Fit {
     let syy: f64 = ly.iter().map(|y| (y - my).powi(2)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Fit {
         exponent: slope,
         coefficient: intercept.exp(),

@@ -146,6 +146,46 @@ impl<G: DecayFunction, S: WindowSketch> CascadedEh<G, S> {
         self.sketch.observe(t, f);
     }
 
+    /// Ingests a burst of `(time, value)` items sorted by non-decreasing
+    /// time, delegating to the sketch's amortized batch path (same end
+    /// state as sequential [`observe`](Self::observe) calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time precedes its predecessor.
+    pub fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        self.sketch.observe_batch(items);
+    }
+
+    /// Advances the sketch's clock to `t` without ingesting, expiring
+    /// buckets past the decay horizon (for finite-horizon decays).
+    pub fn advance(&mut self, t: Time) {
+        self.sketch.advance(t);
+    }
+
+    /// Gathers the live buckets with `end < t` into parallel
+    /// `(end-age, start-age, count)` columns — the query kernels below
+    /// run one [`DecayFunction::weight_batch`] call per column instead
+    /// of one virtual `weight` call per bucket.
+    fn gather_ages(&self, t: Time) -> (Vec<Time>, Vec<Time>, Vec<f64>) {
+        let buckets = self.sketch.buckets();
+        let mut end_ages = Vec::with_capacity(buckets.len());
+        let mut start_ages = Vec::with_capacity(buckets.len());
+        let mut counts = Vec::with_capacity(buckets.len());
+        for b in buckets {
+            if b.end >= t {
+                // Items at or after the query time are excluded (§2.1).
+                // A bucket can only reach here if it is the newest and
+                // ends at exactly t (ends never exceed observed time).
+                continue;
+            }
+            end_ages.push(t - b.end);
+            start_ages.push(t - b.start);
+            counts.push(b.count as f64);
+        }
+        (end_ages, start_ages, counts)
+    }
+
     /// The decaying-sum estimate `S'_g(T)` of Eq. (4), with the default
     /// one-sided estimator.
     pub fn query(&self, t: Time) -> f64 {
@@ -154,44 +194,34 @@ impl<G: DecayFunction, S: WindowSketch> CascadedEh<G, S> {
 
     /// The decaying-sum estimate with an explicit bucket-weighting rule.
     pub fn query_with(&self, t: Time, estimator: CehEstimator) -> f64 {
-        let mut total = 0.0;
-        for b in self.sketch.buckets() {
-            if b.end >= t {
-                // Items at or after the query time are excluded (§2.1).
-                // A bucket can only reach here if it is the newest and
-                // ends at exactly t (ends never exceed observed time).
-                continue;
+        let (end_ages, start_ages, counts) = self.gather_ages(t);
+        let mut weights = vec![0.0; end_ages.len()];
+        self.decay.weight_batch(&end_ages, &mut weights);
+        if estimator == CehEstimator::Midpoint {
+            let mut w_start = vec![0.0; start_ages.len()];
+            self.decay.weight_batch(&start_ages, &mut w_start);
+            for (w, ws) in weights.iter_mut().zip(&w_start) {
+                *w = (*w + ws) / 2.0;
             }
-            let w_end = self.decay.weight(t - b.end);
-            let w = match estimator {
-                CehEstimator::Paper => w_end,
-                CehEstimator::Midpoint => {
-                    let w_start = self.decay.weight(t - b.start);
-                    (w_end + w_start) / 2.0
-                }
-            };
-            total += b.count as f64 * w;
         }
-        total
+        counts.iter().zip(&weights).map(|(c, w)| c * w).sum()
     }
 
     /// Evaluates the same bucket snapshot under several decay functions
     /// in one traversal (the cascaded structure is decay-agnostic: one
     /// sketch serves any number of decays, which is the practical payoff
-    /// of Theorem 1).
+    /// of Theorem 1). One `weight_batch` call per decay over the shared
+    /// age column.
     pub fn query_many(&self, t: Time, decays: &[&dyn DecayFunction]) -> Vec<f64> {
-        let mut totals = vec![0.0; decays.len()];
-        for b in self.sketch.buckets() {
-            if b.end >= t {
-                continue;
-            }
-            let c = b.count as f64;
-            let age = t - b.end;
-            for (k, g) in decays.iter().enumerate() {
-                totals[k] += c * g.weight(age);
-            }
-        }
-        totals
+        let (end_ages, _, counts) = self.gather_ages(t);
+        let mut weights = vec![0.0; end_ages.len()];
+        decays
+            .iter()
+            .map(|g| {
+                g.weight_batch(&end_ages, &mut weights);
+                counts.iter().zip(&weights).map(|(c, w)| c * w).sum()
+            })
+            .collect()
     }
 
     /// Number of live buckets in the sketch.
@@ -247,11 +277,27 @@ impl<G: DecayFunction, S: WindowSketch> CascadedEh<G, S> {
     }
 }
 
-impl<G: DecayFunction, S: WindowSketch + StorageAccounting> StorageAccounting
-    for CascadedEh<G, S>
-{
+impl<G: DecayFunction, S: WindowSketch + StorageAccounting> StorageAccounting for CascadedEh<G, S> {
     fn storage_bits(&self) -> u64 {
         self.sketch.storage_bits()
+    }
+}
+
+impl<G: DecayFunction> td_decay::StreamAggregate for CascadedEh<G, DominationEh> {
+    fn observe(&mut self, t: Time, f: u64) {
+        CascadedEh::observe(self, t, f)
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        CascadedEh::observe_batch(self, items)
+    }
+    fn advance(&mut self, t: Time) {
+        CascadedEh::advance(self, t)
+    }
+    fn query(&self, t: Time) -> f64 {
+        CascadedEh::query(self, t)
+    }
+    fn merge_from(&mut self, other: &Self) {
+        CascadedEh::merge_from(self, other)
     }
 }
 
@@ -259,9 +305,7 @@ impl<G: DecayFunction, S: WindowSketch + StorageAccounting> StorageAccounting
 mod tests {
     use super::*;
     use td_counters::ExactDecayedSum;
-    use td_decay::{
-        ClosureDecay, Exponential, Polynomial, SlidingWindow, TableDecay,
-    };
+    use td_decay::{ClosureDecay, Exponential, Polynomial, SlidingWindow, TableDecay};
     use td_eh::ClassicEh;
 
     /// The paper's §4.2 worked example: consecutive weights 8, 5, 3, 2.
@@ -276,8 +320,7 @@ mod tests {
         for (t, &v) in f.iter().enumerate() {
             ceh.observe(t as Time, v);
         }
-        let want =
-            8.0 * f[3] as f64 + 5.0 * f[2] as f64 + 3.0 * f[1] as f64 + 2.0 * f[0] as f64;
+        let want = 8.0 * f[3] as f64 + 5.0 * f[2] as f64 + 3.0 * f[1] as f64 + 2.0 * f[0] as f64;
         assert_eq!(ceh.query(4), want);
     }
 
@@ -359,14 +402,14 @@ mod tests {
     fn classic_sketch_for_binary_streams() {
         let g = Polynomial::new(1.5);
         let sketch = ClassicEh::new(0.05, None);
-        let mut ceh = CascadedEh::with_sketch(g.clone(), sketch);
+        let mut ceh = CascadedEh::with_sketch(g, sketch);
         let mut exact = ExactDecayedSum::new(g);
         let mut x = 7u64;
         for t in 1..=5_000u64 {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            let f = (x % 3 == 0) as u64;
+            let f = x.is_multiple_of(3) as u64;
             ceh.observe(t, f);
             exact.observe(t, f);
         }
@@ -378,7 +421,7 @@ mod tests {
     #[test]
     fn midpoint_estimator_is_closer_on_smooth_decay() {
         let g = Polynomial::new(1.0);
-        let mut ceh = CascadedEh::new(g.clone(), 0.2);
+        let mut ceh = CascadedEh::new(g, 0.2);
         let mut exact = ExactDecayedSum::new(g);
         for t in 1..=10_000u64 {
             ceh.observe(t, 1);
@@ -411,7 +454,10 @@ mod tests {
             let truth = exact.query(20_001);
             let est = ceh.query_quantized(20_001, delta);
             let band = (1.0 + eps) * (1.0 + delta).powf(alpha);
-            assert!(est >= truth * (1.0 - 1e-9), "alpha={alpha}: {est} < {truth}");
+            assert!(
+                est >= truth * (1.0 - 1e-9),
+                "alpha={alpha}: {est} < {truth}"
+            );
             assert!(
                 est <= truth * band + 1e-9,
                 "alpha={alpha}: {est} > {band}*{truth}"
@@ -457,7 +503,7 @@ mod tests {
             let f = x % 5;
             whole.observe(t, f);
             exact.observe(t, f);
-            if x % 2 == 0 {
+            if x.is_multiple_of(2) {
                 a.observe(t, f);
             } else {
                 b.observe(t, f);

@@ -37,15 +37,14 @@ use td_counters::{ExpCounter, PolyExpCounter, QuantizedExpCounter};
 use td_decay::storage::bits_for_count;
 
 pub use td_aggregates::{
-    DecayedAverage, DecayedCount, DecayedLpNorm, DecayedQuantile, DecayedSampler,
-    DecayedVariance,
+    DecayedAverage, DecayedCount, DecayedLpNorm, DecayedQuantile, DecayedSampler, DecayedVariance,
 };
 pub use td_ceh::{CascadedEh, CehEstimator};
 pub use td_counters as counters;
 pub use td_decay::{
-    ClosureDecay, Constant, DecayClass, DecayFunction, Exponential, LogDecay,
-    MaxOf, Polynomial, ProductOf, RegionSchedule, Scaled, ShiftedPolynomial,
-    SlidingWindow, StorageAccounting, SumOf, TableDecay, Time,
+    ClosureDecay, Constant, DecayClass, DecayFunction, Exponential, LogDecay, MaxOf,
+    PolyExponential, Polynomial, ProductOf, RegionSchedule, Scaled, ShiftedPolynomial,
+    SlidingWindow, StorageAccounting, StreamAggregate, SumOf, TableDecay, Time,
 };
 pub use td_eh::{ClassicEh, DominationEh, WindowSketch};
 pub use td_sketch as sketch;
@@ -66,6 +65,120 @@ pub enum BackendChoice {
     ForceExact,
 }
 
+/// The decay function held by a [`DecayedSum`] backend: the closed
+/// forms the §8 table dispatches on are stored *unboxed*, so their
+/// weight evaluation — in particular the
+/// [`DecayFunction::weight_batch`] query kernel — runs as a monomorphic
+/// loop instead of one virtual call behind `Box<dyn DecayFunction>`;
+/// everything else falls back to the boxed [`AnyDecay::Dyn`] variant
+/// (still only one virtual call per *query* thanks to the batch
+/// kernel).
+pub enum AnyDecay {
+    /// `g(x) = 1` (no decay).
+    Constant(Constant),
+    /// `g(x) = exp(-λx)` (EXPD).
+    Exp(Exponential),
+    /// `g(x) = 1` for `x <= W`, else 0 (SLIWIN).
+    Sliding(SlidingWindow),
+    /// `g(x) = x^k e^{-λx} / k!` (§3.4).
+    PolyExp(PolyExponential),
+    /// Any other decay, behind one level of virtual dispatch.
+    Dyn(Box<dyn DecayFunction>),
+}
+
+impl AnyDecay {
+    /// Wraps a boxed decay, unboxing it when its [`DecayClass`] names a
+    /// closed form whose reconstruction is *bit-identical* to the
+    /// original on a set of probe ages. The probe guards against
+    /// wrappers (e.g. [`Scaled`]) whose class hints at the inner shape
+    /// while the weights differ — those stay safely boxed.
+    pub fn from_box(decay: Box<dyn DecayFunction>) -> Self {
+        fn faithful(original: &dyn DecayFunction, rebuilt: &dyn DecayFunction) -> bool {
+            const PROBES: [Time; 8] = [0, 1, 2, 3, 10, 100, 10_000, 1 << 30];
+            PROBES
+                .iter()
+                .all(|&x| original.weight(x) == rebuilt.weight(x))
+        }
+        match decay.classify() {
+            DecayClass::Constant if faithful(&*decay, &Constant) => AnyDecay::Constant(Constant),
+            DecayClass::Exponential { lambda } => {
+                let g = Exponential::new(lambda);
+                if faithful(&*decay, &g) {
+                    AnyDecay::Exp(g)
+                } else {
+                    AnyDecay::Dyn(decay)
+                }
+            }
+            DecayClass::SlidingWindow { window } => {
+                let g = SlidingWindow::new(window);
+                if faithful(&*decay, &g) {
+                    AnyDecay::Sliding(g)
+                } else {
+                    AnyDecay::Dyn(decay)
+                }
+            }
+            DecayClass::PolyExponential { degree, lambda } => {
+                let g = PolyExponential::new(degree, lambda);
+                if faithful(&*decay, &g) {
+                    AnyDecay::PolyExp(g)
+                } else {
+                    AnyDecay::Dyn(decay)
+                }
+            }
+            _ => AnyDecay::Dyn(decay),
+        }
+    }
+}
+
+impl DecayFunction for AnyDecay {
+    fn weight(&self, age: Time) -> f64 {
+        match self {
+            AnyDecay::Constant(g) => g.weight(age),
+            AnyDecay::Exp(g) => g.weight(age),
+            AnyDecay::Sliding(g) => g.weight(age),
+            AnyDecay::PolyExp(g) => g.weight(age),
+            AnyDecay::Dyn(g) => g.weight(age),
+        }
+    }
+    // One match, then the concrete family's monomorphic kernel.
+    fn weight_batch(&self, ages: &[Time], out: &mut [f64]) {
+        match self {
+            AnyDecay::Constant(g) => g.weight_batch(ages, out),
+            AnyDecay::Exp(g) => g.weight_batch(ages, out),
+            AnyDecay::Sliding(g) => g.weight_batch(ages, out),
+            AnyDecay::PolyExp(g) => g.weight_batch(ages, out),
+            AnyDecay::Dyn(g) => g.weight_batch(ages, out),
+        }
+    }
+    fn horizon(&self) -> Option<Time> {
+        match self {
+            AnyDecay::Constant(g) => g.horizon(),
+            AnyDecay::Exp(g) => g.horizon(),
+            AnyDecay::Sliding(g) => g.horizon(),
+            AnyDecay::PolyExp(g) => g.horizon(),
+            AnyDecay::Dyn(g) => g.horizon(),
+        }
+    }
+    fn classify(&self) -> DecayClass {
+        match self {
+            AnyDecay::Constant(g) => g.classify(),
+            AnyDecay::Exp(g) => g.classify(),
+            AnyDecay::Sliding(g) => g.classify(),
+            AnyDecay::PolyExp(g) => g.classify(),
+            AnyDecay::Dyn(g) => g.classify(),
+        }
+    }
+    fn describe(&self) -> String {
+        match self {
+            AnyDecay::Constant(g) => g.describe(),
+            AnyDecay::Exp(g) => g.describe(),
+            AnyDecay::Sliding(g) => g.describe(),
+            AnyDecay::PolyExp(g) => g.describe(),
+            AnyDecay::Dyn(g) => g.describe(),
+        }
+    }
+}
+
 /// The selected backend (one variant per row of the §8 table).
 enum Backend {
     /// Constant decay: a plain exact counter.
@@ -76,11 +189,11 @@ enum Backend {
     /// Polyexponential decay (§3.4): k + 1 pipelined counters, exact.
     PolyExp(PolyExpCounter),
     /// Cascaded EH (Theorem 1).
-    Ceh(CascadedEh<Box<dyn DecayFunction>>),
+    Ceh(CascadedEh<AnyDecay>),
     /// Weight-based merging histogram (§5) with approximate counters.
-    Wbmh(Wbmh<Box<dyn DecayFunction>>),
+    Wbmh(Wbmh<AnyDecay>),
     /// Exact baseline.
-    Exact(td_counters::ExactDecayedSum<Box<dyn DecayFunction>>),
+    Exact(td_counters::ExactDecayedSum<AnyDecay>),
 }
 
 /// Builder for [`DecayedSum`].
@@ -133,14 +246,15 @@ impl DecayedSumBuilder {
     pub fn build(self) -> DecayedSum {
         let class = self.decay.classify();
         let backend = match (self.choice, class) {
-            (BackendChoice::ForceExact, _) => {
-                Backend::Exact(td_counters::ExactDecayedSum::new(self.decay))
-            }
-            (BackendChoice::ForceCeh, _) => {
-                Backend::Ceh(CascadedEh::new(self.decay, self.epsilon))
-            }
+            (BackendChoice::ForceExact, _) => Backend::Exact(td_counters::ExactDecayedSum::new(
+                AnyDecay::from_box(self.decay),
+            )),
+            (BackendChoice::ForceCeh, _) => Backend::Ceh(CascadedEh::new(
+                AnyDecay::from_box(self.decay),
+                self.epsilon,
+            )),
             (BackendChoice::ForceWbmh, _) => Backend::Wbmh(Wbmh::with_approx_counts(
-                self.decay,
+                AnyDecay::from_box(self.decay),
                 self.epsilon,
                 self.max_age,
                 self.epsilon,
@@ -150,14 +264,11 @@ impl DecayedSumBuilder {
                 // Quantize to the precision the ε target warrants: the
                 // relative drift per operation is ~2^{1−m}.
                 let mantissa = ((2.0 / self.epsilon).log2().ceil() as u32 + 8).clamp(8, 52);
-                Backend::Exp(QuantizedExpCounter::new(
-                    Exponential::new(lambda),
-                    mantissa,
-                ))
+                Backend::Exp(QuantizedExpCounter::new(Exponential::new(lambda), mantissa))
             }
             (BackendChoice::Auto, DecayClass::RatioMonotone) => {
                 Backend::Wbmh(Wbmh::with_approx_counts(
-                    self.decay,
+                    AnyDecay::from_box(self.decay),
                     self.epsilon,
                     self.max_age,
                     self.epsilon,
@@ -166,24 +277,24 @@ impl DecayedSumBuilder {
             (BackendChoice::Auto, DecayClass::PolyExponential { degree, lambda }) => {
                 Backend::PolyExp(PolyExpCounter::new(degree, lambda))
             }
-            (BackendChoice::Auto, DecayClass::SlidingWindow { .. }) => {
-                Backend::Ceh(CascadedEh::new(self.decay, self.epsilon))
-            }
+            (BackendChoice::Auto, DecayClass::SlidingWindow { .. }) => Backend::Ceh(
+                CascadedEh::new(AnyDecay::from_box(self.decay), self.epsilon),
+            ),
             (BackendChoice::Auto, DecayClass::General) => {
                 // The Theorem 1 guarantee needs a genuinely non-increasing
                 // weight function; audit custom decays before trusting
                 // them to the histogram (fail loudly, not silently wrong).
                 assert!(
-                    td_decay::properties::is_non_increasing(
-                        &self.decay,
-                        self.max_age.min(4096),
-                    ),
+                    td_decay::properties::is_non_increasing(&self.decay, self.max_age.min(4096),),
                     "{} is not non-increasing — not a decay function in the \
                      paper's §2 sense (polyexponential shapes have their own \
                      backend via DecayClass::PolyExponential)",
                     self.decay.describe()
                 );
-                Backend::Ceh(CascadedEh::new(self.decay, self.epsilon))
+                Backend::Ceh(CascadedEh::new(
+                    AnyDecay::from_box(self.decay),
+                    self.epsilon,
+                ))
             }
         };
         DecayedSum { backend }
@@ -232,12 +343,36 @@ impl DecayedSum {
     /// Panics if `t` precedes a previous observation.
     pub fn observe(&mut self, t: Time, f: u64) {
         match &mut self.backend {
-            Backend::Plain(total) => *total += f,
+            // Saturate rather than wrap/panic: a landmark counter fed
+            // past u64::MAX pins at the ceiling (queries stay monotone).
+            Backend::Plain(total) => *total = total.saturating_add(f),
             Backend::Exp(c) => c.observe(t, f),
             Backend::PolyExp(c) => c.observe(t, f),
             Backend::Ceh(c) => c.observe(t, f),
             Backend::Wbmh(w) => w.observe(t, f),
             Backend::Exact(e) => e.observe(t, f),
+        }
+    }
+
+    /// Ingests a burst of `(time, value)` items sorted by non-decreasing
+    /// time, via the selected backend's amortized batch path (same end
+    /// state as sequential [`observe`](Self::observe) calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time precedes its predecessor.
+    pub fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        match &mut self.backend {
+            Backend::Plain(total) => {
+                for &(_, f) in items {
+                    *total = total.saturating_add(f);
+                }
+            }
+            Backend::Exp(c) => c.observe_batch(items),
+            Backend::PolyExp(c) => c.observe_batch(items),
+            Backend::Ceh(c) => c.observe_batch(items),
+            Backend::Wbmh(w) => w.observe_batch(items),
+            Backend::Exact(e) => e.observe_batch(items),
         }
     }
 
@@ -280,11 +415,20 @@ impl DecayedSum {
         }
     }
 
-    /// Advances the clock without ingesting (currently meaningful for
-    /// the WBMH backend's deterministic schedule; a no-op elsewhere).
+    /// Advances the clock to `t` without ingesting, propagated to every
+    /// backend: WBMH runs its deterministic seal/merge schedule, the
+    /// CEH and exact backends expire horizon-passed state (so storage
+    /// shrinks during ingest silence), and the counters fold their
+    /// pending tick forward. Only the plain landmark counter is
+    /// genuinely clock-free.
     pub fn advance(&mut self, t: Time) {
-        if let Backend::Wbmh(w) = &mut self.backend {
-            w.advance(t);
+        match &mut self.backend {
+            Backend::Plain(_) => {}
+            Backend::Exp(c) => c.advance(t),
+            Backend::PolyExp(c) => c.advance(t),
+            Backend::Ceh(c) => c.advance(t),
+            Backend::Wbmh(w) => w.advance(t),
+            Backend::Exact(e) => e.advance(t),
         }
     }
 
@@ -302,6 +446,24 @@ impl DecayedSum {
     }
 }
 
+impl StreamAggregate for DecayedSum {
+    fn observe(&mut self, t: Time, f: u64) {
+        DecayedSum::observe(self, t, f)
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        DecayedSum::observe_batch(self, items)
+    }
+    fn advance(&mut self, t: Time) {
+        DecayedSum::advance(self, t)
+    }
+    fn query(&self, t: Time) -> f64 {
+        DecayedSum::query(self, t)
+    }
+    fn merge_from(&mut self, other: &Self) {
+        DecayedSum::merge_from(self, other)
+    }
+}
+
 impl DecayedCount for DecayedSum {
     fn observe(&mut self, t: Time, f: u64) {
         DecayedSum::observe(self, t, f);
@@ -315,11 +477,11 @@ impl StorageAccounting for DecayedSum {
     fn storage_bits(&self) -> u64 {
         match &self.backend {
             Backend::Plain(total) => bits_for_count(*total),
-            Backend::Exp(c) => c.storage_bits(),
-            Backend::PolyExp(c) => c.storage_bits(),
-            Backend::Ceh(c) => c.storage_bits(),
-            Backend::Wbmh(w) => w.storage_bits(),
-            Backend::Exact(e) => e.storage_bits(),
+            Backend::Exp(c) => StorageAccounting::storage_bits(c),
+            Backend::PolyExp(c) => StorageAccounting::storage_bits(c),
+            Backend::Ceh(c) => StorageAccounting::storage_bits(c),
+            Backend::Wbmh(w) => StorageAccounting::storage_bits(w),
+            Backend::Exact(e) => StorageAccounting::storage_bits(e),
         }
     }
 }
@@ -352,8 +514,7 @@ mod tests {
         );
         assert_eq!(DecayedSum::new(Polynomial::new(2.0)).backend_name(), "wbmh");
         assert_eq!(
-            DecayedSum::new(ClosureDecay::new(|a| 1.0 / (1.0 + (a as f64).sqrt())))
-                .backend_name(),
+            DecayedSum::new(ClosureDecay::new(|a| 1.0 / (1.0 + (a as f64).sqrt()))).backend_name(),
             "ceh"
         );
     }
@@ -435,14 +596,11 @@ mod tests {
         // applicable, but WBMH must beat CEH, and both must beat exact.
         let g = Polynomial::new(1.0);
         let mk = |choice| {
-            let mut s = DecayedSum::builder(g)
-                .epsilon(0.1)
-                .backend(choice)
-                .build();
+            let mut s = DecayedSum::builder(g).epsilon(0.1).backend(choice).build();
             for t in 1..=20_000u64 {
                 s.observe(t, 1);
             }
-            s.storage_bits()
+            StorageAccounting::storage_bits(&s)
         };
         let wbmh = mk(BackendChoice::Auto);
         let ceh = mk(BackendChoice::ForceCeh);
@@ -506,5 +664,125 @@ mod tests {
     #[should_panic(expected = "epsilon must be in")]
     fn builder_rejects_bad_epsilon() {
         let _ = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.0);
+    }
+
+    #[test]
+    fn plain_backend_saturates_instead_of_overflowing() {
+        let mut s = DecayedSum::new(Constant);
+        assert_eq!(s.backend_name(), "plain");
+        s.observe(1, u64::MAX);
+        s.observe(2, u64::MAX);
+        s.observe(3, 7);
+        // The running total pins at the ceiling; queries stay monotone
+        // and finite rather than wrapping around to a tiny count.
+        assert_eq!(s.query(4), u64::MAX as f64);
+        // Merging two saturated sums also stays pinned.
+        let mut other = DecayedSum::new(Constant);
+        other.observe(1, u64::MAX);
+        s.merge_from(&other);
+        assert_eq!(s.query(5), u64::MAX as f64);
+        // Batched ingest takes the same saturating path.
+        let mut b = DecayedSum::new(Constant);
+        b.observe_batch(&[(1, u64::MAX), (1, u64::MAX), (2, 3)]);
+        assert_eq!(b.query(3), u64::MAX as f64);
+    }
+
+    #[test]
+    fn advance_propagates_and_storage_shrinks() {
+        // A sliding-window CEH full of items, then a long silent
+        // period: `advance` must reach the underlying histogram so
+        // expired buckets are dropped and the footprint shrinks without
+        // any further `observe`.
+        let mut s = DecayedSum::builder(SlidingWindow::new(100))
+            .epsilon(0.1)
+            .build();
+        assert_eq!(s.backend_name(), "ceh");
+        for t in 1..=5_000u64 {
+            s.observe(t, 3);
+        }
+        let loaded = StorageAccounting::storage_bits(&s);
+        s.advance(50_000);
+        let drained = StorageAccounting::storage_bits(&s);
+        assert!(
+            drained < loaded,
+            "storage did not shrink after advance: {drained} vs {loaded}"
+        );
+        assert_eq!(s.query(50_001), 0.0);
+
+        // Same check on the exact baseline (its deque must prune).
+        let mut e = DecayedSum::builder(SlidingWindow::new(100))
+            .backend(BackendChoice::ForceExact)
+            .build();
+        for t in 1..=5_000u64 {
+            e.observe(t, 3);
+        }
+        let loaded = StorageAccounting::storage_bits(&e);
+        e.advance(50_000);
+        assert!(StorageAccounting::storage_bits(&e) < loaded);
+        assert_eq!(e.query(50_001), 0.0);
+    }
+
+    #[test]
+    fn batched_ingest_matches_sequential_per_backend() {
+        // Exact query equality for every backend the §8 table can
+        // select: the batch path runs the same machinery once per
+        // distinct tick, so estimates are identical, not merely close.
+        let decays: Vec<Box<dyn Fn() -> DecayedSum>> = vec![
+            Box::new(|| DecayedSum::new(Constant)),
+            Box::new(|| DecayedSum::new(Exponential::new(0.05))),
+            Box::new(|| DecayedSum::new(SlidingWindow::new(64))),
+            Box::new(|| DecayedSum::new(Polynomial::new(1.5))),
+            Box::new(|| DecayedSum::new(td_decay::PolyExponential::new(2, 0.03))),
+            Box::new(|| {
+                DecayedSum::builder(Polynomial::new(1.0))
+                    .backend(BackendChoice::ForceExact)
+                    .build()
+            }),
+        ];
+        let mut items = Vec::new();
+        let mut x = 9u64;
+        let mut t = 0u64;
+        for _ in 0..800 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t += x % 3; // repeated ticks exercise coalescing
+            items.push((t.max(1), x % 20));
+        }
+        for mk in &decays {
+            let mut seq = mk();
+            let mut bat = mk();
+            for &(t, f) in &items {
+                seq.observe(t, f);
+            }
+            bat.observe_batch(&items);
+            let t_end = items.last().unwrap().0 + 1;
+            let (a, b) = (seq.query(t_end), bat.query(t_end));
+            assert!(
+                (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                "{}: {a} vs {b}",
+                seq.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn any_decay_unboxes_closed_forms_but_not_wrappers() {
+        use td_decay::Scaled;
+        // Closed forms round-trip to monomorphic variants.
+        assert!(matches!(
+            AnyDecay::from_box(Box::new(Exponential::new(0.2))),
+            AnyDecay::Exp(_)
+        ));
+        assert!(matches!(
+            AnyDecay::from_box(Box::new(SlidingWindow::new(9))),
+            AnyDecay::Sliding(_)
+        ));
+        // A scaled constant still classifies as `Constant` but weighs
+        // `factor ≠ 1` — the faithfulness probe must keep it boxed
+        // rather than silently replacing it with the unit constant.
+        let unboxed = AnyDecay::from_box(Box::new(Scaled::new(Constant, 3.0)));
+        assert!(matches!(unboxed, AnyDecay::Dyn(_)));
+        assert_eq!(unboxed.weight(5), 3.0);
     }
 }

@@ -227,8 +227,7 @@ mod tests {
     fn merge_error_stays_within_ladder_bound() {
         // Balanced binary merge of 2^12 counts of 3: depth 12.
         let eps = 0.05;
-        let mut layer: Vec<ApproxCount> =
-            (0..4096).map(|_| ApproxCount::exact(3, eps)).collect();
+        let mut layer: Vec<ApproxCount> = (0..4096).map(|_| ApproxCount::exact(3, eps)).collect();
         while layer.len() > 1 {
             layer = layer
                 .chunks(2)

@@ -68,19 +68,40 @@ impl ExpCounter {
         self.at_upto += f as f64;
     }
 
-    /// Moves the reference point forward to `t` without ingesting.
-    fn advance(&mut self, t: Time) {
+    /// Ingests a burst of `(time, value)` items, sorted by
+    /// non-decreasing time — bit-identical to sequential
+    /// [`observe`](Self::observe) calls, but the `e^{-λΔ}` rescale runs
+    /// once per *distinct tick* instead of being re-checked per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time precedes its predecessor (within the batch or
+    /// against earlier observations).
+    pub fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        let mut i = 0;
+        while i < items.len() {
+            let t = items[i].0;
+            self.advance(t); // one rescale per distinct tick
+            while i < items.len() && items[i].0 == t {
+                self.at_upto += items[i].1 as f64;
+                i += 1;
+            }
+        }
+    }
+
+    /// Moves the reference point forward to `t` without ingesting,
+    /// applying the pending `e^{-λΔ}` fade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previously observed time.
+    pub fn advance(&mut self, t: Time) {
         if !self.started {
             self.started = true;
             self.upto = t;
             return;
         }
-        assert!(
-            t >= self.upto,
-            "time went backwards: {} < {}",
-            t,
-            self.upto
-        );
+        assert!(t >= self.upto, "time went backwards: {} < {}", t, self.upto);
         if t > self.upto {
             let fade = (-self.decay.lambda() * (t - self.upto) as f64).exp();
             self.sum_before = (self.sum_before + self.at_upto) * fade;
@@ -152,6 +173,24 @@ impl StorageAccounting for ExpCounter {
     }
 }
 
+impl td_decay::StreamAggregate for ExpCounter {
+    fn observe(&mut self, t: Time, f: u64) {
+        ExpCounter::observe(self, t, f)
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        ExpCounter::observe_batch(self, items)
+    }
+    fn advance(&mut self, t: Time) {
+        ExpCounter::advance(self, t)
+    }
+    fn query(&self, t: Time) -> f64 {
+        ExpCounter::query(self, t)
+    }
+    fn merge_from(&mut self, other: &Self) {
+        ExpCounter::merge_from(self, other)
+    }
+}
+
 /// [`ExpCounter`] with an explicitly bounded mantissa.
 ///
 /// After every state change the accumulator is rounded to
@@ -192,6 +231,45 @@ impl QuantizedExpCounter {
         self.inner.at_upto = round_to_mantissa(self.inner.at_upto, self.mantissa_bits);
     }
 
+    /// Ingests a burst of `(time, value)` items, sorted by
+    /// non-decreasing time.
+    ///
+    /// Amortized twice over: the `e^{-λΔ}` rescale *and* the mantissa
+    /// rounding each run once per distinct tick instead of once per
+    /// item. Because same-tick mass accumulates un-rounded before the
+    /// single rounding, a batched result can differ from the sequential
+    /// one by at most the roundings skipped — i.e. batching is slightly
+    /// *more* accurate, never worse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time precedes its predecessor.
+    pub fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        let mut i = 0;
+        while i < items.len() {
+            let t = items[i].0;
+            self.inner.advance(t);
+            while i < items.len() && items[i].0 == t {
+                self.inner.at_upto += items[i].1 as f64;
+                i += 1;
+            }
+            self.inner.sum_before = round_to_mantissa(self.inner.sum_before, self.mantissa_bits);
+            self.inner.at_upto = round_to_mantissa(self.inner.at_upto, self.mantissa_bits);
+        }
+    }
+
+    /// Moves the reference point forward to `t` without ingesting (see
+    /// [`ExpCounter::advance`]), re-rounding the faded accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previously observed time.
+    pub fn advance(&mut self, t: Time) {
+        self.inner.advance(t);
+        self.inner.sum_before = round_to_mantissa(self.inner.sum_before, self.mantissa_bits);
+        self.inner.at_upto = round_to_mantissa(self.inner.at_upto, self.mantissa_bits);
+    }
+
     /// The decaying sum estimate (see [`ExpCounter::query`]).
     ///
     /// # Panics
@@ -220,6 +298,24 @@ impl StorageAccounting for QuantizedExpCounter {
         // magnitudes from e^{-λN} up to N·maxvalue; 2^±1024 covers f64.
         2 * bits_for_quantized_float(self.mantissa_bits as u64, 1024)
             + bits_for_timestamp(self.inner.upto)
+    }
+}
+
+impl td_decay::StreamAggregate for QuantizedExpCounter {
+    fn observe(&mut self, t: Time, f: u64) {
+        QuantizedExpCounter::observe(self, t, f)
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        QuantizedExpCounter::observe_batch(self, items)
+    }
+    fn advance(&mut self, t: Time) {
+        QuantizedExpCounter::advance(self, t)
+    }
+    fn query(&self, t: Time) -> f64 {
+        QuantizedExpCounter::query(self, t)
+    }
+    fn merge_from(&mut self, other: &Self) {
+        QuantizedExpCounter::merge_from(self, other)
     }
 }
 
@@ -266,8 +362,8 @@ mod tests {
     fn recurrence_form_matches_paper_eq_1() {
         // S(t) = f(t) + e^{-λ} S(t−1), with query(T) = S(T−1) decayed one
         // tick: drive both forms over a dense 0/1 stream.
-        let lambda = 0.3;
-        let fade = (-lambda as f64).exp();
+        let lambda = 0.3f64;
+        let fade = (-lambda).exp();
         let mut s = 0.0;
         let mut c = ExpCounter::new(Exponential::new(lambda));
         for t in 0..200u64 {
@@ -320,7 +416,7 @@ mod tests {
             x ^= x << 17;
             let f = x % 9;
             whole.observe(t, f);
-            if x % 2 == 0 {
+            if x.is_multiple_of(2) {
                 a.observe(t, f);
             } else {
                 b.observe(t, f);

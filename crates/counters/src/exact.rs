@@ -56,6 +56,52 @@ impl<G: DecayFunction> ExactDecayedSum<G> {
     ///
     /// Panics if `t` precedes a previously observed time.
     pub fn observe(&mut self, t: Time, f: u64) {
+        self.advance(t);
+        if f == 0 {
+            return;
+        }
+        match self.items.back_mut() {
+            Some((bt, bf)) if *bt == t => *bf = bf.saturating_add(f),
+            _ => self.items.push_back((t, f)),
+        }
+    }
+
+    /// Ingests a burst of `(time, value)` items, sorted by
+    /// non-decreasing time — identical end state to sequential
+    /// [`observe`](Self::observe) calls, but each distinct tick costs
+    /// one clock advance / prune and at most one deque push: same-tick
+    /// mass is coalesced before it touches the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time precedes its predecessor.
+    pub fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        let mut i = 0;
+        while i < items.len() {
+            let t = items[i].0;
+            self.advance(t);
+            let mut mass = 0u64;
+            while i < items.len() && items[i].0 == t {
+                mass = mass.saturating_add(items[i].1);
+                i += 1;
+            }
+            if mass == 0 {
+                continue;
+            }
+            match self.items.back_mut() {
+                Some((bt, bf)) if *bt == t => *bf = bf.saturating_add(mass),
+                _ => self.items.push_back((t, mass)),
+            }
+        }
+    }
+
+    /// Advances the clock to `t` without ingesting mass, pruning items
+    /// that fell past the decay horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previously observed time.
+    pub fn advance(&mut self, t: Time) {
         if self.started {
             assert!(
                 t >= self.last_t,
@@ -66,13 +112,6 @@ impl<G: DecayFunction> ExactDecayedSum<G> {
         self.started = true;
         self.last_t = t;
         self.prune(t);
-        if f == 0 {
-            return;
-        }
-        match self.items.back_mut() {
-            Some((bt, bf)) if *bt == t => *bf = bf.saturating_add(f),
-            _ => self.items.push_back((t, f)),
-        }
     }
 
     /// Drops items that can never again carry positive weight.
@@ -143,6 +182,24 @@ impl<G: DecayFunction> ExactDecayedSum<G> {
     /// Number of live (non-pruned) arrival times.
     pub fn live_items(&self) -> usize {
         self.items.len()
+    }
+}
+
+impl<G: DecayFunction> td_decay::StreamAggregate for ExactDecayedSum<G> {
+    fn observe(&mut self, t: Time, f: u64) {
+        ExactDecayedSum::observe(self, t, f)
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        ExactDecayedSum::observe_batch(self, items)
+    }
+    fn advance(&mut self, t: Time) {
+        ExactDecayedSum::advance(self, t)
+    }
+    fn query(&self, t: Time) -> f64 {
+        ExactDecayedSum::query(self, t)
+    }
+    fn merge_from(&mut self, other: &Self) {
+        ExactDecayedSum::merge_from(self, other)
     }
 }
 

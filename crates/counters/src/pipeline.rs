@@ -90,17 +90,44 @@ impl PolyExpCounter {
     ///
     /// Panics if `t` precedes a previously observed time.
     pub fn observe(&mut self, t: Time, f: u64) {
+        self.advance(t);
+        self.at_upto += f as f64;
+    }
+
+    /// Ingests a burst of `(time, value)` items, sorted by
+    /// non-decreasing time — bit-identical to sequential
+    /// [`observe`](Self::observe) calls, but the triangular advance map
+    /// runs once per *distinct tick* instead of being re-checked per
+    /// item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time precedes its predecessor.
+    pub fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        let mut i = 0;
+        while i < items.len() {
+            let t = items[i].0;
+            self.advance(t); // one pipeline advance per distinct tick
+            while i < items.len() && items[i].0 == t {
+                self.at_upto += items[i].1 as f64;
+                i += 1;
+            }
+        }
+    }
+
+    /// Moves the reference point forward to `t` without ingesting,
+    /// folding pending age-0 mass and applying the advance-by-Δ map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes a previously observed time.
+    pub fn advance(&mut self, t: Time) {
         if !self.started {
             self.started = true;
             self.upto = t;
-            self.at_upto = f as f64;
             return;
         }
-        assert!(
-            t >= self.upto,
-            "time went backwards: {t} < {}",
-            self.upto
-        );
+        assert!(t >= self.upto, "time went backwards: {t} < {}", self.upto);
         if t > self.upto {
             // Fold the pending age-0 items, then advance.
             self.m[0] += self.at_upto;
@@ -108,7 +135,6 @@ impl PolyExpCounter {
             self.at_upto = 0.0;
             self.upto = t;
         }
-        self.at_upto += f as f64;
     }
 
     /// The full advanced state vector at query time `t` (items at `t`
@@ -219,6 +245,24 @@ impl StorageAccounting for PolyExpCounter {
     }
 }
 
+impl td_decay::StreamAggregate for PolyExpCounter {
+    fn observe(&mut self, t: Time, f: u64) {
+        PolyExpCounter::observe(self, t, f)
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        PolyExpCounter::observe_batch(self, items)
+    }
+    fn advance(&mut self, t: Time) {
+        PolyExpCounter::advance(self, t)
+    }
+    fn query(&self, t: Time) -> f64 {
+        PolyExpCounter::query(self, t)
+    }
+    fn merge_from(&mut self, other: &Self) {
+        PolyExpCounter::merge_from(self, other)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,7 +344,7 @@ mod tests {
             x ^= x << 17;
             let f = x % 7;
             whole.observe(t, f);
-            if x % 3 == 0 {
+            if x.is_multiple_of(3) {
                 a.observe(t, f);
             } else {
                 b.observe(t, f);

@@ -110,9 +110,7 @@ impl TimestampCounter {
         let virtual_t = t as f64 + (f as f64).ln() / self.decay.lambda();
         // Keep the deque sorted by virtual time: a large value can jump
         // ahead of previously-stored virtual stamps.
-        let pos = self
-            .stamps
-            .partition_point(|&s| s <= virtual_t);
+        let pos = self.stamps.partition_point(|&s| s <= virtual_t);
         self.stamps.insert(pos, virtual_t);
         while self.stamps.len() > self.capacity {
             self.stamps.pop_front();

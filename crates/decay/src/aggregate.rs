@@ -1,0 +1,138 @@
+//! The unified [`StreamAggregate`] interface every backend implements.
+//!
+//! The paper develops one algorithm per decay family — the Eq. 1 EXPD
+//! counter (§3.1), pipelined counters (§3.4), exponential histograms
+//! (§3.2), cascaded EHs (Theorem 1), and WBMH (§5) — and this workspace
+//! implements each in its own crate. `StreamAggregate` is the single
+//! ingest/query surface they all share, so serving code can hold *any*
+//! of them behind one generic bound and switch backends without
+//! touching call sites.
+//!
+//! The trait's shape is driven by the stream-serving hot path:
+//!
+//! * [`observe_batch`](StreamAggregate::observe_batch) lets backends
+//!   amortize per-item bookkeeping over a burst: same-tick mass is
+//!   coalesced before it touches the structure, clock advancement and
+//!   merge/canonicalize passes run once per distinct tick rather than
+//!   once per item. Every backend guarantees batch ingestion leaves the
+//!   summary in **exactly** the state sequential
+//!   [`observe`](StreamAggregate::observe) calls would (bit-identical
+//!   bucket lists for the histograms; the counters differ only by f64
+//!   summation order, bounded by ~1e-15 relative).
+//! * [`advance`](StreamAggregate::advance) moves the clock without
+//!   observing mass, so expired state is reclaimed during ingest
+//!   silence (satellite of §2.3's storage accounting).
+//! * [`merge_from`](StreamAggregate::merge_from) is the distributed
+//!   counterpart (§6): combine summaries of disjoint substreams.
+
+use crate::func::Time;
+use crate::storage::StorageAccounting;
+
+/// A time-decaying stream summary: one ingest/query surface shared by
+/// every backend in the workspace.
+///
+/// [`StorageAccounting`] is a supertrait rather than a duplicated
+/// `storage_bits` method, so importing both traits never makes the
+/// call ambiguous.
+///
+/// # Time model
+///
+/// Ticks are non-decreasing: `observe`, `observe_batch`, and `advance`
+/// must be called with `t` at least the largest time previously seen.
+/// Items inside one `observe_batch` call must likewise be sorted by
+/// non-decreasing time. Queries at time `t` weight an item observed at
+/// `ti < t` by `g(t - ti)`.
+pub trait StreamAggregate: StorageAccounting {
+    /// Feeds one item of value `f` observed at time `t`.
+    fn observe(&mut self, t: Time, f: u64);
+
+    /// Feeds a burst of `(time, value)` items, sorted by non-decreasing
+    /// time.
+    ///
+    /// Result-equivalent to calling [`observe`](Self::observe) once per
+    /// item, but amortized: backends coalesce same-tick mass and run
+    /// their clock/merge machinery once per distinct tick. The default
+    /// is the sequential loop; every backend in this workspace
+    /// overrides it.
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        for &(t, f) in items {
+            self.observe(t, f);
+        }
+    }
+
+    /// Advances the summary's clock to `t` without observing any mass,
+    /// letting time-expired state be dropped (e.g. sliding-window
+    /// buckets during ingest silence).
+    fn advance(&mut self, t: Time);
+
+    /// The decayed sum estimate `Σ f_i · g(t - t_i)` at time `t`
+    /// (items at `t` itself are not yet visible, matching §2.1).
+    fn query(&self, t: Time) -> f64;
+
+    /// Folds `other` — a summary of a *disjoint* substream under the
+    /// same decay function and parameters — into `self` (§6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two summaries' parameters are incompatible, or for
+    /// the rare backend with no merge algorithm (`ClassicEh`).
+    fn merge_from(&mut self, other: &Self)
+    where
+        Self: Sized;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy exact aggregate, checking the trait is implementable and
+    /// the default `observe_batch` loops.
+    struct Plain {
+        total: u64,
+        last_t: Time,
+    }
+
+    impl StorageAccounting for Plain {
+        fn storage_bits(&self) -> u64 {
+            128
+        }
+    }
+
+    impl StreamAggregate for Plain {
+        fn observe(&mut self, t: Time, f: u64) {
+            assert!(t >= self.last_t);
+            self.last_t = t;
+            self.total += f;
+        }
+        fn advance(&mut self, t: Time) {
+            assert!(t >= self.last_t);
+            self.last_t = t;
+        }
+        fn query(&self, _t: Time) -> f64 {
+            self.total as f64
+        }
+        fn merge_from(&mut self, other: &Self) {
+            self.total += other.total;
+            self.last_t = self.last_t.max(other.last_t);
+        }
+    }
+
+    #[test]
+    fn default_batch_is_sequential() {
+        let mut a = Plain {
+            total: 0,
+            last_t: 0,
+        };
+        let mut b = Plain {
+            total: 0,
+            last_t: 0,
+        };
+        let items = [(1u64, 2u64), (1, 3), (4, 5)];
+        for &(t, f) in &items {
+            a.observe(t, f);
+        }
+        b.observe_batch(&items);
+        assert_eq!(a.query(5), b.query(5));
+        assert_eq!(a.last_t, b.last_t);
+    }
+}

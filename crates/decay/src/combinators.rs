@@ -48,9 +48,7 @@ impl<G: DecayFunction> DecayFunction for Scaled<G> {
             // A scaled constant/EXPD/SLIWIN is no longer literally that
             // closed form, but scaling preserves ratio monotonicity.
             DecayClass::Constant => DecayClass::Constant,
-            DecayClass::Exponential { .. } | DecayClass::RatioMonotone => {
-                DecayClass::RatioMonotone
-            }
+            DecayClass::Exponential { .. } | DecayClass::RatioMonotone => DecayClass::RatioMonotone,
             // SLIWIN is not ratio-monotone (∞ jump at the window edge),
             // and scaling does not repair that; a scaled polyexponential
             // is still polyexponential-shaped but the pipeline backend
@@ -140,9 +138,7 @@ impl<G1: DecayFunction, G2: DecayFunction> DecayFunction for ProductOf<G1, G2> {
         let ratio_monotone = |c: &DecayClass| {
             matches!(
                 c,
-                DecayClass::Constant
-                    | DecayClass::Exponential { .. }
-                    | DecayClass::RatioMonotone
+                DecayClass::Constant | DecayClass::Exponential { .. } | DecayClass::RatioMonotone
             )
         };
         let (ca, cb) = (self.a.classify(), self.b.classify());
@@ -237,7 +233,10 @@ mod tests {
 
     #[test]
     fn max_takes_upper_envelope() {
-        let g = MaxOf::new(SlidingWindow::new(5), Scaled::new(Polynomial::new(1.0), 0.5));
+        let g = MaxOf::new(
+            SlidingWindow::new(5),
+            Scaled::new(Polynomial::new(1.0), 0.5),
+        );
         assert_eq!(g.weight(3), 1.0); // window dominates inside
         assert_eq!(g.weight(10), 0.05); // polynomial tail outside
         assert_eq!(g.horizon(), None);

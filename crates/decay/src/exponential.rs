@@ -70,6 +70,14 @@ impl DecayFunction for Exponential {
         (-self.lambda * age as f64).exp()
     }
 
+    fn weight_batch(&self, ages: &[Time], out: &mut [f64]) {
+        assert_eq!(ages.len(), out.len(), "age/weight buffer length mismatch");
+        let lambda = self.lambda;
+        for (o, &a) in out.iter_mut().zip(ages) {
+            *o = (-lambda * a as f64).exp();
+        }
+    }
+
     fn classify(&self) -> DecayClass {
         DecayClass::Exponential {
             lambda: self.lambda,

@@ -70,6 +70,27 @@ pub trait DecayFunction {
     /// The weight `g(x)` assigned to an item of age `x` ticks.
     fn weight(&self, age: Time) -> f64;
 
+    /// Evaluates `g` over a batch of ages in one call: `out[i] =
+    /// weight(ages[i])`.
+    ///
+    /// This is the query-side kernel: histogram queries collect bucket
+    /// ages into a scratch buffer and evaluate all weights at once, so a
+    /// decay function dispatched through `&dyn DecayFunction` pays one
+    /// virtual call per *query* instead of one per *bucket*, and the
+    /// closed-form families get a tight monomorphic loop the compiler
+    /// can unroll/vectorize. Overrides must be pointwise identical to
+    /// `weight` (the default simply loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ages.len() != out.len()`.
+    fn weight_batch(&self, ages: &[Time], out: &mut [f64]) {
+        assert_eq!(ages.len(), out.len(), "age/weight buffer length mismatch");
+        for (o, &a) in out.iter_mut().zip(ages) {
+            *o = self.weight(a);
+        }
+    }
+
     /// The horizon `N(g) = argmax_x g(x) > 0` (§2.3): the largest age that
     /// still carries positive weight, or `None` when the support is
     /// infinite (as for exponential and polynomial decay).
@@ -99,6 +120,9 @@ impl<G: DecayFunction + ?Sized> DecayFunction for &G {
     fn weight(&self, age: Time) -> f64 {
         (**self).weight(age)
     }
+    fn weight_batch(&self, ages: &[Time], out: &mut [f64]) {
+        (**self).weight_batch(ages, out)
+    }
     fn horizon(&self) -> Option<Time> {
         (**self).horizon()
     }
@@ -113,6 +137,9 @@ impl<G: DecayFunction + ?Sized> DecayFunction for &G {
 impl<G: DecayFunction + ?Sized> DecayFunction for Box<G> {
     fn weight(&self, age: Time) -> f64 {
         (**self).weight(age)
+    }
+    fn weight_batch(&self, ages: &[Time], out: &mut [f64]) {
+        (**self).weight_batch(ages, out)
     }
     fn horizon(&self) -> Option<Time> {
         (**self).horizon()

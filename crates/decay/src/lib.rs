@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod combinators;
 pub mod exponential;
 pub mod func;
@@ -45,6 +46,7 @@ pub mod sliding;
 pub mod storage;
 pub mod table;
 
+pub use aggregate::StreamAggregate;
 pub use combinators::{MaxOf, ProductOf, Scaled, SumOf};
 pub use exponential::Exponential;
 pub use func::{DecayClass, DecayFunction, Time};

@@ -92,6 +92,20 @@ impl DecayFunction for PolyExponential {
         ln.exp() * self.inv_k_factorial
     }
 
+    fn weight_batch(&self, ages: &[Time], out: &mut [f64]) {
+        assert_eq!(ages.len(), out.len(), "age/weight buffer length mismatch");
+        let (k, lambda, norm) = (self.k as f64, self.lambda, self.inv_k_factorial);
+        let zero_weight = if self.k == 0 { 1.0 } else { 0.0 };
+        for (o, &a) in out.iter_mut().zip(ages) {
+            *o = if a == 0 {
+                zero_weight
+            } else {
+                let x = a as f64;
+                (k * x.ln() - lambda * x).exp() * norm
+            };
+        }
+    }
+
     fn classify(&self) -> DecayClass {
         if self.k == 0 {
             DecayClass::Exponential {

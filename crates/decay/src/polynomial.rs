@@ -57,6 +57,14 @@ impl DecayFunction for Polynomial {
         x.powf(-self.alpha)
     }
 
+    fn weight_batch(&self, ages: &[Time], out: &mut [f64]) {
+        assert_eq!(ages.len(), out.len(), "age/weight buffer length mismatch");
+        let alpha = self.alpha;
+        for (o, &a) in out.iter_mut().zip(ages) {
+            *o = (a.max(1) as f64).powf(-alpha);
+        }
+    }
+
     fn classify(&self) -> DecayClass {
         DecayClass::RatioMonotone
     }
@@ -152,10 +160,7 @@ mod tests {
     fn ratio_monotone() {
         for alpha in [0.5, 1.0, 2.0, 3.5] {
             let g = Polynomial::new(alpha);
-            assert!(
-                properties::check_ratio_monotone(&g, 5_000),
-                "alpha={alpha}"
-            );
+            assert!(properties::check_ratio_monotone(&g, 5_000), "alpha={alpha}");
             assert!(properties::is_non_increasing(&g, 5_000));
         }
     }

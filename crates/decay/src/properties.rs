@@ -123,9 +123,7 @@ pub fn certify<G: DecayFunction + ?Sized>(g: &G, max_age: Time) -> Option<DecayC
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        ClosureDecay, Constant, Exponential, Polynomial, SlidingWindow,
-    };
+    use crate::{ClosureDecay, Constant, Exponential, Polynomial, SlidingWindow};
 
     #[test]
     fn effective_horizon_minimum() {

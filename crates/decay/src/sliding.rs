@@ -56,6 +56,15 @@ impl DecayFunction for SlidingWindow {
         }
     }
 
+    fn weight_batch(&self, ages: &[Time], out: &mut [f64]) {
+        assert_eq!(ages.len(), out.len(), "age/weight buffer length mismatch");
+        let window = self.window;
+        for (o, &a) in out.iter_mut().zip(ages) {
+            // Branch-free indicator: trivially vectorizable.
+            *o = f64::from(u8::from(a <= window));
+        }
+    }
+
     fn horizon(&self) -> Option<Time> {
         Some(self.window)
     }

@@ -77,10 +77,9 @@ impl std::fmt::Display for TableError {
             TableError::Increasing(i) => {
                 write!(f, "weight table increases at index {i}")
             }
-            TableError::InvalidTail => write!(
-                f,
-                "tail weight is invalid or exceeds the last table entry"
-            ),
+            TableError::InvalidTail => {
+                write!(f, "tail weight is invalid or exceeds the last table entry")
+            }
         }
     }
 }

@@ -106,4 +106,36 @@ proptest! {
         let g = SlidingWindow::new(window);
         prop_assert_eq!(g.weight(age), if age <= window { 1.0 } else { 0.0 });
     }
+
+    /// The batch weight kernel is bit-identical to pointwise `weight`
+    /// for every closed form with a monomorphic override, and for a
+    /// combinator that rides the default loop.
+    #[test]
+    fn weight_batch_matches_pointwise(
+        lambda in 0.0001f64..2.0,
+        alpha in 0.1f64..4.0,
+        window in 1u64..10_000,
+        degree in 0u32..4,
+        ages in proptest::collection::vec(0u64..100_000, 1..64),
+    ) {
+        use td_decay::PolyExponential;
+        let fns: Vec<Box<dyn DecayFunction>> = vec![
+            Box::new(Exponential::new(lambda)),
+            Box::new(Polynomial::new(alpha)),
+            Box::new(SlidingWindow::new(window)),
+            Box::new(PolyExponential::new(degree, lambda)),
+            Box::new(SumOf::new(Exponential::new(lambda), SlidingWindow::new(window))),
+        ];
+        let mut out = vec![0.0f64; ages.len()];
+        for g in &fns {
+            g.weight_batch(&ages, &mut out);
+            for (&a, &w) in ages.iter().zip(&out) {
+                prop_assert_eq!(
+                    w,
+                    g.weight(a),
+                    "{} diverges at age {}", g.describe(), a
+                );
+            }
+        }
+    }
 }

@@ -92,6 +92,12 @@ impl ClassicEh {
         self.buckets.len()
     }
 
+    /// The live bucket list, oldest first (inspection and equivalence
+    /// testing).
+    pub fn buckets(&self) -> Vec<Bucket> {
+        self.buckets.iter().copied().collect()
+    }
+
     /// The time of the most recent observation.
     pub fn last_time(&self) -> Time {
         self.last_t
@@ -175,18 +181,54 @@ impl WindowSketch for ClassicEh {
     /// or if `t` precedes a previous observation.
     fn observe(&mut self, t: Time, f: u64) {
         assert!(f <= 1, "ClassicEh is for 0/1 streams; got value {f}");
-        if self.started {
-            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
-        }
-        self.started = true;
-        self.last_t = t;
-        self.expire(t);
+        self.advance(t);
         if f == 0 {
             return;
         }
         self.buckets.push_back(Bucket::unit(t, 1));
         self.live_total += 1;
         self.canonicalize();
+    }
+
+    /// Ingests a sorted burst of 0/1 items. The classic cascade must
+    /// run once per unit insert (each `1` opens a size-1 bucket and the
+    /// class caps are checked immediately), so only the clock advance,
+    /// expiry, and monotonicity assert are amortized per distinct tick;
+    /// the end state is bit-identical to the sequential loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value exceeds 1 or any time precedes its
+    /// predecessor.
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        let mut i = 0;
+        while i < items.len() {
+            let t = items[i].0;
+            self.advance(t);
+            while i < items.len() && items[i].0 == t {
+                let f = items[i].1;
+                assert!(f <= 1, "ClassicEh is for 0/1 streams; got value {f}");
+                if f == 1 {
+                    self.buckets.push_back(Bucket::unit(t, 1));
+                    self.live_total += 1;
+                    self.canonicalize();
+                }
+                i += 1;
+            }
+        }
+    }
+
+    fn advance(&mut self, t: Time) {
+        if self.started {
+            assert!(
+                t >= self.last_t,
+                "time went backwards: {t} < {}",
+                self.last_t
+            );
+        }
+        self.started = true;
+        self.last_t = t;
+        self.expire(t);
     }
 
     fn query_window(&self, t: Time, w: Time) -> f64 {
@@ -203,6 +245,30 @@ impl WindowSketch for ClassicEh {
 
     fn epsilon(&self) -> f64 {
         self.epsilon
+    }
+}
+
+impl td_decay::StreamAggregate for ClassicEh {
+    fn observe(&mut self, t: Time, f: u64) {
+        WindowSketch::observe(self, t, f)
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        WindowSketch::observe_batch(self, items)
+    }
+    fn advance(&mut self, t: Time) {
+        WindowSketch::advance(self, t)
+    }
+    /// The live-total estimate: a window query spanning the whole
+    /// elapsed stream (ages `1..=t`).
+    fn query(&self, t: Time) -> f64 {
+        self.query_window(t, t)
+    }
+    /// # Panics
+    ///
+    /// Always: the classic power-of-two structure has no merge
+    /// algorithm (merging breaks the size-class invariant).
+    fn merge_from(&mut self, _other: &Self) {
+        panic!("ClassicEh does not support merge_from; use DominationEh");
     }
 }
 
@@ -340,7 +406,10 @@ mod tests {
         for w in [10u64, 100, 1_000, 4_999] {
             let est = eh.query_window_with(5_001, w, Estimator::Paper);
             assert!(est >= w as f64 - 1e-9, "w={w}: est={est}");
-            assert!(est <= (1.0 + 2.0 * 0.1) * w as f64 + 1.0, "w={w}: est={est}");
+            assert!(
+                est <= (1.0 + 2.0 * 0.1) * w as f64 + 1.0,
+                "w={w}: est={est}"
+            );
         }
     }
 

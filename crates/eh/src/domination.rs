@@ -98,6 +98,12 @@ impl DominationEh {
         self.buckets.len()
     }
 
+    /// The live bucket list, oldest first (inspection and equivalence
+    /// testing).
+    pub fn buckets(&self) -> Vec<Bucket> {
+        self.buckets.iter().copied().collect()
+    }
+
     /// The time of the most recent observation.
     pub fn last_time(&self) -> Time {
         self.last_t
@@ -170,8 +176,7 @@ impl DominationEh {
         if other.buckets.is_empty() {
             return;
         }
-        let mut merged: Vec<Bucket> =
-            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let mut merged: Vec<Bucket> = Vec::with_capacity(self.buckets.len() + other.buckets.len());
         let mut a = self.buckets.iter().copied().peekable();
         let mut b = other.buckets.iter().copied().peekable();
         loop {
@@ -215,6 +220,29 @@ impl DominationEh {
             estimate_window(&all, t, w, estimator)
         }
     }
+
+    /// Adds `mass > 0` at the (already advanced-to) tick `t`: coalesce
+    /// into the newest bucket when it is single-tick at `t`, otherwise
+    /// open a fresh bucket and maybe run the amortized merge pass.
+    ///
+    /// The merge counter ticks per *new bucket*, not per item, so
+    /// same-tick coalescing never re-triggers the pass.
+    fn add_mass(&mut self, t: Time, f: u64) {
+        match self.buckets.back_mut() {
+            Some(b) if b.start == t && b.end == t => {
+                b.count = b.count.saturating_add(f);
+            }
+            _ => {
+                self.buckets.push_back(Bucket::unit(t, f));
+                self.inserts_since_merge += 1;
+                if self.inserts_since_merge >= (self.buckets.len() / 4).max(8) {
+                    self.canonicalize();
+                    self.inserts_since_merge = 0;
+                }
+            }
+        }
+        self.live_total = self.live_total.saturating_add(f);
+    }
 }
 
 impl WindowSketch for DominationEh {
@@ -224,28 +252,66 @@ impl WindowSketch for DominationEh {
     ///
     /// Panics if `t` precedes a previous observation.
     fn observe(&mut self, t: Time, f: u64) {
+        self.advance(t);
+        if f == 0 {
+            return;
+        }
+        self.add_mass(t, f);
+    }
+
+    /// Ingests a sorted burst, bit-identical in end state to the
+    /// sequential loop: clock advance and expiry run once per distinct
+    /// tick; the run's first non-zero item replays
+    /// [`add_mass`](Self::add_mass) (so the amortized merge pass fires
+    /// exactly when the sequential loop's would, seeing the same back-
+    /// bucket count); the run's remaining mass folds straight into the
+    /// back bucket, which is the only effect the sequential loop's later
+    /// same-tick calls can have (`canonicalize` never merges the newest
+    /// bucket — its suffix count is zero — so the back bucket survives
+    /// any pass unchanged and stays single-tick at `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time precedes its predecessor.
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        let mut i = 0;
+        while i < items.len() {
+            let t = items[i].0;
+            self.advance(t);
+            let mut opened = false;
+            let mut rest = 0u64;
+            while i < items.len() && items[i].0 == t {
+                let f = items[i].1;
+                if f > 0 {
+                    if opened {
+                        rest = rest.saturating_add(f);
+                    } else {
+                        self.add_mass(t, f);
+                        opened = true;
+                    }
+                }
+                i += 1;
+            }
+            if rest > 0 {
+                if let Some(b) = self.buckets.back_mut() {
+                    b.count = b.count.saturating_add(rest);
+                }
+                self.live_total = self.live_total.saturating_add(rest);
+            }
+        }
+    }
+
+    fn advance(&mut self, t: Time) {
         if self.started {
-            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+            assert!(
+                t >= self.last_t,
+                "time went backwards: {t} < {}",
+                self.last_t
+            );
         }
         self.started = true;
         self.last_t = t;
         self.expire(t);
-        if f == 0 {
-            return;
-        }
-        // Same-tick arrivals accumulate into the newest bucket when it
-        // is single-tick at the same time; this keeps bucket starts
-        // unique without affecting the merge analysis.
-        match self.buckets.back_mut() {
-            Some(b) if b.start == t && b.end == t => b.count = b.count.saturating_add(f),
-            _ => self.buckets.push_back(Bucket::unit(t, f)),
-        }
-        self.live_total = self.live_total.saturating_add(f);
-        self.inserts_since_merge += 1;
-        if self.inserts_since_merge >= (self.buckets.len() / 4).max(8) {
-            self.canonicalize();
-            self.inserts_since_merge = 0;
-        }
     }
 
     fn query_window(&self, t: Time, w: Time) -> f64 {
@@ -262,6 +328,27 @@ impl WindowSketch for DominationEh {
 
     fn epsilon(&self) -> f64 {
         self.epsilon
+    }
+}
+
+impl td_decay::StreamAggregate for DominationEh {
+    fn observe(&mut self, t: Time, f: u64) {
+        WindowSketch::observe(self, t, f)
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        WindowSketch::observe_batch(self, items)
+    }
+    fn advance(&mut self, t: Time) {
+        WindowSketch::advance(self, t)
+    }
+    /// The live-total estimate: a window query spanning the whole
+    /// elapsed stream (ages `1..=t`), i.e. the sliding-window decayed
+    /// sum this sketch maintains.
+    fn query(&self, t: Time) -> f64 {
+        self.query_window(t, t)
+    }
+    fn merge_from(&mut self, other: &Self) {
+        DominationEh::merge_from(self, other)
     }
 }
 
@@ -427,7 +514,7 @@ mod tests {
             x ^= x << 17;
             let f = x % 6;
             items.push((t, f));
-            if x % 2 == 0 {
+            if x.is_multiple_of(2) {
                 site_a.observe(t, f);
             } else {
                 site_b.observe(t, f);

@@ -46,6 +46,23 @@ pub trait WindowSketch {
     /// Ingests `f` unit items at time `t` (non-decreasing `t`).
     fn observe(&mut self, t: Time, f: u64);
 
+    /// Ingests a burst of `(time, value)` items sorted by non-decreasing
+    /// time, leaving the sketch in the same state sequential
+    /// [`observe`](Self::observe) calls would.
+    ///
+    /// The default is the sequential loop; implementations override it
+    /// to run clock advancement and expiry once per distinct tick and to
+    /// coalesce same-tick mass where their merge rule permits.
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        for &(t, f) in items {
+            self.observe(t, f);
+        }
+    }
+
+    /// Advances the sketch's clock to `t` without ingesting any items,
+    /// expiring buckets that leave the configured window.
+    fn advance(&mut self, t: Time);
+
     /// Estimates the count of items with age in `1..=w` at time `T`.
     fn query_window(&self, t: Time, w: Time) -> f64;
 

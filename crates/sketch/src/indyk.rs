@@ -70,9 +70,7 @@ impl StableSketcher {
     /// regenerated deterministically.
     pub fn entry(&self, row: usize, coord: u64) -> f64 {
         debug_assert!(row < self.rows);
-        let h1 = splitmix64(
-            self.seed ^ (row as u64).wrapping_mul(0xA24B_AED4_963E_E407) ^ coord,
-        );
+        let h1 = splitmix64(self.seed ^ (row as u64).wrapping_mul(0xA24B_AED4_963E_E407) ^ coord);
         let h2 = splitmix64(h1 ^ 0xD6E8_FEB8_6659_FD93);
         sample_stable(self.p, to_open_unit(h1), to_open_unit(h2))
     }

@@ -110,7 +110,11 @@ impl<V: Clone> MvdList<V> {
     /// Panics if `t` precedes a previous observation.
     pub fn observe_with_rank(&mut self, t: Time, value: V, rank: f64) {
         if self.started {
-            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+            assert!(
+                t >= self.last_t,
+                "time went backwards: {t} < {}",
+                self.last_t
+            );
         }
         self.started = true;
         self.last_t = t;

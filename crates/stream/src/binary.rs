@@ -108,7 +108,10 @@ mod tests {
     #[test]
     fn bernoulli_density_matches_p() {
         for p in [0.1, 0.5, 0.9] {
-            let ones: u64 = BernoulliStream::new(p, 7).take(50_000).map(|(_, f)| f).sum();
+            let ones: u64 = BernoulliStream::new(p, 7)
+                .take(50_000)
+                .map(|(_, f)| f)
+                .sum();
             let frac = ones as f64 / 50_000.0;
             assert!((frac - p).abs() < 0.02, "p={p}: frac={frac}");
         }
@@ -116,7 +119,10 @@ mod tests {
 
     #[test]
     fn bernoulli_times_are_consecutive() {
-        let ts: Vec<Time> = BernoulliStream::new(0.5, 1).take(100).map(|(t, _)| t).collect();
+        let ts: Vec<Time> = BernoulliStream::new(0.5, 1)
+            .take(100)
+            .map(|(t, _)| t)
+            .collect();
         assert_eq!(ts, (1..=100).collect::<Vec<_>>());
     }
 

@@ -126,7 +126,10 @@ mod tests {
             .map(|&t| rate(&g_poly, &l1, t) > rate(&g_poly, &l2, t))
             .collect();
         // Eventually true (L1 worse) and stays true.
-        assert!(*signs.last().unwrap(), "L1 must eventually rate worse under POLYD");
+        assert!(
+            *signs.last().unwrap(),
+            "L1 must eventually rate worse under POLYD"
+        );
         // And there was a probe where L2 rated worse (crossover exists)
         // for a steeper polynomial:
         let g_steep = Polynomial::new(2.0);

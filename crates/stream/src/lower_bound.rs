@@ -205,8 +205,9 @@ mod tests {
     fn exact_sums_recover_the_secret() {
         let bits = secret(8, 0b01101100);
         let fam = LowerBoundFamily::new(72, 2.0, bits.clone());
-        let sums: Vec<f64> =
-            (1..=8).map(|i| fam.exact_decayed_sum(fam.probe_time(i))).collect();
+        let sums: Vec<f64> = (1..=8)
+            .map(|i| fam.exact_decayed_sum(fam.probe_time(i)))
+            .collect();
         assert_eq!(fam.recover_bits(&sums), bits);
     }
 

@@ -137,7 +137,10 @@ mod tests {
 
     #[test]
     fn uniform_mean() {
-        let total: u64 = UniformValues::new(0, 100, 1).take(50_000).map(|(_, f)| f).sum();
+        let total: u64 = UniformValues::new(0, 100, 1)
+            .take(50_000)
+            .map(|(_, f)| f)
+            .sum();
         let mean = total as f64 / 50_000.0;
         assert!((mean - 50.0).abs() < 1.0, "mean={mean}");
     }

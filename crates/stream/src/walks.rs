@@ -30,8 +30,14 @@ impl QueueWalk {
     /// Panics if `cap == 0` or the probabilities are outside `(0, 1]`.
     pub fn new(cap: u64, p_flip_on: f64, p_flip_off: f64, seed: u64) -> Self {
         assert!(cap > 0, "cap must be positive");
-        assert!(p_flip_on > 0.0 && p_flip_on <= 1.0, "p_flip_on out of range");
-        assert!(p_flip_off > 0.0 && p_flip_off <= 1.0, "p_flip_off out of range");
+        assert!(
+            p_flip_on > 0.0 && p_flip_on <= 1.0,
+            "p_flip_on out of range"
+        );
+        assert!(
+            p_flip_off > 0.0 && p_flip_off <= 1.0,
+            "p_flip_off out of range"
+        );
         Self {
             cap,
             q: 0,
@@ -135,7 +141,7 @@ mod tests {
         for w in pairs.windows(2) {
             assert!(w[1].0 > w[0].0, "time must strictly advance");
         }
-        assert!(pairs.iter().all(|&(_, d)| d >= 2 && d <= 10_000));
+        assert!(pairs.iter().all(|&(_, d)| (2..=10_000).contains(&d)));
     }
 
     #[test]

@@ -190,12 +190,7 @@ impl<G: DecayFunction> Wbmh<G> {
     /// # Panics
     ///
     /// As [`Wbmh::new`], plus if `count_epsilon` is not finite/positive.
-    pub fn with_approx_counts(
-        decay: G,
-        epsilon: f64,
-        max_age: Time,
-        count_epsilon: f64,
-    ) -> Self {
+    pub fn with_approx_counts(decay: G, epsilon: f64, max_age: Time, count_epsilon: f64) -> Self {
         assert!(
             count_epsilon.is_finite() && count_epsilon > 0.0,
             "count_epsilon must be finite and positive, got {count_epsilon}"
@@ -324,14 +319,10 @@ impl<G: DecayFunction> Wbmh<G> {
                     let merged = WbmhBucket {
                         start: self.buckets[i].start.min(self.buckets[i + 1].start),
                         end: self.buckets[i].end.max(self.buckets[i + 1].end),
-                        first_item: self
-                            .buckets[i]
+                        first_item: self.buckets[i]
                             .first_item
                             .min(self.buckets[i + 1].first_item),
-                        last_item: self
-                            .buckets[i]
-                            .last_item
-                            .max(self.buckets[i + 1].last_item),
+                        last_item: self.buckets[i].last_item.max(self.buckets[i + 1].last_item),
                         count: self.buckets[i].count.merge(&self.buckets[i + 1].count),
                     };
                     self.buckets[i] = merged;
@@ -374,7 +365,11 @@ impl<G: DecayFunction> Wbmh<G> {
 
     fn advance_inner(&mut self, t: Time, force_pass: bool) {
         if self.started {
-            assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+            assert!(
+                t >= self.last_t,
+                "time went backwards: {t} < {}",
+                self.last_t
+            );
         }
         self.started = true;
         if let Some((pt, _)) = self.pending {
@@ -403,6 +398,40 @@ impl<G: DecayFunction> Wbmh<G> {
         match &mut self.pending {
             Some((pt, pf)) if *pt == t => *pf = pf.saturating_add(f),
             _ => self.pending = Some((t, f)),
+        }
+    }
+
+    /// Ingests a burst of `(time, value)` items sorted by non-decreasing
+    /// time, bit-identical in end state to sequential
+    /// [`observe`](Self::observe) calls.
+    ///
+    /// The fold/seal/merge machinery of `advance_inner` runs once per
+    /// *distinct tick*; a same-tick run pre-coalesces into a single
+    /// pending update. (Equivalence is structural: on a repeated tick
+    /// the sequential loop's extra `advance_inner` calls cannot fold
+    /// pending — same tick — seal, or trip the merge throttle, whose
+    /// counter only moves on seals, so they are no-ops.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time precedes its predecessor.
+    pub fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        let mut i = 0;
+        while i < items.len() {
+            let t = items[i].0;
+            self.advance_inner(t, false);
+            let mut mass = 0u64;
+            while i < items.len() && items[i].0 == t {
+                mass = mass.saturating_add(items[i].1);
+                i += 1;
+            }
+            if mass == 0 {
+                continue;
+            }
+            match &mut self.pending {
+                Some((pt, pf)) if *pt == t => *pf = pf.saturating_add(mass),
+                _ => self.pending = Some((t, mass)),
+            }
         }
     }
 
@@ -490,25 +519,44 @@ impl<G: DecayFunction> Wbmh<G> {
         );
         // Sealed buckets are weighted at their deterministic cell end;
         // the open bucket (whose cell may extend past `t`) at its newest
-        // item. Both stay within the region's (1+ε) band.
-        let weigh = |b: &WbmhBucket| -> f64 {
-            let eff_end = b.end.min(b.last_item);
-            if eff_end >= t {
-                return 0.0; // §2.1: items at/after the query time
-            }
-            let w_end = self.decay.weight(t - eff_end);
-            let w = match estimator {
-                WbmhEstimator::Paper => w_end,
-                WbmhEstimator::Geometric => {
-                    (w_end * self.decay.weight(t - b.start.max(b.first_item))).sqrt()
+        // item. Both stay within the region's (1+ε) band. Ages are
+        // gathered into columns so the decay runs as one `weight_batch`
+        // kernel call per column instead of a virtual call per bucket.
+        let cap = self.buckets.len() + 1;
+        let mut end_ages: Vec<Time> = Vec::with_capacity(cap);
+        let mut start_ages: Vec<Time> = Vec::with_capacity(cap);
+        let mut counts: Vec<f64> = Vec::with_capacity(cap);
+        {
+            let mut gather = |b: &WbmhBucket| {
+                let eff_end = b.end.min(b.last_item);
+                if eff_end >= t {
+                    return; // §2.1: items at/after the query time
                 }
+                end_ages.push(t - eff_end);
+                start_ages.push(t - b.start.max(b.first_item));
+                counts.push(b.count.value());
             };
-            b.count.value() * w
-        };
-        let mut total: f64 = self.buckets.iter().map(weigh).sum();
-        if let Some(open) = &self.open {
-            total += weigh(open);
+            for b in &self.buckets {
+                gather(b);
+            }
+            if let Some(open) = &self.open {
+                gather(open);
+            }
         }
+        let mut w_end = vec![0.0; end_ages.len()];
+        self.decay.weight_batch(&end_ages, &mut w_end);
+        let mut total: f64 = match estimator {
+            WbmhEstimator::Paper => counts.iter().zip(&w_end).map(|(c, w)| c * w).sum(),
+            WbmhEstimator::Geometric => {
+                let mut w_start = vec![0.0; start_ages.len()];
+                self.decay.weight_batch(&start_ages, &mut w_start);
+                counts
+                    .iter()
+                    .zip(w_end.iter().zip(&w_start))
+                    .map(|(c, (we, ws))| c * (we * ws).sqrt())
+                    .sum()
+            }
+        };
         if let Some((pt, pf)) = self.pending {
             if pt < t {
                 total += pf as f64 * self.decay.weight(t - pt);
@@ -658,18 +706,37 @@ impl<G: DecayFunction> Wbmh<G> {
         };
         let n_sealed = snap.buckets.len() - usize::from(snap.has_open);
         for pair in snap.buckets.windows(2) {
-            assert!(
-                pair[0].0 <= pair[1].0,
-                "snapshot buckets out of order"
-            );
+            assert!(pair[0].0 <= pair[1].0, "snapshot buckets out of order");
         }
         h.buckets = snap.buckets[..n_sealed].iter().map(decode).collect();
-        h.open = snap.has_open.then(|| decode(snap.buckets.last().expect("has_open")));
+        h.open = snap
+            .has_open
+            .then(|| decode(snap.buckets.last().expect("has_open")));
         h.pending = snap.pending;
         h.seals_since_pass = snap.seals_since_pass;
         h.last_t = snap.last_t;
         h.started = snap.last_t > 0 || !snap.buckets.is_empty() || snap.pending.is_some();
         h
+    }
+}
+
+impl<G: DecayFunction> td_decay::StreamAggregate for Wbmh<G> {
+    fn observe(&mut self, t: Time, f: u64) {
+        Wbmh::observe(self, t, f)
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        Wbmh::observe_batch(self, items)
+    }
+    fn advance(&mut self, t: Time) {
+        Wbmh::advance(self, t)
+    }
+    fn query(&self, t: Time) -> f64 {
+        Wbmh::query(self, t)
+    }
+    /// See [`Wbmh::merge_from`]: both histograms must have been advanced
+    /// to the same tick.
+    fn merge_from(&mut self, other: &Self) {
+        Wbmh::merge_from(self, other)
     }
 }
 
@@ -713,7 +780,7 @@ mod tests {
         assert_eq!(h.seal_period(), 2);
 
         let mut fed = 0u64;
-        let mut feed_until = |h: &mut Wbmh<Polynomial>, t_query: Time, fed: &mut u64| {
+        let feed_until = |h: &mut Wbmh<Polynomial>, t_query: Time, fed: &mut u64| {
             while *fed < t_query {
                 h.observe(*fed, 1);
                 *fed += 1;
@@ -769,10 +836,16 @@ mod tests {
         }
         ones.advance(2_001);
         wild.advance(2_001);
-        let sa: Vec<(Time, Time)> =
-            ones.bucket_spans().iter().map(|b| (b.start, b.end)).collect();
-        let sb: Vec<(Time, Time)> =
-            wild.bucket_spans().iter().map(|b| (b.start, b.end)).collect();
+        let sa: Vec<(Time, Time)> = ones
+            .bucket_spans()
+            .iter()
+            .map(|b| (b.start, b.end))
+            .collect();
+        let sb: Vec<(Time, Time)> = wild
+            .bucket_spans()
+            .iter()
+            .map(|b| (b.start, b.end))
+            .collect();
         assert_eq!(sa, sb, "bucket boundaries must not depend on values");
         // Counts, of course, differ.
         let ca: f64 = ones.bucket_spans().iter().map(|b| b.count).sum();
@@ -792,7 +865,7 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            if x % 4 == 0 {
+            if x.is_multiple_of(4) {
                 a.observe(t, 2);
                 b.observe(t, 2);
             } else {
@@ -800,10 +873,8 @@ mod tests {
                 b.advance(t);
             }
         }
-        let sa: Vec<(Time, Time)> =
-            a.bucket_spans().iter().map(|v| (v.start, v.end)).collect();
-        let sb: Vec<(Time, Time)> =
-            b.bucket_spans().iter().map(|v| (v.start, v.end)).collect();
+        let sa: Vec<(Time, Time)> = a.bucket_spans().iter().map(|v| (v.start, v.end)).collect();
+        let sb: Vec<(Time, Time)> = b.bucket_spans().iter().map(|v| (v.start, v.end)).collect();
         assert_eq!(sa, sb);
     }
 
@@ -850,7 +921,7 @@ mod tests {
     fn approx_counts_respect_combined_bound() {
         let g = Polynomial::new(1.0);
         let (eps, ceps) = (0.1, 0.05);
-        let mut h = Wbmh::with_approx_counts(g.clone(), eps, 1 << 22, ceps);
+        let mut h = Wbmh::with_approx_counts(g, eps, 1 << 22, ceps);
         let mut exact = ExactDecayedSum::new(g);
         let mut x = 99u64;
         for t in 1..=8_000u64 {
@@ -865,7 +936,10 @@ mod tests {
         let est = h.query(8_001);
         let bound = h.error_bound();
         let rel = (est - truth) / truth;
-        assert!(rel >= -bound - 1e-9 && rel <= bound + 1e-9, "rel={rel}, bound={bound}");
+        assert!(
+            rel >= -bound - 1e-9 && rel <= bound + 1e-9,
+            "rel={rel}, bound={bound}"
+        );
     }
 
     #[test]
@@ -892,8 +966,7 @@ mod tests {
     fn storage_grows_subquadratically() {
         // Lemma 5.1: WBMH-with-approx-counts bits grow ~ log N·log log N.
         let run = |n: u64| -> u64 {
-            let mut h =
-                Wbmh::with_approx_counts(Polynomial::new(1.0), 0.2, 1 << 26, 0.1);
+            let mut h = Wbmh::with_approx_counts(Polynomial::new(1.0), 0.2, 1 << 26, 0.1);
             for t in 1..=n {
                 h.observe(t, 1);
             }
@@ -910,7 +983,7 @@ mod tests {
     #[test]
     fn sparse_stream_with_long_gaps() {
         let g = Polynomial::new(1.5);
-        let mut h = Wbmh::new(g.clone(), 0.2, 1 << 22);
+        let mut h = Wbmh::new(g, 0.2, 1 << 22);
         let mut exact = ExactDecayedSum::new(g);
         let times = [1u64, 2, 3, 1000, 1001, 50_000, 50_001, 200_000];
         for &t in &times {
@@ -938,7 +1011,7 @@ mod tests {
             x ^= x << 17;
             let f = x % 5;
             exact.observe(t, f);
-            if x % 2 == 0 {
+            if x.is_multiple_of(2) {
                 site_a.observe(t, f);
                 site_b.advance(t);
             } else {
@@ -1039,7 +1112,7 @@ mod tests {
     #[test]
     fn geometric_estimator_is_two_sided_and_tighter() {
         let g = Polynomial::new(1.0);
-        let mut h = Wbmh::new(g.clone(), 0.5, 1 << 22);
+        let mut h = Wbmh::new(g, 0.5, 1 << 22);
         let mut exact = ExactDecayedSum::new(g);
         for t in 1..=20_000u64 {
             h.observe(t, 1);

@@ -44,7 +44,9 @@ fn main() {
     let mut cost_adaptive = 0.0;
 
     println!("ATM circuit holding: chatty phase then quiet phase");
-    println!("(c_hold={c_hold}/tick, c_setup={c_setup}; hold iff decayed median gap < {threshold})\n");
+    println!(
+        "(c_hold={c_hold}/tick, c_setup={c_setup}; hold iff decayed median gap < {threshold})\n"
+    );
     println!(
         "{:>6} {:>12} {:>14} {:>10}",
         "burst", "idle gap", "decayed median", "decision"
@@ -82,7 +84,10 @@ fn main() {
         }
     }
 
-    println!("\ntotal costs over {} bursts (lower is better):", gaps.len());
+    println!(
+        "\ntotal costs over {} bursts (lower is better):",
+        gaps.len()
+    );
     println!("  always hold : {cost_always:>12.0}");
     println!("  never hold  : {cost_never:>12.0}");
     println!("  adaptive    : {cost_adaptive:>12.0}");

@@ -55,7 +55,7 @@ fn main() {
     //  - "stable"   : rare, short outages
     //  - "flaky"    : frequent short glitches
     //  - "episodic" : rare but long outages
-    let mut gws = vec![
+    let mut gws = [
         Gateway::new("stable", 0.0005, 0.20, 11),
         Gateway::new("flaky", 0.0100, 0.30, 22),
         Gateway::new("episodic", 0.0008, 0.01, 33),

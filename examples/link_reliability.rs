@@ -49,7 +49,8 @@ fn main() {
     println!("Two links. L1 failed hard (5h) yesterday; L2 failed briefly (30min) today.");
     println!("Which link would you route over? The decay function decides.\n");
 
-    let families: Vec<(&str, Box<dyn Fn() -> DecayedSum>)> = vec![
+    type MkSum = Box<dyn Fn() -> DecayedSum>;
+    let families: Vec<(&str, MkSum)> = vec![
         (
             "SLIWIN(12h)  — recent window only",
             Box::new(|| DecayedSum::new(SlidingWindow::new(12 * HOUR))),
@@ -61,7 +62,9 @@ fn main() {
         (
             "POLYD(2)     — polynomial forgetting",
             Box::new(|| {
-                DecayedSum::builder(Polynomial::new(2.0)).epsilon(0.05).build()
+                DecayedSum::builder(Polynomial::new(2.0))
+                    .epsilon(0.05)
+                    .build()
             }),
         ),
     ];

@@ -5,9 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use timedecay::{
-    DecayedSum, Exponential, Polynomial, SlidingWindow, StorageAccounting,
-};
+use timedecay::{DecayedSum, Exponential, Polynomial, SlidingWindow, StorageAccounting};
 
 fn main() {
     // Three views of the same event stream. The builder picks the
@@ -42,7 +40,11 @@ fn main() {
 
     let now = 10_000;
     println!("decayed sums at t = {now}:");
-    for (name, s) in [("EXPD(hl=500)", &exp), ("SLIWIN(1000)", &win), ("POLYD(1)", &poly)] {
+    for (name, s) in [
+        ("EXPD(hl=500)", &exp),
+        ("SLIWIN(1000)", &win),
+        ("POLYD(1)", &poly),
+    ] {
         println!(
             "  {name:<14} backend={:<12} estimate={:>10.3}  storage={:>6} bits",
             s.backend_name(),
@@ -57,7 +59,10 @@ fn main() {
     println!("\nweights the three decays give the early burst (age ~8900):");
     use timedecay::DecayFunction;
     let age = 8_900u64;
-    println!("  EXPD:   {:.3e}", Exponential::with_half_life(500).weight(age));
+    println!(
+        "  EXPD:   {:.3e}",
+        Exponential::with_half_life(500).weight(age)
+    );
     println!("  SLIWIN: {:.3e}", SlidingWindow::new(1_000).weight(age));
     println!("  POLYD:  {:.3e}", Polynomial::new(1.0).weight(age));
 }

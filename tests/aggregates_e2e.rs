@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use td_stream::{DriftingValues, QueueWalk, UniformValues};
 use timedecay::{
-    DecayFunction, DecayedAverage, DecayedLpNorm, DecayedQuantile, DecayedSampler,
-    DecayedVariance, Exponential, Polynomial, SlidingWindow,
+    DecayFunction, DecayedAverage, DecayedLpNorm, DecayedQuantile, DecayedSampler, DecayedVariance,
+    Exponential, Polynomial, SlidingWindow,
 };
 
 #[test]
@@ -31,11 +31,7 @@ fn window_average_equals_arithmetic_mean() {
         a.observe(t, f);
     }
     let got = a.query(10_001).unwrap();
-    let want: f64 = items[9_000..]
-        .iter()
-        .map(|&(_, f)| f as f64)
-        .sum::<f64>()
-        / 1_000.0;
+    let want: f64 = items[9_000..].iter().map(|&(_, f)| f as f64).sum::<f64>() / 1_000.0;
     assert!((got - want).abs() <= 0.12 * want, "{got} vs {want}");
 }
 
@@ -55,7 +51,10 @@ fn variance_detects_regime_change_in_queue() {
             }
         }
     }
-    assert!(max_sd > 4.0 * min_sd.max(1e-9), "max={max_sd}, min={min_sd}");
+    assert!(
+        max_sd > 4.0 * min_sd.max(1e-9),
+        "max={max_sd}, min={min_sd}"
+    );
 }
 
 #[test]
@@ -63,8 +62,7 @@ fn sampler_prefers_recent_items_under_steep_decay() {
     let mut recent = 0u32;
     let trials = 300u64;
     for seed in 0..trials {
-        let mut s: DecayedSampler<_, u64> =
-            DecayedSampler::new(Polynomial::new(2.5), 0.1, seed);
+        let mut s: DecayedSampler<_, u64> = DecayedSampler::new(Polynomial::new(2.5), 0.1, seed);
         for t in 1..=500u64 {
             s.observe(t, t);
         }

@@ -2,13 +2,15 @@
 //! extreme values, giant time jumps, degenerate parameters.
 
 use timedecay::{
-    BackendChoice, CascadedEh, DecayFunction, DecayedSum, Exponential, LogDecay,
-    Polynomial, SlidingWindow, StorageAccounting, Wbmh,
+    BackendChoice, CascadedEh, DecayFunction, DecayedSum, Exponential, LogDecay, Polynomial,
+    SlidingWindow, StorageAccounting, Wbmh,
 };
 
 #[test]
 fn huge_values_do_not_overflow() {
-    let mut s = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.1).build();
+    let mut s = DecayedSum::builder(Polynomial::new(1.0))
+        .epsilon(0.1)
+        .build();
     for t in 1..=100u64 {
         s.observe(t, u64::MAX / 128);
     }
@@ -50,20 +52,24 @@ fn times_near_u64_max() {
 
 #[test]
 fn epsilon_one_is_permitted_and_coarse() {
-    let mut s = DecayedSum::builder(SlidingWindow::new(100)).epsilon(1.0).build();
+    let mut s = DecayedSum::builder(SlidingWindow::new(100))
+        .epsilon(1.0)
+        .build();
     for t in 1..=1_000u64 {
         s.observe(t, 1);
     }
     let v = s.query(1_001);
     // Window truth 100; ε = 1 allows a factor-2 band.
-    assert!(v >= 40.0 && v <= 210.0, "v={v}");
+    assert!((40.0..=210.0).contains(&v), "v={v}");
     // And it should be very cheap.
     assert!(s.storage_bits() < 600, "bits={}", s.storage_bits());
 }
 
 #[test]
 fn tiny_epsilon_stays_tight() {
-    let mut s = DecayedSum::builder(SlidingWindow::new(512)).epsilon(0.01).build();
+    let mut s = DecayedSum::builder(SlidingWindow::new(512))
+        .epsilon(0.01)
+        .build();
     for t in 1..=5_000u64 {
         s.observe(t, 1);
     }
@@ -73,7 +79,9 @@ fn tiny_epsilon_stays_tight() {
 
 #[test]
 fn zero_value_streams_cost_nothing() {
-    let mut s = DecayedSum::builder(Polynomial::new(2.0)).epsilon(0.1).build();
+    let mut s = DecayedSum::builder(Polynomial::new(2.0))
+        .epsilon(0.1)
+        .build();
     for t in 1..=10_000u64 {
         s.observe(t, 0);
     }
@@ -86,7 +94,11 @@ fn single_item_all_backends() {
     let makers: Vec<Box<dyn Fn() -> DecayedSum>> = vec![
         Box::new(|| DecayedSum::new(Exponential::new(0.1))),
         Box::new(|| DecayedSum::new(SlidingWindow::new(50))),
-        Box::new(|| DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.1).build()),
+        Box::new(|| {
+            DecayedSum::builder(Polynomial::new(1.0))
+                .epsilon(0.1)
+                .build()
+        }),
         Box::new(|| {
             DecayedSum::builder(Polynomial::new(1.0))
                 .backend(BackendChoice::ForceExact)
@@ -106,7 +118,9 @@ fn single_item_all_backends() {
         assert_eq!(s2.query(10), 0.0, "{}", s2.backend_name());
     }
     // Pin the exact value for the polynomial route.
-    let mut s = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.1).build();
+    let mut s = DecayedSum::builder(Polynomial::new(1.0))
+        .epsilon(0.1)
+        .build();
     s.observe(10, 7);
     let want = 7.0 * Polynomial::new(1.0).weight(5);
     assert!((s.query(15) - want).abs() < 1e-9);
@@ -129,7 +143,9 @@ fn logd_summary_is_tiny_even_for_huge_streams() {
 
 #[test]
 fn repeated_queries_are_pure() {
-    let mut s = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.1).build();
+    let mut s = DecayedSum::builder(Polynomial::new(1.0))
+        .epsilon(0.1)
+        .build();
     for t in 1..=500u64 {
         s.observe(t, 2);
     }
@@ -142,7 +158,9 @@ fn repeated_queries_are_pure() {
 
 #[test]
 fn observing_at_the_same_tick_accumulates() {
-    let mut s = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.1).build();
+    let mut s = DecayedSum::builder(Polynomial::new(1.0))
+        .epsilon(0.1)
+        .build();
     for _ in 0..1_000 {
         s.observe(42, 1);
     }

@@ -2,8 +2,8 @@
 //! across every decay class the paper discusses.
 
 use timedecay::{
-    BackendChoice, ClosureDecay, Constant, DecayFunction, DecayedSum, Exponential,
-    Polynomial, ShiftedPolynomial, SlidingWindow, StorageAccounting,
+    BackendChoice, ClosureDecay, Constant, DecayFunction, DecayedSum, Exponential, Polynomial,
+    ShiftedPolynomial, SlidingWindow, StorageAccounting,
 };
 
 fn exact_sum<G: DecayFunction>(g: &G, items: &[(u64, u64)], t: u64) -> f64 {
@@ -68,8 +68,7 @@ fn facade_accuracy_polynomial() {
 
 #[test]
 fn facade_accuracy_general_closure() {
-    let g = ClosureDecay::new(|age| 1.0 / (1.0 + (age as f64).ln_1p()))
-        .with_name("1/(1+ln(1+x))");
+    let g = ClosureDecay::new(|age| 1.0 / (1.0 + (age as f64).ln_1p())).with_name("1/(1+ln(1+x))");
     audit(g, 0.05, 0.05);
 }
 
@@ -84,9 +83,15 @@ fn storage_hierarchy_matches_paper_table() {
     // check the §8 storage ordering: EXPD counter < WBMH(POLYD) <
     // CEH(SLIWIN-sized) < exact.
     let n = 50_000u64;
-    let mut exp = DecayedSum::builder(Exponential::new(0.001)).epsilon(0.05).build();
-    let mut pol = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.05).build();
-    let mut win = DecayedSum::builder(SlidingWindow::new(n)).epsilon(0.05).build();
+    let mut exp = DecayedSum::builder(Exponential::new(0.001))
+        .epsilon(0.05)
+        .build();
+    let mut pol = DecayedSum::builder(Polynomial::new(1.0))
+        .epsilon(0.05)
+        .build();
+    let mut win = DecayedSum::builder(SlidingWindow::new(n))
+        .epsilon(0.05)
+        .build();
     let mut exact = DecayedSum::builder(Polynomial::new(1.0))
         .backend(BackendChoice::ForceExact)
         .build();
@@ -111,7 +116,9 @@ fn storage_hierarchy_matches_paper_table() {
 fn queries_between_arrivals_are_monotone_for_nonincreasing_streams() {
     // After arrivals stop, the decayed sum must be non-increasing in T
     // (weights only decay).
-    let mut s = DecayedSum::builder(Polynomial::new(1.0)).epsilon(0.05).build();
+    let mut s = DecayedSum::builder(Polynomial::new(1.0))
+        .epsilon(0.05)
+        .build();
     for t in 1..=1_000u64 {
         s.observe(t, 2);
     }

@@ -4,8 +4,8 @@
 use td_stream::link::{LinkTrace, DAY, HOUR};
 use td_stream::LowerBoundFamily;
 use timedecay::{
-    DecayFunction, DecayedSum, Exponential, Polynomial, RegionSchedule, SlidingWindow,
-    TableDecay, Wbmh,
+    DecayFunction, DecayedSum, Exponential, Polynomial, RegionSchedule, SlidingWindow, TableDecay,
+    Wbmh,
 };
 
 /// §5 worked example: region boundaries for g = 1/x², 1+ε = 5.
@@ -40,8 +40,7 @@ fn section5_bucket_trace() {
             fed += 1;
         }
         h.advance(t_query);
-        let got: Vec<(u64, u64)> =
-            h.bucket_spans().iter().map(|b| (b.start, b.end)).collect();
+        let got: Vec<(u64, u64)> = h.bucket_spans().iter().map(|b| (b.start, b.end)).collect();
         assert_eq!(got, spans.to_vec(), "trace diverges at T={t_query}");
     }
 }
@@ -86,8 +85,15 @@ fn figure1_crossover_classes() {
     };
 
     // POLYD(2): L2 worse right after its failure; L1 worse in the end.
-    let poly = run(&|| DecayedSum::builder(Polynomial::new(2.0)).epsilon(0.05).build());
-    assert!(poly[0].1 > poly[0].0, "right after failure, L2 must rate worse");
+    let poly = run(&|| {
+        DecayedSum::builder(Polynomial::new(2.0))
+            .epsilon(0.05)
+            .build()
+    });
+    assert!(
+        poly[0].1 > poly[0].0,
+        "right after failure, L2 must rate worse"
+    );
     assert!(poly[2].0 > poly[2].1, "months later, L1 must rate worse");
 
     // EXPD: whichever is worse at probe 1 is still worse at probe 2

@@ -9,18 +9,16 @@ use timedecay::{CascadedEh, Exponential, Polynomial, Wbmh};
 
 /// A random stream plus a random site assignment for each item.
 fn split_stream_strategy() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
-    proptest::collection::vec((1u64..4, 0u64..8, any::<bool>()), 10..300).prop_map(
-        |steps| {
-            let mut t = 0u64;
-            steps
-                .into_iter()
-                .map(|(dt, f, site)| {
-                    t += dt;
-                    (t, f, site)
-                })
-                .collect()
-        },
-    )
+    proptest::collection::vec((1u64..4, 0u64..8, any::<bool>()), 10..300).prop_map(|steps| {
+        let mut t = 0u64;
+        steps
+            .into_iter()
+            .map(|(dt, f, site)| {
+                t += dt;
+                (t, f, site)
+            })
+            .collect()
+    })
 }
 
 proptest! {

@@ -1,0 +1,277 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors the slice of the criterion 0.8 API its benches
+//! use: `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{bench_function, bench_with_input, throughput,
+//! finish}`, `Bencher::{iter, iter_batched}`, `BatchSize`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until ~`CRITERION_SHIM_MEASURE_MS` (default 300) of
+//! wall-clock accumulates, and reports the mean time per iteration.
+//! No statistics, plots, or baselines — just honest wall-clock means
+//! printed one line per benchmark.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized; the shim treats all variants the
+/// same (setup runs outside the timed region either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup output consumed once per batch.
+    PerIteration,
+}
+
+/// Optional per-benchmark throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (used when the group name already names the
+    /// function).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget = measure_budget();
+        // Warmup.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let mut batch = 1u64;
+        while self.total < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.iters += batch;
+            // Grow batches until each takes ≥ ~10ms, to amortize timer
+            // overhead on fast routines.
+            if elapsed < Duration::from_millis(10) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+    }
+
+    /// Times `routine` over fresh `setup` output each iteration; setup
+    /// runs outside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = measure_budget();
+        for _ in 0..2 {
+            std::hint::black_box(routine(setup()));
+        }
+        while self.total < budget {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{label:<48} (no iterations)");
+            return;
+        }
+        let per_iter = self.total.as_nanos() as f64 / self.iters as f64;
+        let mut line = format!("{label:<48} {:>14} ns/iter", format_ns(per_iter));
+        if let Some(tp) = throughput {
+            let (n, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if n > 0 && per_iter > 0.0 {
+                let rate = n as f64 / (per_iter * 1e-9);
+                let _ = write!(line, "  ({rate:.3e} {unit}/s)");
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.1}", ns)
+    } else {
+        format!("{:.2}", ns)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F, I>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<F, I, D>(&mut self, id: D, input: &I, mut f: F) -> &mut Self
+    where
+        D: std::fmt::Display,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Finishes the group (a no-op beyond matching the criterion API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export shape;
+/// benches here use `std::hint::black_box` directly).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a set of groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        std::env::set_var("CRITERION_SHIM_MEASURE_MS", "5");
+        let mut b = Bencher::new();
+        b.iter(|| 1u64 + 1);
+        assert!(b.iters > 0);
+        let mut b2 = Bencher::new();
+        b2.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b2.iters > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("classic", 0.1).to_string(), "classic/0.1");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

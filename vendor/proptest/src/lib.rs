@@ -1,0 +1,252 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors the slice of the proptest API its tests use:
+//! range strategies over `f64`/integers, tuple strategies, `any::<bool>()`,
+//! `collection::vec`, `prop_map`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Semantics: each `proptest!`-generated test runs `PROPTEST_CASES`
+//! (default 64) cases from a generator seeded deterministically from the
+//! test's name, so failures are reproducible run-to-run. There is no
+//! shrinking — a failing case panics with the ordinary assertion message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// A source of random values for one generated test case.
+pub type TestRng = StdRng;
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test generator: seeded from an FNV-1a hash of the
+/// test's name so every property explores a distinct but reproducible
+/// stream.
+pub fn test_rng(name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of values of one type — the shim's `Strategy`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(u64, usize);
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+    fn sample(&self, rng: &mut TestRng) -> u32 {
+        rng.random_range(self.start as u64..self.end as u64) as u32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.random()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (only `bool`/`u64` are wired up).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies (`vec` only).
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Defines `#[test]` functions that run a property over many generated
+/// cases. Mirrors `proptest::proptest!` for the `pattern in strategy`
+/// argument form.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($p:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_cases = $crate::cases();
+                let mut __pt_rng = $crate::test_rng(stringify!($name));
+                for __pt_case in 0..__pt_cases {
+                    let _ = __pt_case;
+                    $(let $p = $crate::Strategy::sample(&($strat), &mut __pt_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+pub mod prelude {
+    //! The glob-import surface test files use.
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The macro machinery itself: attrs, multiple bindings,
+        /// trailing comma, `mut` patterns.
+        #[test]
+        fn macro_round_trip(
+            x in 0u64..100,
+            mut v in collection::vec(0.0f64..1.0, 1..20),
+            flag in any::<bool>(),
+        ) {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(x < 100);
+            prop_assert!(v.iter().all(|&w| (0.0..1.0).contains(&w)));
+            let bit = u64::from(flag);
+            prop_assert_eq!(bit * bit, bit);
+        }
+
+        #[test]
+        fn prop_map_composes(pairs in collection::vec((1u64..4, 0u64..8), 2..50)) {
+            let total: u64 = pairs.iter().map(|&(a, b)| a + b).sum();
+            prop_assert!(total as usize >= pairs.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_rng("some_test");
+        let mut b = crate::test_rng("some_test");
+        let s = (1u64..100, 0.0f64..1.0);
+        for _ in 0..32 {
+            let (xa, ya) = s.sample(&mut a);
+            let (xb, yb) = s.sample(&mut b);
+            assert_eq!(xa, xb);
+            assert_eq!(ya.to_bits(), yb.to_bits());
+        }
+    }
+}
