@@ -144,6 +144,20 @@ impl<B: td_decay::StreamAggregate> td_decay::StreamAggregate for DecayedAverage<
         self.values.merge_from(&other.values);
         self.weights.merge_from(&other.weights);
     }
+    fn error_bound(&self) -> td_decay::ErrorBound {
+        // A ratio of two estimates: the worst over-estimate divides the
+        // numerator's high side by the denominator's low side, and vice
+        // versa.
+        let num = self.values.error_bound();
+        let den = self.weights.error_bound();
+        if !num.is_bounded() || !den.is_bounded() || den.lower >= 1.0 {
+            return td_decay::ErrorBound::unbounded();
+        }
+        td_decay::ErrorBound {
+            lower: 1.0 - (1.0 - num.lower) / (1.0 + den.upper),
+            upper: (1.0 + num.upper) / (1.0 - den.lower) - 1.0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -184,6 +184,22 @@ impl<B: td_decay::StreamAggregate> td_decay::StreamAggregate for DecayedVariance
         self.sums.merge_from(&other.sums);
         self.squares.merge_from(&other.squares);
     }
+    fn error_bound(&self) -> td_decay::ErrorBound {
+        // Σgf² − (Σgf)²/Σg is a *difference* of approximate sums, so
+        // relative error is unbounded when the two terms nearly cancel
+        // (constant-valued streams). Only all-exact components certify
+        // an envelope; the conformance harness checks variance against
+        // an absolute ε·Σgf² budget instead.
+        let exact = td_decay::ErrorBound::exact();
+        if self.weights.error_bound() == exact
+            && self.sums.error_bound() == exact
+            && self.squares.error_bound() == exact
+        {
+            exact
+        } else {
+            td_decay::ErrorBound::unbounded()
+        }
+    }
 }
 
 #[cfg(test)]

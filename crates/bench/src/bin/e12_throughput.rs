@@ -153,29 +153,37 @@ fn time_ns_per_item(n: usize, f: impl FnOnce()) -> f64 {
 
 /// Measures item-by-item `observe` against `observe_batch` (fed in
 /// 4096-item chunks, as an ingest loop draining a buffer would) for one
-/// backend, and checks the two ingests agree at query time.
+/// backend, and checks the two ingests agree at query time. Best of
+/// three repeats with a fresh backend each time — a single pass is at
+/// the mercy of container CPU-quota throttling and page-fault storms,
+/// which showed up as 10-40× outliers on otherwise-identical runs.
 fn measure<A: StreamAggregate>(
     name: &str,
     items: &[(u64, u64)],
-    mut single: A,
-    mut batched: A,
+    make: impl Fn() -> A,
 ) -> (String, f64, f64) {
-    let single_ns = time_ns_per_item(items.len(), || {
-        for &(t, f) in items {
-            single.observe(t, f);
-        }
-    });
-    let batched_ns = time_ns_per_item(items.len(), || {
-        for chunk in items.chunks(4096) {
-            batched.observe_batch(chunk);
-        }
-    });
     let t_end = items.last().map(|&(t, _)| t).unwrap_or(1) + 1;
-    let (a, b) = (single.query(t_end), batched.query(t_end));
-    assert!(
-        (a - b).abs() <= 1e-9 * a.abs().max(1.0),
-        "{name}: batched ingest diverged ({a} vs {b})"
-    );
+    let mut single_ns = f64::INFINITY;
+    let mut batched_ns = f64::INFINITY;
+    for _ in 0..3 {
+        let mut single = make();
+        single_ns = single_ns.min(time_ns_per_item(items.len(), || {
+            for &(t, f) in items {
+                single.observe(t, f);
+            }
+        }));
+        let mut batched = make();
+        batched_ns = batched_ns.min(time_ns_per_item(items.len(), || {
+            for chunk in items.chunks(4096) {
+                batched.observe_batch(chunk);
+            }
+        }));
+        let (a, b) = (single.query(t_end), batched.query(t_end));
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "{name}: batched ingest diverged ({a} vs {b})"
+        );
+    }
     (name.to_string(), single_ns, batched_ns)
 }
 
@@ -186,42 +194,20 @@ fn batched_vs_single() {
     let poly = Polynomial::new(1.0);
 
     let rows = [
-        measure(
-            "exp-counter",
-            &items,
-            ExpCounter::new(exp),
-            ExpCounter::new(exp),
-        ),
-        measure(
-            "quantized-exp",
-            &items,
-            QuantizedExpCounter::new(exp, 24),
-            QuantizedExpCounter::new(exp, 24),
-        ),
-        measure(
-            "polyexp-pipeline",
-            &items,
-            PolyExpCounter::new(2, 0.001),
-            PolyExpCounter::new(2, 0.001),
-        ),
-        measure(
-            "ceh",
-            &items,
-            CascadedEh::new(poly, 0.05),
-            CascadedEh::new(poly, 0.05),
-        ),
-        measure(
-            "wbmh",
-            &items,
-            Wbmh::new(poly, 0.05, 1 << 24),
-            Wbmh::new(poly, 0.05, 1 << 24),
-        ),
-        measure(
-            "exact",
-            &items,
-            ExactDecayedSum::new(poly),
-            ExactDecayedSum::new(poly),
-        ),
+        measure("exp-counter", &items, || ExpCounter::new(exp)),
+        measure("quantized-exp", &items, || {
+            QuantizedExpCounter::new(exp, 24)
+        }),
+        measure("polyexp-pipeline", &items, || PolyExpCounter::new(2, 0.001)),
+        measure("ceh", &items, || CascadedEh::new(poly, 0.05)),
+        measure("wbmh", &items, || Wbmh::new(poly, 0.05, 1 << 24)),
+        measure("exact", &items, || ExactDecayedSum::new(poly)),
+        // The conformance harness's store-everything oracle: its ingest
+        // rate bounds the differential-testing overhead relative to the
+        // backends it certifies (queries are O(n) and excluded here).
+        measure("conformance-oracle", &items, || {
+            td_conformance::Oracle::new(poly)
+        }),
     ];
 
     let mut table = Table::new(&["backend", "single ns/item", "batched ns/item", "speedup"]);

@@ -299,6 +299,12 @@ impl<G: DecayFunction> td_decay::StreamAggregate for CascadedEh<G, DominationEh>
     fn merge_from(&mut self, other: &Self) {
         CascadedEh::merge_from(self, other)
     }
+    fn error_bound(&self) -> td_decay::ErrorBound {
+        // Theorem 1's one-sided [S, (1+ε)S] envelope; a k-site union
+        // widens the over-count side to k·ε (the under side stays 0:
+        // every item is represented by a bucket at least as old).
+        td_decay::ErrorBound::one_sided(self.sketch.sites() as f64 * self.sketch.epsilon())
+    }
 }
 
 #[cfg(test)]

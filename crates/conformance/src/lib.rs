@@ -1,0 +1,35 @@
+//! Differential conformance harness for the workspace's time-decayed
+//! summaries (Cohen & Strauss, PODS 2003).
+//!
+//! Three pieces, composed by the test matrix in `tests/matrix.rs`:
+//!
+//! * [`oracle`] — brute-force references that retain every `(t_i, f_i)`
+//!   and evaluate `Σ f_i · g(T − t_i)` directly: ground truth for
+//!   decayed sum/count/average/variance, L_p norms, and the
+//!   selection/quantile distributions of §7.
+//! * [`scenario`] — a deterministic, seeded generator of named stream
+//!   families (uniform, bursty, long-silence, boundary-aligned, the
+//!   Theorem 2 adversarial bursts, batch-boundary stressors) plus the
+//!   shard-split transform for distributed (§6) checks. No wall clock:
+//!   a `(family, seed)` pair always reproduces the same ops.
+//! * [`certify`] — the ε-certifier, replaying scenarios into a backend
+//!   and the oracle in lock-step and checking every query against the
+//!   envelope the backend itself certifies through
+//!   [`td_decay::StreamAggregate::error_bound`]. Violations surface as
+//!   a [`Failure`] carrying the replayable `(family, seed, tick)`
+//!   repro.
+//!
+//! Run the tier-1 matrix with `cargo test -p td-conformance`; the
+//! exhaustive sweep (more seeds, longer streams) is behind
+//! `cargo test -p td-conformance -- --ignored`.
+
+pub mod certify;
+pub mod oracle;
+pub mod scenario;
+
+pub use certify::{
+    certify_sharded, default_matrix, run_scenario, DynAggregate, DynOracle, Failure, MatrixCase,
+    RunStats, TruthKind,
+};
+pub use oracle::{CoordOracle, Oracle};
+pub use scenario::{catalogue, Op, Rng, Scenario};

@@ -1,0 +1,403 @@
+//! Deterministic, seeded stream-scenario generation — no wall clock,
+//! no global RNG state: a `(family, seed, n)` triple always produces
+//! the same op sequence, so every certifier failure is replayable from
+//! the `(scenario name, seed)` pair it reports.
+//!
+//! The families target the structured corner cases where time-decay
+//! sketches are known to fail (bursts, long silences, boundary-aligned
+//! arrivals — cf. Braverman et al.), plus the paper's own adversarial
+//! Theorem 2 burst family and batch-boundary/shard-split stressors.
+
+use td_decay::Time;
+use td_stream::LowerBoundFamily;
+
+/// One step of a replayable stream scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Feed one item.
+    Observe(Time, u64),
+    /// Feed a sorted burst through the amortized batch path.
+    ObserveBatch(Vec<(Time, u64)>),
+    /// Advance the clock without mass (exercises mid-silence pruning).
+    Advance(Time),
+    /// Check the backend's answer against the oracle at this tick.
+    Query(Time),
+}
+
+/// A named, seeded, fully deterministic op sequence.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Family name (stable across releases — failures cite it).
+    pub name: String,
+    /// The seed the family was generated from.
+    pub seed: u64,
+    /// The ops, with all observation times non-decreasing.
+    pub ops: Vec<Op>,
+}
+
+impl Scenario {
+    /// The largest time mentioned by any op.
+    pub fn max_time(&self) -> Time {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Observe(t, _) => *t,
+                Op::ObserveBatch(items) => items.last().map(|&(t, _)| t).unwrap_or(0),
+                Op::Advance(t) => *t,
+                Op::Query(t) => *t,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Splits the scenario into `k` per-shard op sequences for the
+    /// distributed shard-then-merge check (§6): observations are dealt
+    /// round-robin, while `Advance` is mirrored to every shard — and
+    /// every shard is advanced past each observation tick — so all
+    /// shards share a clock (the WBMH merge precondition). Queries are
+    /// dropped; the certifier queries the *merged* summary instead.
+    pub fn shard_split(&self, k: usize) -> Vec<Vec<Op>> {
+        assert!(k >= 1);
+        let mut shards: Vec<Vec<Op>> = vec![Vec::new(); k];
+        let mut next = 0usize;
+        for op in &self.ops {
+            match op {
+                Op::Observe(t, f) => {
+                    for (i, shard) in shards.iter_mut().enumerate() {
+                        if i == next {
+                            shard.push(Op::Observe(*t, *f));
+                        } else {
+                            shard.push(Op::Advance(*t));
+                        }
+                    }
+                    next = (next + 1) % k;
+                }
+                Op::ObserveBatch(items) => {
+                    // Deal the batch's items round-robin, preserving
+                    // each shard's sorted batch.
+                    let t_last = items.last().map(|&(t, _)| t);
+                    let mut per: Vec<Vec<(Time, u64)>> = vec![Vec::new(); k];
+                    for &(t, f) in items {
+                        per[next].push((t, f));
+                        next = (next + 1) % k;
+                    }
+                    for (shard, mine) in shards.iter_mut().zip(per) {
+                        if !mine.is_empty() {
+                            shard.push(Op::ObserveBatch(mine));
+                        }
+                        if let Some(t) = t_last {
+                            shard.push(Op::Advance(t));
+                        }
+                    }
+                }
+                Op::Advance(t) => {
+                    for shard in shards.iter_mut() {
+                        shard.push(Op::Advance(*t));
+                    }
+                }
+                Op::Query(_) => {}
+            }
+        }
+        shards
+    }
+}
+
+/// SplitMix64 — the standard 64-bit seeded generator; tiny, fast, and
+/// deterministic across platforms (no wall clock anywhere).
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator seeded with `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo + 1)
+    }
+}
+
+/// Evenly spaced arrivals with random values — the baseline family.
+pub fn uniform(seed: u64, n: usize) -> Scenario {
+    let mut rng = Rng::new(seed ^ 0x1);
+    let mut ops = Vec::with_capacity(n + n / 16 + 2);
+    let mut t: Time = 0;
+    for i in 0..n {
+        t += rng.range(1, 3);
+        ops.push(Op::Observe(t, rng.below(16)));
+        if i % 16 == 15 {
+            ops.push(Op::Query(t + rng.range(1, 4)));
+        }
+    }
+    ops.push(Op::Query(t + 1));
+    ops.push(Op::Query(t + 100));
+    Scenario {
+        name: "uniform".into(),
+        seed,
+        ops,
+    }
+}
+
+/// Heavy same-tick bursts separated by variable gaps; bursts alternate
+/// between the single-item and the amortized batch ingest path.
+pub fn bursty(seed: u64, n: usize) -> Scenario {
+    let mut rng = Rng::new(seed ^ 0x2);
+    let mut ops = Vec::new();
+    let mut t: Time = 0;
+    let mut fed = 0usize;
+    while fed < n {
+        t += rng.range(1, 64);
+        let burst = rng.range(5, 40).min((n - fed) as u64) as usize;
+        let tick_items: Vec<(Time, u64)> = (0..burst).map(|_| (t, 1 + rng.below(8))).collect();
+        if rng.below(2) == 0 {
+            ops.push(Op::ObserveBatch(tick_items));
+        } else {
+            for &(t, f) in &tick_items {
+                ops.push(Op::Observe(t, f));
+            }
+        }
+        fed += burst;
+        // Query right at the burst tick (§2.1 edge: the burst itself
+        // must be invisible) and shortly after.
+        ops.push(Op::Query(t));
+        ops.push(Op::Query(t + rng.range(1, 16)));
+    }
+    Scenario {
+        name: "bursty".into(),
+        seed,
+        ops,
+    }
+}
+
+/// A dense prefix, then a long ingest silence probed by mid-silence
+/// queries after explicit `advance` calls, then a small resumption.
+pub fn long_silence(seed: u64, n: usize) -> Scenario {
+    let mut rng = Rng::new(seed ^ 0x3);
+    let mut ops = Vec::new();
+    let mut t: Time = 0;
+    let head = (n * 3) / 4;
+    for _ in 0..head {
+        t += rng.range(1, 2);
+        ops.push(Op::Observe(t, rng.below(10)));
+    }
+    // Silence spanning ~32× the ingest period, with queries between
+    // advances (post-advance queries are the satellite the issue
+    // names: expired state must be reclaimed *and* still answered).
+    let silence = (t * 32).max(1_000);
+    for step in 1..=4u64 {
+        let s = t + step * silence / 4;
+        ops.push(Op::Advance(s));
+        ops.push(Op::Query(s + 1));
+        ops.push(Op::Query(s + silence / 8));
+    }
+    t += silence;
+    for _ in 0..(n - head).max(4) {
+        t += rng.range(1, 2);
+        ops.push(Op::Observe(t, rng.below(10)));
+    }
+    ops.push(Op::Query(t + 1));
+    Scenario {
+        name: "long-silence".into(),
+        seed,
+        ops,
+    }
+}
+
+/// Arrivals pinned to powers of two and multiples of 256 — the
+/// boundary-aligned corner where bucket seals, region boundaries, and
+/// window cutoffs all coincide; queried exactly on the boundaries.
+pub fn boundary_aligned(seed: u64, n: usize) -> Scenario {
+    let mut rng = Rng::new(seed ^ 0x4);
+    let mut ticks: Vec<Time> = Vec::new();
+    let mut p: Time = 1;
+    while p < (n as Time) * 4 {
+        ticks.push(p);
+        p *= 2;
+    }
+    let mut m: Time = 256;
+    while m < (n as Time) * 4 {
+        ticks.push(m);
+        m += 256;
+    }
+    ticks.sort_unstable();
+    ticks.dedup();
+    let mut ops = Vec::new();
+    for &t in &ticks {
+        ops.push(Op::Observe(t, 1 + rng.below(4)));
+        // On-boundary query (item at t excluded), then off-by-one.
+        ops.push(Op::Query(t));
+        ops.push(Op::Query(t + 1));
+    }
+    let last = *ticks.last().unwrap_or(&1);
+    ops.push(Op::Query(last + 255));
+    ops.push(Op::Query(last + 256));
+    Scenario {
+        name: "boundary-aligned".into(),
+        seed,
+        ops,
+    }
+}
+
+/// The Theorem 2 adversarial burst family (`crates/stream`): bursts
+/// carrying secret bits at geometrically spaced paper-times, probed at
+/// the paper's dominance points. `k = 40, α = 1` — the configuration
+/// restoring the > 4 dominance margin (see `LowerBoundFamily`).
+pub fn adversarial_theorem2(seed: u64) -> Scenario {
+    let mut rng = Rng::new(seed ^ 0x5);
+    // r = 5 keeps k^{2i} inside the u64 clock at k = 40.
+    let bits: Vec<u8> = (0..5).map(|_| 1 + rng.below(2) as u8).collect();
+    let fam = LowerBoundFamily::new(40, 1.0, bits);
+    let mut ops: Vec<Op> = Vec::new();
+    let arrivals = fam.arrivals();
+    ops.push(Op::ObserveBatch(arrivals.clone()));
+    // Queries at every probe point, plus just after the last arrival.
+    let t_last = arrivals.last().map(|&(t, _)| t).unwrap_or(0);
+    ops.push(Op::Query(t_last + 1));
+    for i in 1..=fam.r() as u32 {
+        ops.push(Op::Query(fam.probe_time(i)));
+    }
+    Scenario {
+        name: "adversarial-theorem2".into(),
+        seed,
+        ops,
+    }
+}
+
+/// Sorted batches whose tick runs straddle batch boundaries: the last
+/// tick of each batch continues as the first tick of the next, so
+/// same-tick coalescing must work *across* `observe_batch` calls.
+pub fn out_of_order_batch(seed: u64, n: usize) -> Scenario {
+    let mut rng = Rng::new(seed ^ 0x6);
+    let mut ops = Vec::new();
+    let mut t: Time = 1;
+    let mut fed = 0usize;
+    while fed < n {
+        let len = rng.range(8, 24).min((n - fed) as u64) as usize;
+        // Jittered timestamps inside a small window, then sorted —
+        // "out of order within batch" at generation time, sorted (as
+        // the trait demands) at ingest time.
+        let mut items: Vec<(Time, u64)> = (0..len)
+            .map(|_| (t + rng.below(4), 1 + rng.below(6)))
+            .collect();
+        items.sort_by_key(|&(ti, _)| ti);
+        let t_end = items.last().unwrap().0;
+        ops.push(Op::ObserveBatch(items));
+        fed += len;
+        if rng.below(3) == 0 {
+            ops.push(Op::Query(t_end + rng.range(1, 8)));
+        }
+        // Start the next batch at the PREVIOUS end tick (same tick
+        // split across batches) half the time.
+        t = if rng.below(2) == 0 {
+            t_end
+        } else {
+            t_end + rng.range(1, 8)
+        };
+    }
+    ops.push(Op::Query(t + 9));
+    Scenario {
+        name: "out-of-order-batch".into(),
+        seed,
+        ops,
+    }
+}
+
+/// The full catalogue at one seed: every named family the certifier
+/// runs. `n` scales stream length (tier-1 keeps it small; the
+/// exhaustive `--ignored` mode turns it up).
+pub fn catalogue(seed: u64, n: usize) -> Vec<Scenario> {
+    vec![
+        uniform(seed, n),
+        bursty(seed, n),
+        long_silence(seed, n),
+        boundary_aligned(seed, n),
+        adversarial_theorem2(seed),
+        out_of_order_batch(seed, n),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times_non_decreasing(ops: &[Op]) -> bool {
+        let mut last: Time = 0;
+        for op in ops {
+            let ts: Vec<Time> = match op {
+                Op::Observe(t, _) => vec![*t],
+                Op::ObserveBatch(items) => items.iter().map(|&(t, _)| t).collect(),
+                Op::Advance(t) => vec![*t],
+                Op::Query(_) => continue, // queries may look back
+            };
+            for t in ts {
+                if t < last {
+                    return false;
+                }
+                last = t;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for sc in [uniform(7, 100), bursty(7, 100), long_silence(7, 100)] {
+            let again = match sc.name.as_str() {
+                "uniform" => uniform(7, 100),
+                "bursty" => bursty(7, 100),
+                _ => long_silence(7, 100),
+            };
+            assert_eq!(sc.ops, again.ops, "{} not deterministic", sc.name);
+        }
+    }
+
+    #[test]
+    fn all_families_keep_time_ordered() {
+        for sc in catalogue(0xDEAD_BEEF, 200) {
+            assert!(times_non_decreasing(&sc.ops), "{} out of order", sc.name);
+            assert!(
+                sc.ops.iter().any(|op| matches!(op, Op::Query(_))),
+                "{} never queries",
+                sc.name
+            );
+        }
+    }
+
+    #[test]
+    fn shard_split_partitions_observations() {
+        let sc = uniform(3, 120);
+        let shards = sc.shard_split(3);
+        assert_eq!(shards.len(), 3);
+        let count = |ops: &[Op]| -> u64 {
+            ops.iter()
+                .map(|op| match op {
+                    Op::Observe(_, f) => *f,
+                    Op::ObserveBatch(items) => items.iter().map(|&(_, f)| f).sum(),
+                    _ => 0,
+                })
+                .sum()
+        };
+        let whole = count(&sc.ops);
+        let split: u64 = shards.iter().map(|s| count(s)).sum();
+        assert_eq!(whole, split);
+        for s in &shards {
+            assert!(times_non_decreasing(s));
+            assert!(!s.iter().any(|op| matches!(op, Op::Query(_))));
+        }
+    }
+}

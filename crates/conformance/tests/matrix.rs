@@ -1,0 +1,303 @@
+//! The conformance matrix: every backend × decay × scenario family,
+//! certified against the exact oracle within the envelope each backend
+//! itself reports through `StreamAggregate::error_bound`.
+//!
+//! Tier-1 (`cargo test -p td-conformance`) runs a small seed set;
+//! the exhaustive sweep (`-- --ignored`) turns up seeds and stream
+//! lengths. Failures print a replayable `(family, seed, tick)` repro.
+
+use td_conformance::{
+    catalogue, certify_sharded, default_matrix, run_scenario, scenario, Oracle, Scenario, TruthKind,
+};
+use td_decay::{DecayFunction, Polynomial, SlidingWindow, StreamAggregate};
+use td_wbmh::Wbmh;
+
+/// Runs the full matrix over `seeds` × `n`-length scenarios, returning
+/// every failure's replayable description.
+fn sweep(seeds: &[u64], n: usize) -> Vec<String> {
+    let matrix = default_matrix();
+    let mut failures = Vec::new();
+    let mut runs = 0usize;
+    for &seed in seeds {
+        for sc in catalogue(seed, n) {
+            for case in &matrix {
+                match case.run(&sc) {
+                    None => {} // horizon-capped backend, scenario skipped
+                    Some(Ok(stats)) => {
+                        runs += 1;
+                        assert!(
+                            stats.queries > 0,
+                            "{}/{}: no queries ran",
+                            case.name,
+                            sc.name
+                        );
+                    }
+                    Some(Err(f)) => failures.push(f.to_string()),
+                }
+            }
+        }
+    }
+    assert!(runs > 0, "matrix sweep ran no cases");
+    failures
+}
+
+#[test]
+fn tier1_matrix_all_backends_within_envelope() {
+    let failures = sweep(&[1, 2], 160);
+    assert!(
+        failures.is_empty(),
+        "{} conformance failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+#[ignore = "exhaustive sweep: run with `cargo test -p td-conformance -- --ignored`"]
+fn exhaustive_matrix_many_seeds_long_streams() {
+    let seeds: Vec<u64> = (0..16).collect();
+    let failures = sweep(&seeds, 1_000);
+    assert!(
+        failures.is_empty(),
+        "{} conformance failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Satellite: the empty/at-tick query convention, pinned across every
+/// backend in the matrix. A summary that has never observed anything
+/// answers 0.0, and an item observed exactly at the query tick is not
+/// yet visible (§2.1) — uniformly, with no per-backend exceptions.
+#[test]
+fn empty_and_at_tick_query_convention_is_uniform() {
+    for case in default_matrix() {
+        let (mut backend, _oracle) = case.fresh();
+        assert_eq!(
+            backend.query(5),
+            0.0,
+            "{}: never-observed summary must answer 0.0",
+            case.name
+        );
+        let f = 3u64.min(case.value_cap.unwrap_or(u64::MAX));
+        backend.observe(7, f);
+        assert_eq!(
+            backend.query(7),
+            0.0,
+            "{}: an item at the query tick must be invisible (§2.1)",
+            case.name
+        );
+        if !matches!(case.truth, TruthKind::Variance { .. }) {
+            assert!(
+                backend.query(8) > 0.0,
+                "{}: the same item must be visible one tick later",
+                case.name
+            );
+        }
+    }
+}
+
+/// Satellite: the ε-sweep regression. For ε ∈ {0.5, 0.1, 0.01} the
+/// observed worst-case relative error must stay within ε, and storage
+/// must grow no faster than the theorem curves — Theorem 1's
+/// `O(ε⁻¹ log² N)` for the cascaded EH and Lemma 5.1's logarithmic
+/// bucket count for WBMH — checked as growth *ratios* so the test has
+/// no magic absolute constants.
+#[test]
+fn eps_sweep_error_and_storage_track_the_theorems() {
+    use td_ceh::CascadedEh;
+
+    let epsilons = [0.5, 0.1, 0.01];
+    let sc = scenario::uniform(3, 800);
+
+    let mut ceh_bits = Vec::new();
+    let mut wbmh_bits = Vec::new();
+    for &eps in &epsilons {
+        let mut ceh = CascadedEh::new(SlidingWindow::new(512), eps);
+        let mut oracle: td_conformance::DynOracle = Oracle::new(Box::new(SlidingWindow::new(512)));
+        let stats = run_scenario(
+            &mut ceh,
+            &mut oracle,
+            TruthKind::Sum,
+            None,
+            &sc,
+            "ceh-sweep",
+        )
+        .unwrap_or_else(|f| panic!("{f}"));
+        assert!(
+            stats.max_rel_err <= eps,
+            "ceh eps={eps}: observed max rel err {} exceeds ε",
+            stats.max_rel_err
+        );
+        ceh_bits.push(stats.final_storage_bits as f64);
+
+        let mut wbmh = Wbmh::new(Polynomial::new(1.0), eps, 1 << 30);
+        let mut oracle: td_conformance::DynOracle = Oracle::new(Box::new(Polynomial::new(1.0)));
+        let stats = run_scenario(
+            &mut wbmh,
+            &mut oracle,
+            TruthKind::Sum,
+            None,
+            &sc,
+            "wbmh-sweep",
+        )
+        .unwrap_or_else(|f| panic!("{f}"));
+        assert!(
+            stats.max_rel_err <= eps,
+            "wbmh eps={eps}: observed max rel err {} exceeds ε",
+            stats.max_rel_err
+        );
+        wbmh_bits.push(stats.final_storage_bits as f64);
+    }
+
+    // Tightening ε from 0.5 to 0.01 is a 50× budget increase; Theorem 1
+    // storage is linear in 1/ε (times polylog factors already present
+    // at both ends), so the growth ratio must stay well under 50 with
+    // polylog headroom. WBMH's bucket count is ~log_{1+ε} of the weight
+    // range — also at most linear in 1/ε.
+    let budget_ratio = epsilons[0] / epsilons[2]; // 50×
+    for (name, bits) in [("ceh", &ceh_bits), ("wbmh", &wbmh_bits)] {
+        assert!(
+            bits[2] <= bits[0] * budget_ratio * 1.5,
+            "{name}: storage grew faster than the 1/ε theorem curve: {bits:?}"
+        );
+        assert!(
+            bits[0] <= bits[2],
+            "{name}: storage should not shrink as ε tightens: {bits:?}"
+        );
+    }
+}
+
+/// Acceptance: deliberately corrupting one bucket inside a backend
+/// must make the certifier fail — and the failure must carry the
+/// replayable seed and scenario name.
+#[test]
+fn corrupting_one_bucket_is_caught_with_replayable_seed() {
+    let sc = scenario::uniform(42, 400);
+    let decay = Polynomial::new(1.0);
+    let mut wbmh = Wbmh::new(decay, 0.1, 1 << 30);
+    let mut oracle: td_conformance::DynOracle = Oracle::new(Box::new(decay));
+    for op in &sc.ops {
+        match op {
+            scenario::Op::Observe(t, f) => {
+                wbmh.observe(*t, *f);
+                oracle.observe(*t, *f);
+            }
+            scenario::Op::ObserveBatch(items) => {
+                wbmh.observe_batch(items);
+                oracle.observe_batch(items);
+            }
+            scenario::Op::Advance(t) => {
+                wbmh.advance(*t);
+                StreamAggregate::advance(&mut oracle, *t);
+            }
+            scenario::Op::Query(_) => {}
+        }
+    }
+    let probe = sc.max_time() + 1;
+
+    // Corrupt the bucket contributing the most decayed mass at the
+    // probe time (so the perturbation cannot hide in the envelope).
+    let mut snap = wbmh.snapshot();
+    assert!(
+        snap.buckets.len() > 1,
+        "need several buckets to corrupt one"
+    );
+    let victim = (0..snap.buckets.len())
+        .max_by(|&a, &b| {
+            let share = |i: usize| {
+                let (_, _, _, last_item, count, _) = snap.buckets[i];
+                count * decay.weight(probe.saturating_sub(last_item).max(1))
+            };
+            share(a).partial_cmp(&share(b)).unwrap()
+        })
+        .unwrap();
+    snap.buckets[victim].4 *= 50.0;
+    let mut corrupted = Wbmh::restore(decay, 0.1, 1 << 30, None, &snap);
+
+    let queries_only = Scenario {
+        name: sc.name.clone(),
+        seed: sc.seed,
+        ops: vec![scenario::Op::Query(probe)],
+    };
+    let err = run_scenario(
+        &mut corrupted,
+        &mut oracle,
+        TruthKind::Sum,
+        None,
+        &queries_only,
+        "wbmh/poly1-corrupted",
+    )
+    .expect_err("a corrupted bucket must fail certification");
+    assert_eq!(err.seed, 42, "failure must carry the scenario seed");
+    assert_eq!(err.scenario, "uniform");
+    assert_eq!(err.query_time, probe);
+    let msg = err.to_string();
+    assert!(
+        msg.contains("0x2a") && msg.contains("uniform"),
+        "repro line must name seed and family: {msg}"
+    );
+
+    // Sanity: the uncorrupted histogram certifies the same query.
+    let pristine_err = run_scenario(
+        &mut wbmh,
+        &mut oracle,
+        TruthKind::Sum,
+        None,
+        &queries_only,
+        "wbmh/poly1",
+    );
+    assert!(pristine_err.is_ok(), "pristine histogram must certify");
+}
+
+/// Distributed (§6): shard-then-merge answers certify against the
+/// whole-stream oracle under the merged (widened) envelope.
+#[test]
+fn sharded_ingestion_certifies_after_merge() {
+    use td_ceh::CascadedEh;
+    use td_counters::ExpCounter;
+    use td_decay::Exponential;
+    use td_eh::DominationEh;
+
+    let sc = scenario::bursty(9, 200);
+
+    certify_sharded(
+        || CascadedEh::new(Exponential::new(0.01), 0.1),
+        Box::new(Exponential::new(0.01)),
+        &sc,
+        3,
+        "ceh/exp",
+        |a, b| a.merge_from(b),
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+
+    certify_sharded(
+        || ExpCounter::new(Exponential::new(0.01)),
+        Box::new(Exponential::new(0.01)),
+        &sc,
+        3,
+        "exp-counter",
+        |a, b| a.merge_from(b),
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+
+    certify_sharded(
+        || DominationEh::new(0.1, None),
+        Box::new(td_decay::Constant),
+        &sc,
+        3,
+        "domination-eh/landmark",
+        |a, b| a.merge_from(b),
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+
+    certify_sharded(
+        || Wbmh::new(Polynomial::new(1.0), 0.1, 1 << 30),
+        Box::new(Polynomial::new(1.0)),
+        &sc,
+        3,
+        "wbmh/poly1",
+        |a, b| a.merge_from(b),
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+}

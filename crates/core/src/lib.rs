@@ -181,8 +181,17 @@ impl DecayFunction for AnyDecay {
 
 /// The selected backend (one variant per row of the §8 table).
 enum Backend {
-    /// Constant decay: a plain exact counter.
-    Plain(u64),
+    /// Constant decay: a plain exact counter. Tracks the mass observed
+    /// at the newest tick separately so `query(T)` can exclude items at
+    /// `T` itself (§2.1) exactly like every decaying backend does.
+    Plain {
+        /// Saturating running total of everything observed.
+        total: u64,
+        /// Newest observation tick.
+        last_t: Time,
+        /// Mass observed exactly at `last_t`.
+        at_last: u64,
+    },
     /// Exponential decay: the Eq. 1 counter (quantized to the precision
     /// the target ε warrants).
     Exp(QuantizedExpCounter),
@@ -259,7 +268,11 @@ impl DecayedSumBuilder {
                 self.max_age,
                 self.epsilon,
             )),
-            (BackendChoice::Auto, DecayClass::Constant) => Backend::Plain(0),
+            (BackendChoice::Auto, DecayClass::Constant) => Backend::Plain {
+                total: 0,
+                last_t: 0,
+                at_last: 0,
+            },
             (BackendChoice::Auto, DecayClass::Exponential { lambda }) => {
                 // Quantize to the precision the ε target warrants: the
                 // relative drift per operation is ~2^{1−m}.
@@ -303,7 +316,7 @@ impl DecayedSumBuilder {
 
 fn self_backend_name(b: &Backend) -> &'static str {
     match b {
-        Backend::Plain(_) => "plain",
+        Backend::Plain { .. } => "plain",
         Backend::Exp(_) => "exp-counter",
         Backend::PolyExp(_) => "polyexp-pipeline",
         Backend::Ceh(_) => "ceh",
@@ -345,7 +358,19 @@ impl DecayedSum {
         match &mut self.backend {
             // Saturate rather than wrap/panic: a landmark counter fed
             // past u64::MAX pins at the ceiling (queries stay monotone).
-            Backend::Plain(total) => *total = total.saturating_add(f),
+            Backend::Plain {
+                total,
+                last_t,
+                at_last,
+            } => {
+                *total = total.saturating_add(f);
+                if t > *last_t {
+                    *last_t = t;
+                    *at_last = f;
+                } else {
+                    *at_last = at_last.saturating_add(f);
+                }
+            }
             Backend::Exp(c) => c.observe(t, f),
             Backend::PolyExp(c) => c.observe(t, f),
             Backend::Ceh(c) => c.observe(t, f),
@@ -363,9 +388,19 @@ impl DecayedSum {
     /// Panics if any time precedes its predecessor.
     pub fn observe_batch(&mut self, items: &[(Time, u64)]) {
         match &mut self.backend {
-            Backend::Plain(total) => {
-                for &(_, f) in items {
+            Backend::Plain {
+                total,
+                last_t,
+                at_last,
+            } => {
+                for &(t, f) in items {
                     *total = total.saturating_add(f);
+                    if t > *last_t {
+                        *last_t = t;
+                        *at_last = f;
+                    } else {
+                        *at_last = at_last.saturating_add(f);
+                    }
                 }
             }
             Backend::Exp(c) => c.observe_batch(items),
@@ -380,7 +415,19 @@ impl DecayedSum {
     /// §2.1).
     pub fn query(&self, t: Time) -> f64 {
         match &self.backend {
-            Backend::Plain(total) => *total as f64,
+            // §2.1: items at the query time itself are not yet visible,
+            // even under constant decay.
+            Backend::Plain {
+                total,
+                last_t,
+                at_last,
+            } => {
+                if t > *last_t {
+                    *total as f64
+                } else {
+                    total.saturating_sub(*at_last) as f64
+                }
+            }
             Backend::Exp(c) => c.query(t),
             Backend::PolyExp(c) => c.query(t),
             Backend::Ceh(c) => c.query(t),
@@ -401,7 +448,28 @@ impl DecayedSum {
     /// Panics if the backends or their configurations differ.
     pub fn merge_from(&mut self, other: &DecayedSum) {
         match (&mut self.backend, &other.backend) {
-            (Backend::Plain(a), Backend::Plain(b)) => *a = a.saturating_add(*b),
+            (
+                Backend::Plain {
+                    total,
+                    last_t,
+                    at_last,
+                },
+                Backend::Plain {
+                    total: ot,
+                    last_t: olt,
+                    at_last: oal,
+                },
+            ) => {
+                *total = total.saturating_add(*ot);
+                match (*olt).cmp(last_t) {
+                    std::cmp::Ordering::Greater => {
+                        *last_t = *olt;
+                        *at_last = *oal;
+                    }
+                    std::cmp::Ordering::Equal => *at_last = at_last.saturating_add(*oal),
+                    std::cmp::Ordering::Less => {}
+                }
+            }
             (Backend::Exp(a), Backend::Exp(b)) => a.merge_from(b),
             (Backend::PolyExp(a), Backend::PolyExp(b)) => a.merge_from(b),
             (Backend::Ceh(a), Backend::Ceh(b)) => a.merge_from(b),
@@ -423,7 +491,16 @@ impl DecayedSum {
     /// genuinely clock-free.
     pub fn advance(&mut self, t: Time) {
         match &mut self.backend {
-            Backend::Plain(_) => {}
+            Backend::Plain {
+                last_t, at_last, ..
+            } => {
+                // Advancing past the newest tick makes its mass
+                // queryable (it is now strictly in the past).
+                if t > *last_t {
+                    *last_t = t;
+                    *at_last = 0;
+                }
+            }
             Backend::Exp(c) => c.advance(t),
             Backend::PolyExp(c) => c.advance(t),
             Backend::Ceh(c) => c.advance(t),
@@ -436,7 +513,7 @@ impl DecayedSum {
     /// `"wbmh"`, or `"exact"`.
     pub fn backend_name(&self) -> &'static str {
         match &self.backend {
-            Backend::Plain(_) => "plain",
+            Backend::Plain { .. } => "plain",
             Backend::Exp(_) => "exp-counter",
             Backend::PolyExp(_) => "polyexp-pipeline",
             Backend::Ceh(_) => "ceh",
@@ -462,6 +539,16 @@ impl StreamAggregate for DecayedSum {
     fn merge_from(&mut self, other: &Self) {
         DecayedSum::merge_from(self, other)
     }
+    fn error_bound(&self) -> td_decay::ErrorBound {
+        match &self.backend {
+            Backend::Plain { .. } => td_decay::ErrorBound::exact(),
+            Backend::Exp(c) => StreamAggregate::error_bound(c),
+            Backend::PolyExp(c) => StreamAggregate::error_bound(c),
+            Backend::Ceh(c) => StreamAggregate::error_bound(c),
+            Backend::Wbmh(w) => StreamAggregate::error_bound(w),
+            Backend::Exact(e) => StreamAggregate::error_bound(e),
+        }
+    }
 }
 
 impl DecayedCount for DecayedSum {
@@ -476,7 +563,7 @@ impl DecayedCount for DecayedSum {
 impl StorageAccounting for DecayedSum {
     fn storage_bits(&self) -> u64 {
         match &self.backend {
-            Backend::Plain(total) => bits_for_count(*total),
+            Backend::Plain { total, .. } => bits_for_count(*total),
             Backend::Exp(c) => StorageAccounting::storage_bits(c),
             Backend::PolyExp(c) => StorageAccounting::storage_bits(c),
             Backend::Ceh(c) => StorageAccounting::storage_bits(c),

@@ -203,6 +203,11 @@ impl td_decay::StreamAggregate for ExpCounter {
 pub struct QuantizedExpCounter {
     inner: ExpCounter,
     mantissa_bits: u32,
+    /// Rounding events applied so far — each compounds at most one
+    /// `2^{-m}` relative error into the accumulator, so the certified
+    /// envelope is `(1 + 2^{-m})^roundings − 1` (Lemma 3.1's
+    /// accuracy-for-bits trade made stateful).
+    roundings: u64,
 }
 
 impl QuantizedExpCounter {
@@ -212,6 +217,7 @@ impl QuantizedExpCounter {
         Self {
             inner: ExpCounter::new(decay),
             mantissa_bits: mantissa_bits.clamp(1, 52),
+            roundings: 0,
         }
     }
 
@@ -229,6 +235,7 @@ impl QuantizedExpCounter {
         self.inner.observe(t, f);
         self.inner.sum_before = round_to_mantissa(self.inner.sum_before, self.mantissa_bits);
         self.inner.at_upto = round_to_mantissa(self.inner.at_upto, self.mantissa_bits);
+        self.roundings += 1;
     }
 
     /// Ingests a burst of `(time, value)` items, sorted by
@@ -255,6 +262,7 @@ impl QuantizedExpCounter {
             }
             self.inner.sum_before = round_to_mantissa(self.inner.sum_before, self.mantissa_bits);
             self.inner.at_upto = round_to_mantissa(self.inner.at_upto, self.mantissa_bits);
+            self.roundings += 1;
         }
     }
 
@@ -268,6 +276,7 @@ impl QuantizedExpCounter {
         self.inner.advance(t);
         self.inner.sum_before = round_to_mantissa(self.inner.sum_before, self.mantissa_bits);
         self.inner.at_upto = round_to_mantissa(self.inner.at_upto, self.mantissa_bits);
+        self.roundings += 1;
     }
 
     /// The decaying sum estimate (see [`ExpCounter::query`]).
@@ -289,6 +298,7 @@ impl QuantizedExpCounter {
         self.inner.merge_from(&other.inner);
         self.inner.sum_before = round_to_mantissa(self.inner.sum_before, self.mantissa_bits);
         self.inner.at_upto = round_to_mantissa(self.inner.at_upto, self.mantissa_bits);
+        self.roundings += other.roundings + 1;
     }
 }
 
@@ -316,6 +326,12 @@ impl td_decay::StreamAggregate for QuantizedExpCounter {
     }
     fn merge_from(&mut self, other: &Self) {
         QuantizedExpCounter::merge_from(self, other)
+    }
+    fn error_bound(&self) -> td_decay::ErrorBound {
+        // Each rounding perturbs the state by ≤ 2^{-m} relative, and
+        // the perturbations compound: (1 + 2^{-m})^n − 1.
+        let per = (-(self.mantissa_bits as f64)).exp2();
+        td_decay::ErrorBound::symmetric((self.roundings as f64 * per.ln_1p()).exp_m1())
     }
 }
 

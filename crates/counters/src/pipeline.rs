@@ -40,6 +40,10 @@ pub struct PolyExpCounter {
     at_upto: f64,
     upto: Time,
     started: bool,
+    /// Advance-map applications so far. The map is all positive
+    /// multiply-adds, so each application perturbs the state by at most
+    /// `(k+2)` ulps relative — the basis of the certified f64 envelope.
+    advances: u64,
 }
 
 impl PolyExpCounter {
@@ -61,6 +65,7 @@ impl PolyExpCounter {
             at_upto: 0.0,
             upto: 0,
             started: false,
+            advances: 0,
         }
     }
 
@@ -134,6 +139,7 @@ impl PolyExpCounter {
             Self::advance_vec(&mut self.m, self.lambda, (t - self.upto) as f64);
             self.at_upto = 0.0;
             self.upto = t;
+            self.advances += 1;
         }
     }
 
@@ -193,6 +199,7 @@ impl PolyExpCounter {
             *a += b;
         }
         self.at_upto += o_at;
+        self.advances += other.advances + 1;
     }
 
     /// The decaying sum under `g(x) = x^k e^{-λx}/k!`.
@@ -260,6 +267,12 @@ impl td_decay::StreamAggregate for PolyExpCounter {
     }
     fn merge_from(&mut self, other: &Self) {
         PolyExpCounter::merge_from(self, other)
+    }
+    fn error_bound(&self) -> td_decay::ErrorBound {
+        // Exact up to compounded f64 rounding: each advance is a chain
+        // of positive multiply-adds (no cancellation), ≤ (k+2) ulps.
+        let per = (self.k as f64 + 2.0) * f64::EPSILON;
+        td_decay::ErrorBound::symmetric((self.advances as f64 * per.ln_1p()).exp_m1())
     }
 }
 

@@ -28,6 +28,81 @@
 use crate::func::Time;
 use crate::storage::StorageAccounting;
 
+/// The relative-error envelope a summary certifies for its
+/// [`query`](StreamAggregate::query) answers.
+///
+/// An estimate `est` of a true decayed sum `v ≥ 0` satisfies the bound
+/// when `v · (1 − lower) ≤ est ≤ v · (1 + upper)`. The paper's
+/// guarantees map onto this shape directly: Theorem 1's cascaded EH
+/// answers in `[S, (1+ε)S]` (`lower = 0`, `upper = ε`), the §3.1
+/// quantized counter is symmetric, and exact backends are `(0, 0)`.
+///
+/// Bounds are *state-dependent*, not static: merging widens the
+/// histogram envelopes (k-way fan-in costs k·ε, §6) and quantized
+/// counters accumulate one half-ulp per rounding, so the certifier
+/// reads the envelope from the live summary rather than from the
+/// construction-time ε.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBound {
+    /// Maximum relative under-estimate: `est ≥ v · (1 − lower)`.
+    pub lower: f64,
+    /// Maximum relative over-estimate: `est ≤ v · (1 + upper)`.
+    pub upper: f64,
+}
+
+impl ErrorBound {
+    /// The exact envelope: the answer equals the true decayed sum (up
+    /// to f64 summation order).
+    pub fn exact() -> Self {
+        ErrorBound {
+            lower: 0.0,
+            upper: 0.0,
+        }
+    }
+
+    /// A symmetric `±eps` relative envelope.
+    pub fn symmetric(eps: f64) -> Self {
+        ErrorBound {
+            lower: eps,
+            upper: eps,
+        }
+    }
+
+    /// The one-sided `[v, (1+eps)·v]` envelope of Theorem 1: never an
+    /// under-estimate.
+    pub fn one_sided(eps: f64) -> Self {
+        ErrorBound {
+            lower: 0.0,
+            upper: eps,
+        }
+    }
+
+    /// An unbounded envelope, for summaries with no relative guarantee
+    /// (e.g. decayed variance in its cancellation regime).
+    pub fn unbounded() -> Self {
+        ErrorBound {
+            lower: f64::INFINITY,
+            upper: f64::INFINITY,
+        }
+    }
+
+    /// Whether this envelope makes any relative-error promise at all.
+    pub fn is_bounded(&self) -> bool {
+        self.lower.is_finite() && self.upper.is_finite()
+    }
+
+    /// Checks `est` against the envelope around true value `truth`,
+    /// with `slop` absolute tolerance absorbing f64 summation noise.
+    pub fn admits(&self, est: f64, truth: f64, slop: f64) -> bool {
+        if !self.is_bounded() {
+            return true;
+        }
+        let lo = truth * (1.0 - self.lower) - slop;
+        let hi = truth * (1.0 + self.upper) + slop;
+        est >= lo && est <= hi
+    }
+}
+
 /// A time-decaying stream summary: one ingest/query surface shared by
 /// every backend in the workspace.
 ///
@@ -79,6 +154,18 @@ pub trait StreamAggregate: StorageAccounting {
     fn merge_from(&mut self, other: &Self)
     where
         Self: Sized;
+
+    /// The relative-error envelope this summary's current state
+    /// certifies for [`query`](Self::query) answers.
+    ///
+    /// Defaults to [`ErrorBound::exact`]; approximate backends
+    /// override it with their theorem-given bound (widened by merges
+    /// and quantization events as their state demands). Conformance
+    /// tooling reads the envelope from here rather than hard-coding it
+    /// per backend.
+    fn error_bound(&self) -> ErrorBound {
+        ErrorBound::exact()
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +202,28 @@ mod tests {
             self.total += other.total;
             self.last_t = self.last_t.max(other.last_t);
         }
+    }
+
+    #[test]
+    fn error_bound_default_and_admits() {
+        let p = Plain {
+            total: 7,
+            last_t: 3,
+        };
+        assert_eq!(p.error_bound(), ErrorBound::exact());
+
+        let one = ErrorBound::one_sided(0.1);
+        assert!(one.admits(100.0, 100.0, 1e-9));
+        assert!(one.admits(110.0, 100.0, 1e-9));
+        assert!(!one.admits(111.0, 100.0, 1e-9));
+        assert!(!one.admits(99.0, 100.0, 1e-9));
+
+        let sym = ErrorBound::symmetric(0.1);
+        assert!(sym.admits(91.0, 100.0, 1e-9));
+        assert!(!sym.admits(89.0, 100.0, 1e-9));
+
+        assert!(ErrorBound::unbounded().admits(1e30, 1.0, 0.0));
+        assert!(!ErrorBound::unbounded().is_bounded());
     }
 
     #[test]

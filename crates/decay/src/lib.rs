@@ -46,7 +46,7 @@ pub mod sliding;
 pub mod storage;
 pub mod table;
 
-pub use aggregate::StreamAggregate;
+pub use aggregate::{ErrorBound, StreamAggregate};
 pub use combinators::{MaxOf, ProductOf, Scaled, SumOf};
 pub use exponential::Exponential;
 pub use func::{DecayClass, DecayFunction, Time};

@@ -50,6 +50,9 @@ pub struct ClassicEh {
     live_total: u64,
     last_t: Time,
     started: bool,
+    /// Mass observed exactly at `last_t`, so the unified-aggregate
+    /// `query(T)` can exclude items at `T` itself (§2.1).
+    at_last: u64,
 }
 
 impl ClassicEh {
@@ -74,6 +77,7 @@ impl ClassicEh {
             live_total: 0,
             last_t: 0,
             started: false,
+            at_last: 0,
         }
     }
 
@@ -187,6 +191,7 @@ impl WindowSketch for ClassicEh {
         }
         self.buckets.push_back(Bucket::unit(t, 1));
         self.live_total += 1;
+        self.at_last += 1;
         self.canonicalize();
     }
 
@@ -211,6 +216,7 @@ impl WindowSketch for ClassicEh {
                 if f == 1 {
                     self.buckets.push_back(Bucket::unit(t, 1));
                     self.live_total += 1;
+                    self.at_last += 1;
                     self.canonicalize();
                 }
                 i += 1;
@@ -225,6 +231,9 @@ impl WindowSketch for ClassicEh {
                 "time went backwards: {t} < {}",
                 self.last_t
             );
+        }
+        if !self.started || t > self.last_t {
+            self.at_last = 0;
         }
         self.started = true;
         self.last_t = t;
@@ -259,9 +268,15 @@ impl td_decay::StreamAggregate for ClassicEh {
         WindowSketch::advance(self, t)
     }
     /// The live-total estimate: a window query spanning the whole
-    /// elapsed stream (ages `1..=t`).
+    /// elapsed stream (ages `1..=t`). Mass observed exactly at `t` is
+    /// excluded (§2.1), matching every other backend's convention.
     fn query(&self, t: Time) -> f64 {
-        self.query_window(t, t)
+        let est = self.query_window(t, t);
+        if t == self.last_t && self.at_last > 0 {
+            (est - self.at_last as f64).max(0.0)
+        } else {
+            est
+        }
     }
     /// # Panics
     ///
@@ -269,6 +284,9 @@ impl td_decay::StreamAggregate for ClassicEh {
     /// algorithm (merging breaks the size-class invariant).
     fn merge_from(&mut self, _other: &Self) {
         panic!("ClassicEh does not support merge_from; use DominationEh");
+    }
+    fn error_bound(&self) -> td_decay::ErrorBound {
+        td_decay::ErrorBound::symmetric(self.epsilon)
     }
 }
 

@@ -55,6 +55,13 @@ pub struct DominationEh {
     /// amortized cost per insert is O(1) — the §4.2 claim — at the
     /// price of at most 25% transiently-unmerged extra buckets).
     inserts_since_merge: usize,
+    /// Number of single-site histograms folded into this one (1 for a
+    /// freshly built summary). A k-site union certifies a `k·ε`
+    /// envelope, so the certified bound widens with each merge.
+    sites: u32,
+    /// Mass observed exactly at `last_t`, so the unified-aggregate
+    /// `query(T)` can exclude items at `T` itself (§2.1).
+    at_last: u64,
 }
 
 impl DominationEh {
@@ -78,12 +85,21 @@ impl DominationEh {
             last_t: 0,
             started: false,
             inserts_since_merge: 0,
+            sites: 1,
+            at_last: 0,
         }
     }
 
     /// The configured window, if any.
     pub fn window(&self) -> Option<Time> {
         self.window
+    }
+
+    /// How many single-site histograms this summary unions (1 until
+    /// [`merge_from`](Self::merge_from) is used). The certified
+    /// relative-error envelope is `sites · ε`.
+    pub fn sites(&self) -> u32 {
+        self.sites
     }
 
     /// Forces the deferred merge pass to run now (tests and storage
@@ -205,6 +221,12 @@ impl DominationEh {
         self.live_total = self.live_total.saturating_add(other.live_total);
         self.last_t = self.last_t.max(other.last_t);
         self.started |= other.started;
+        self.sites = self.sites.saturating_add(other.sites);
+        match other.last_t.cmp(&self.last_t) {
+            std::cmp::Ordering::Greater => self.at_last = other.at_last,
+            std::cmp::Ordering::Equal => self.at_last = self.at_last.saturating_add(other.at_last),
+            std::cmp::Ordering::Less => {}
+        }
         self.expire(self.last_t);
         self.canonicalize();
         self.inserts_since_merge = 0;
@@ -242,6 +264,7 @@ impl DominationEh {
             }
         }
         self.live_total = self.live_total.saturating_add(f);
+        self.at_last = self.at_last.saturating_add(f);
     }
 }
 
@@ -297,6 +320,7 @@ impl WindowSketch for DominationEh {
                     b.count = b.count.saturating_add(rest);
                 }
                 self.live_total = self.live_total.saturating_add(rest);
+                self.at_last = self.at_last.saturating_add(rest);
             }
         }
     }
@@ -308,6 +332,9 @@ impl WindowSketch for DominationEh {
                 "time went backwards: {t} < {}",
                 self.last_t
             );
+        }
+        if !self.started || t > self.last_t {
+            self.at_last = 0;
         }
         self.started = true;
         self.last_t = t;
@@ -343,12 +370,24 @@ impl td_decay::StreamAggregate for DominationEh {
     }
     /// The live-total estimate: a window query spanning the whole
     /// elapsed stream (ages `1..=t`), i.e. the sliding-window decayed
-    /// sum this sketch maintains.
+    /// sum this sketch maintains. Mass observed exactly at `t` is
+    /// excluded (§2.1), matching every other backend's convention.
     fn query(&self, t: Time) -> f64 {
-        self.query_window(t, t)
+        let est = self.query_window(t, t);
+        if t == self.last_t && self.at_last > 0 {
+            (est - self.at_last as f64).max(0.0)
+        } else {
+            est
+        }
     }
     fn merge_from(&mut self, other: &Self) {
         DominationEh::merge_from(self, other)
+    }
+    fn error_bound(&self) -> td_decay::ErrorBound {
+        // A k-site union certifies k·ε (see merge_from); queries are
+        // symmetric because a straddling oldest bucket can land on
+        // either side of the true suffix count.
+        td_decay::ErrorBound::symmetric(self.sites as f64 * self.epsilon)
     }
 }
 

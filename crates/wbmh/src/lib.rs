@@ -738,6 +738,17 @@ impl<G: DecayFunction> td_decay::StreamAggregate for Wbmh<G> {
     fn merge_from(&mut self, other: &Self) {
         Wbmh::merge_from(self, other)
     }
+    fn error_bound(&self) -> td_decay::ErrorBound {
+        // With exact bucket counts the Paper estimator weights every
+        // item at its bucket's newest age, so the answer is one-sided
+        // high within the region band. Approximate counts can round in
+        // either direction, making the envelope symmetric.
+        if self.count_epsilon.is_none() {
+            td_decay::ErrorBound::one_sided(Wbmh::error_bound(self))
+        } else {
+            td_decay::ErrorBound::symmetric(Wbmh::error_bound(self))
+        }
+    }
 }
 
 impl<G: DecayFunction> StorageAccounting for Wbmh<G> {

@@ -3,9 +3,10 @@
 //! whole-stream summary, and snapshots must round-trip exactly.
 
 use proptest::prelude::*;
-use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter};
+use td_conformance::Oracle;
+use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCounter};
 use td_eh::{DominationEh, WindowSketch};
-use timedecay::{CascadedEh, Exponential, Polynomial, Wbmh};
+use timedecay::{CascadedEh, Constant, DecayFunction, Exponential, Polynomial, Wbmh};
 
 /// A random stream plus a random site assignment for each item.
 fn split_stream_strategy() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
@@ -19,6 +20,77 @@ fn split_stream_strategy() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
             })
             .collect()
     })
+}
+
+/// A random stream dealt across three sites.
+fn three_site_stream() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    proptest::collection::vec((1u64..4, 0u64..8, 0u64..3), 10..300).prop_map(|steps| {
+        let mut t = 0u64;
+        steps
+            .into_iter()
+            .map(|(dt, f, site)| {
+                t += dt;
+                (t, f, site)
+            })
+            .collect()
+    })
+}
+
+/// Certified 3-way merge associativity: the stream is dealt across
+/// three shards (every shard's clock mirrored through `advance` so
+/// merge preconditions hold), then folded in both association orders —
+/// `(s0 ⊕ s1) ⊕ s2` and `s0 ⊕ (s1 ⊕ s2)`. Each fold's answer must land
+/// inside the envelope the *merged summary itself* certifies via
+/// `StreamAggregate::error_bound`, checked against the exact oracle of
+/// the whole stream.
+fn certify_three_way_split<A, G>(
+    make: impl Fn() -> A,
+    decay: G,
+    items: &[(u64, u64, u64)],
+) -> Result<(), String>
+where
+    A: timedecay::StreamAggregate + Clone,
+    G: DecayFunction,
+{
+    let mut oracle = Oracle::new(decay);
+    let mut shards: Vec<A> = (0..3).map(|_| make()).collect();
+    for &(t, f, site) in items {
+        oracle.observe(t, f);
+        for (i, s) in shards.iter_mut().enumerate() {
+            if i == site as usize {
+                s.observe(t, f);
+            } else {
+                s.advance(t);
+            }
+        }
+    }
+    let t_end = items.last().map(|&(t, _, _)| t).unwrap_or(1) + 1;
+    for s in shards.iter_mut() {
+        s.advance(t_end);
+    }
+
+    let mut left = shards[0].clone();
+    left.merge_from(&shards[1]);
+    left.merge_from(&shards[2]);
+
+    let mut tail = shards[1].clone();
+    tail.merge_from(&shards[2]);
+    let mut right = shards[0].clone();
+    right.merge_from(&tail);
+
+    let truth = oracle.decayed_sum(t_end);
+    let slop = 1e-9 * truth.abs().max(1.0);
+    for (label, merged) in [("(s0+s1)+s2", &left), ("s0+(s1+s2)", &right)] {
+        let est = merged.query(t_end);
+        let bound = merged.error_bound();
+        if !bound.admits(est, truth, slop) {
+            return Err(format!(
+                "{label}: est {est} outside envelope [-{}, +{}] of truth {truth}",
+                bound.lower, bound.upper
+            ));
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -147,6 +219,68 @@ proptest! {
         let est = a.query(t_end);
         prop_assert!(est >= truth * (1.0 - 1e-9), "{est} < {truth}");
         prop_assert!(est <= truth * (1.0 + 2.0 * eps) + 1e-9, "{est} vs {truth}");
+    }
+
+    /// 3-way associativity, exact counters: both folds land inside the
+    /// certified envelope (which is exact up to f64 order).
+    #[test]
+    fn three_way_split_certifies_exact_sum(items in three_site_stream(), alpha in 0.5f64..2.5) {
+        let g = Polynomial::new(alpha);
+        certify_three_way_split(|| ExactDecayedSum::new(g), g, &items)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// 3-way associativity, §3.1 exponential counter.
+    #[test]
+    fn three_way_split_certifies_exp_counter(items in three_site_stream(), lambda in 0.001f64..0.5) {
+        let g = Exponential::new(lambda);
+        certify_three_way_split(|| ExpCounter::new(g), g, &items)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// 3-way associativity, quantized counter: the envelope widens with
+    /// accumulated roundings (merges included) and must still hold.
+    #[test]
+    fn three_way_split_certifies_quantized_counter(
+        items in three_site_stream(),
+        m in 12u32..24,
+    ) {
+        let g = Exponential::new(0.05);
+        certify_three_way_split(|| QuantizedExpCounter::new(g, m), g, &items)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// 3-way associativity, §3.4 pipelined counters.
+    #[test]
+    fn three_way_split_certifies_polyexp(items in three_site_stream(), k in 0u32..4) {
+        let g = timedecay::PolyExponential::new(k, 0.05);
+        certify_three_way_split(|| PolyExpCounter::new(k, 0.05), g, &items)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// 3-way associativity, Theorem 1 cascaded EH: the three-site
+    /// fan-in widens the one-sided envelope to 3ε.
+    #[test]
+    fn three_way_split_certifies_ceh(items in three_site_stream(), eps in 0.05f64..0.5) {
+        let g = Polynomial::new(1.0);
+        certify_three_way_split(|| CascadedEh::new(g, eps), g, &items)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// 3-way associativity, §5 WBMH (mirrored clocks are the merge
+    /// precondition — `certify_three_way_split` maintains them).
+    #[test]
+    fn three_way_split_certifies_wbmh(items in three_site_stream(), eps in 0.1f64..0.5) {
+        let g = Polynomial::new(1.0);
+        certify_three_way_split(|| Wbmh::new(g, eps, 1 << 16), g, &items)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// 3-way associativity, §3.2 domination EH as a landmark counter.
+    #[test]
+    fn three_way_split_certifies_domination_eh(items in three_site_stream(), eps in 0.05f64..0.5) {
+        certify_three_way_split(|| DominationEh::new(eps, None), Constant, &items)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Snapshot/restore is an exact round-trip at arbitrary cut points,
