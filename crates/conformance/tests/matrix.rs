@@ -266,6 +266,7 @@ fn sharded_ingestion_certifies_after_merge() {
         Box::new(Exponential::new(0.01)),
         &sc,
         3,
+        None,
         "ceh/exp",
         |a, b| a.merge_from(b),
     )
@@ -276,6 +277,7 @@ fn sharded_ingestion_certifies_after_merge() {
         Box::new(Exponential::new(0.01)),
         &sc,
         3,
+        None,
         "exp-counter",
         |a, b| a.merge_from(b),
     )
@@ -286,6 +288,7 @@ fn sharded_ingestion_certifies_after_merge() {
         Box::new(td_decay::Constant),
         &sc,
         3,
+        None,
         "domination-eh/landmark",
         |a, b| a.merge_from(b),
     )
@@ -296,6 +299,7 @@ fn sharded_ingestion_certifies_after_merge() {
         Box::new(Polynomial::new(1.0)),
         &sc,
         3,
+        None,
         "wbmh/poly1",
         |a, b| a.merge_from(b),
     )

@@ -363,6 +363,10 @@ impl DecayedSum {
                 last_t,
                 at_last,
             } => {
+                // Same ordered-arrival contract as every other backend:
+                // silently folding out-of-order mass into `at_last`
+                // would wrongly hide it from `query(last_t)`.
+                assert!(t >= *last_t, "time went backwards: {t} < {last_t}");
                 *total = total.saturating_add(f);
                 if t > *last_t {
                     *last_t = t;
@@ -394,6 +398,7 @@ impl DecayedSum {
                 at_last,
             } => {
                 for &(t, f) in items {
+                    assert!(t >= *last_t, "time went backwards: {t} < {last_t}");
                     *total = total.saturating_add(f);
                     if t > *last_t {
                         *last_t = t;
@@ -772,6 +777,22 @@ mod tests {
         let mut b = DecayedSum::new(Constant);
         b.observe_batch(&[(1, u64::MAX), (1, u64::MAX), (2, 3)]);
         assert_eq!(b.query(3), u64::MAX as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn plain_backend_rejects_out_of_order_times() {
+        let mut s = DecayedSum::new(Constant);
+        assert_eq!(s.backend_name(), "plain");
+        s.observe(10, 1);
+        s.observe(5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn plain_backend_rejects_out_of_order_batch() {
+        let mut s = DecayedSum::new(Constant);
+        s.observe_batch(&[(10, 1), (5, 1)]);
     }
 
     #[test]

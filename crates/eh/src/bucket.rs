@@ -85,6 +85,42 @@ pub fn estimate_window(buckets: &[Bucket], t: Time, w: Time, estimator: Estimato
     total
 }
 
+/// Estimates the strictly-past landmark count `Σ_{t_i < t} f_i` at the
+/// current tick `t`, where `at_tick` is the exact mass observed at `t`
+/// itself.
+///
+/// Buckets holding only at-tick mass (`start >= t`) are excluded whole,
+/// and at-tick mass that a burst merge folded into a bucket that also
+/// spans earlier ticks (`at_tick` minus the excluded counts) is
+/// subtracted exactly. The histogram's ε guarantee therefore applies to
+/// the estimated *strictly-past* quantity itself — subtracting the
+/// at-tick mass from an estimate of past **plus** at-tick mass would
+/// instead let a large burst at the query tick carry `ε · burst` of
+/// estimation error against a possibly tiny past count, violating any
+/// relative envelope stated against the past truth.
+pub fn estimate_strict_past(
+    buckets: &[Bucket],
+    t: Time,
+    at_tick: u64,
+    estimator: Estimator,
+) -> f64 {
+    let mut pure_at_tick = 0u64;
+    let mut past: Vec<Bucket> = Vec::with_capacity(buckets.len());
+    for b in buckets {
+        if b.start >= t {
+            pure_at_tick = pure_at_tick.saturating_add(b.count);
+        } else {
+            past.push(*b);
+        }
+    }
+    // Mass at `t` inside buckets that also hold earlier items (possible
+    // only after same-tick burst merges in the classic structure); the
+    // containing buckets are counted in full below, so subtracting it
+    // is exact.
+    let mixed = at_tick.saturating_sub(pure_at_tick);
+    (estimate_window(&past, t, t, estimator) - mixed as f64).max(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +167,30 @@ mod tests {
     fn merge_inherits_extremes() {
         let m = b(1, 3, 5).merge_with(&b(4, 9, 7));
         assert_eq!(m, b(1, 9, 12));
+    }
+
+    #[test]
+    fn strict_past_excludes_pure_at_tick_buckets() {
+        // Past mass 12, plus a pure at-tick bucket of 1000 at t = 9.
+        let buckets = [b(1, 4, 8), b(5, 6, 4), b(9, 9, 1000)];
+        let est = estimate_strict_past(&buckets, 9, 1000, Estimator::Halved);
+        assert_eq!(est, 12.0);
+    }
+
+    #[test]
+    fn strict_past_subtracts_mixed_bucket_mass_exactly() {
+        // A burst-merged bucket [7, 9] carries 3 past items and 5
+        // at-tick items; at_tick = 5 (all of it inside the mixed
+        // bucket).
+        let buckets = [b(1, 4, 8), b(7, 9, 8)];
+        let est = estimate_strict_past(&buckets, 9, 5, Estimator::Halved);
+        assert_eq!(est, 11.0);
+    }
+
+    #[test]
+    fn strict_past_with_no_at_tick_mass_is_plain_estimate() {
+        let buckets = [b(1, 4, 8), b(5, 6, 4)];
+        let est = estimate_strict_past(&buckets, 9, 0, Estimator::Halved);
+        assert_eq!(est, estimate_window(&buckets, 9, 9, Estimator::Halved));
     }
 }

@@ -269,13 +269,17 @@ impl td_decay::StreamAggregate for ClassicEh {
     }
     /// The live-total estimate: a window query spanning the whole
     /// elapsed stream (ages `1..=t`). Mass observed exactly at `t` is
-    /// excluded (§2.1), matching every other backend's convention.
+    /// excluded (§2.1) *before* estimation — pure at-tick buckets are
+    /// dropped whole and at-tick mass burst-merged into a past-spanning
+    /// bucket is subtracted exactly — so the ε envelope applies to the
+    /// strictly-past quantity being reported, not to past-plus-burst
+    /// mass with a subtraction on top.
     fn query(&self, t: Time) -> f64 {
-        let est = self.query_window(t, t);
         if t == self.last_t && self.at_last > 0 {
-            (est - self.at_last as f64).max(0.0)
+            let all: Vec<Bucket> = self.buckets.iter().copied().collect();
+            crate::bucket::estimate_strict_past(&all, t, self.at_last, Estimator::Halved)
         } else {
-            est
+            self.query_window(t, t)
         }
     }
     /// # Panics
@@ -456,6 +460,31 @@ mod tests {
         assert_eq!(eh.live_total(), 150);
         let est = eh.query_window(21, 5);
         assert!((est - 50.0).abs() <= 0.2 * 50.0 + 1.0, "est={est}");
+    }
+
+    #[test]
+    fn at_tick_burst_does_not_leak_estimation_error() {
+        // A handful of past items, then a burst at the query tick large
+        // enough that ε·burst would dwarf the past count. The at-tick
+        // mass — including any of it merged into past-spanning buckets
+        // by the class cascade — must be removed exactly, keeping the
+        // answer within ε of the strictly-past truth.
+        let eps = 0.1;
+        let mut eh = ClassicEh::new(eps, None);
+        for t in 1..=40u64 {
+            eh.observe(t, 1);
+        }
+        for _ in 0..4_000 {
+            eh.observe(41, 1);
+        }
+        let got = td_decay::StreamAggregate::query(&eh, 41);
+        assert!((got - 40.0).abs() <= eps * 40.0 + 1.0, "got={got}");
+        // One tick later the burst is strictly past and fully visible.
+        let after = td_decay::StreamAggregate::query(&eh, 42);
+        assert!(
+            (after - 4_040.0).abs() <= eps * 4_040.0 + 1.0,
+            "after={after}"
+        );
     }
 
     #[test]

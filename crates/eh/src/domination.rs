@@ -154,7 +154,15 @@ impl DominationEh {
             let newer = self.buckets[idx];
             let older = self.buckets[idx - 1];
             let combined = older.count + newer.count;
-            if (combined as f64) <= self.epsilon * suffix {
+            // Never fold at-tick mass (end == last_t) into a bucket
+            // spanning earlier ticks: `query` excludes the §2.1 at-tick
+            // mass exactly by skipping whole buckets, which requires
+            // age-0 mass to stay in single-tick buckets. Only reachable
+            // after a cross-site merge interleaves bucket lists — within
+            // one site the sole at-tick bucket is the newest and its
+            // zero suffix already blocks the merge.
+            let mixes_at_tick = newer.end == self.last_t && older.end < newer.end;
+            if !mixes_at_tick && (combined as f64) <= self.epsilon * suffix {
                 self.buckets[idx - 1] = older.merge_with(&newer);
                 self.buckets.remove(idx);
                 // The merged bucket sits at idx − 1; re-examine it
@@ -219,10 +227,14 @@ impl DominationEh {
         }
         self.buckets = merged.into();
         self.live_total = self.live_total.saturating_add(other.live_total);
+        // Compare against the PRE-merge tick: after taking the max,
+        // `other.last_t > self.last_t` is unsatisfiable and a strictly
+        // newer site would wrongly keep this site's stale at-tick mass.
+        let old_last = self.last_t;
         self.last_t = self.last_t.max(other.last_t);
         self.started |= other.started;
         self.sites = self.sites.saturating_add(other.sites);
-        match other.last_t.cmp(&self.last_t) {
+        match other.last_t.cmp(&old_last) {
             std::cmp::Ordering::Greater => self.at_last = other.at_last,
             std::cmp::Ordering::Equal => self.at_last = self.at_last.saturating_add(other.at_last),
             std::cmp::Ordering::Less => {}
@@ -371,13 +383,16 @@ impl td_decay::StreamAggregate for DominationEh {
     /// The live-total estimate: a window query spanning the whole
     /// elapsed stream (ages `1..=t`), i.e. the sliding-window decayed
     /// sum this sketch maintains. Mass observed exactly at `t` is
-    /// excluded (§2.1), matching every other backend's convention.
+    /// excluded (§2.1) *before* estimation — at-tick buckets are dropped
+    /// whole (`canonicalize` keeps age-0 mass single-tick) — so the ε
+    /// envelope applies to the strictly-past quantity being reported,
+    /// not to past-plus-burst mass with a subtraction on top.
     fn query(&self, t: Time) -> f64 {
-        let est = self.query_window(t, t);
         if t == self.last_t && self.at_last > 0 {
-            (est - self.at_last as f64).max(0.0)
+            let all: Vec<Bucket> = self.buckets.iter().copied().collect();
+            crate::bucket::estimate_strict_past(&all, t, self.at_last, Estimator::Halved)
         } else {
-            est
+            self.query_window(t, t)
         }
     }
     fn merge_from(&mut self, other: &Self) {
@@ -576,6 +591,58 @@ mod tests {
                 "w={w}: est={est}, truth={truth}"
             );
         }
+    }
+
+    #[test]
+    fn merge_from_newer_site_replaces_at_tick_mass() {
+        // Site b's last tick (20) is strictly newer than site a's (10):
+        // the merged summary's at-tick mass must be b's alone — keeping
+        // a's stale tick-10 mass would subtract strictly-past items
+        // from the merged landmark answer.
+        let mut a = DominationEh::new(0.1, None);
+        for t in 1..=10u64 {
+            a.observe(t, 5);
+        }
+        let mut b = DominationEh::new(0.1, None);
+        for t in 1..=20u64 {
+            b.observe(t, 3);
+        }
+        a.merge_from(&b);
+        // Landmark query at the merged tick: everything except the
+        // 3 units at tick 20 is strictly past and counted exactly.
+        let truth = (10 * 5 + 20 * 3 - 3) as f64;
+        assert_eq!(td_decay::StreamAggregate::query(&a, 20), truth);
+        // One tick later the burst becomes visible too.
+        assert_eq!(td_decay::StreamAggregate::query(&a, 21), truth + 3.0);
+    }
+
+    #[test]
+    fn merge_from_same_tick_sums_at_tick_mass() {
+        let mut a = DominationEh::new(0.1, None);
+        let mut b = DominationEh::new(0.1, None);
+        for t in 1..=20u64 {
+            a.observe(t, 2);
+            b.observe(t, 7);
+        }
+        a.merge_from(&b);
+        let truth = (19 * 2 + 19 * 7) as f64;
+        assert_eq!(td_decay::StreamAggregate::query(&a, 20), truth);
+    }
+
+    #[test]
+    fn at_tick_burst_does_not_leak_estimation_error() {
+        // Small past mass, then a huge burst at the query tick: the
+        // answer must stay within ε of the (small) past truth — the
+        // burst is excluded before estimation, so its mass never
+        // contributes estimation error.
+        let eps = 0.1;
+        let mut eh = DominationEh::new(eps, None);
+        for t in 1..=50u64 {
+            eh.observe(t, 1);
+        }
+        eh.observe(51, 1_000_000);
+        let got = td_decay::StreamAggregate::query(&eh, 51);
+        assert!((got - 50.0).abs() <= eps * 50.0 + 1e-9, "got={got}");
     }
 
     #[test]
