@@ -154,9 +154,13 @@ fn time_ns_per_item(n: usize, f: impl FnOnce()) -> f64 {
 /// Measures item-by-item `observe` against `observe_batch` (fed in
 /// 4096-item chunks, as an ingest loop draining a buffer would) for one
 /// backend, and checks the two ingests agree at query time. Best of
-/// three repeats with a fresh backend each time — a single pass is at
-/// the mercy of container CPU-quota throttling and page-fault storms,
-/// which showed up as 10-40× outliers on otherwise-identical runs.
+/// seven *consecutive* repeats per path with a fresh backend each time:
+/// a single pass is at the mercy of container CPU-quota throttling and
+/// page-fault storms (10-40× outliers on otherwise-identical runs),
+/// and interleaving the two paths rep-by-rep turned out to wreck both
+/// floors — alternating 16 MB allocation patterns kept every rep
+/// paying allocator/page-cache churn, flattening a real 2× gap into
+/// noise. Run all reps of one path, then all reps of the other.
 fn measure<A: StreamAggregate>(
     name: &str,
     items: &[(u64, u64)],
@@ -165,25 +169,30 @@ fn measure<A: StreamAggregate>(
     let t_end = items.last().map(|&(t, _)| t).unwrap_or(1) + 1;
     let mut single_ns = f64::INFINITY;
     let mut batched_ns = f64::INFINITY;
-    for _ in 0..3 {
+    let mut single_answer = 0.0;
+    let mut batched_answer = 0.0;
+    for _ in 0..7 {
         let mut single = make();
         single_ns = single_ns.min(time_ns_per_item(items.len(), || {
             for &(t, f) in items {
                 single.observe(t, f);
             }
         }));
+        single_answer = single.query(t_end);
+    }
+    for _ in 0..7 {
         let mut batched = make();
         batched_ns = batched_ns.min(time_ns_per_item(items.len(), || {
             for chunk in items.chunks(4096) {
                 batched.observe_batch(chunk);
             }
         }));
-        let (a, b) = (single.query(t_end), batched.query(t_end));
-        assert!(
-            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
-            "{name}: batched ingest diverged ({a} vs {b})"
-        );
+        batched_answer = batched.query(t_end);
     }
+    assert!(
+        (single_answer - batched_answer).abs() <= 1e-9 * single_answer.abs().max(1.0),
+        "{name}: batched ingest diverged ({single_answer} vs {batched_answer})"
+    );
     (name.to_string(), single_ns, batched_ns)
 }
 
@@ -228,6 +237,17 @@ fn batched_vs_single() {
     }
     json.push_str("]\n");
     table.print();
+
+    // The oracle's batch path is a reserve-once append — if it ever
+    // regresses below the single-item path again (it did: 0.72x before
+    // the per-batch re-validation sweep was fused into the copy loop),
+    // fail loudly here rather than silently publishing the regression.
+    let (_, oracle_single, oracle_batched) = rows[rows.len() - 1].clone();
+    assert!(
+        oracle_batched <= oracle_single * 1.05,
+        "conformance-oracle batched ingest ({oracle_batched:.1} ns/item) slower than \
+         single-item ({oracle_single:.1} ns/item)"
+    );
 
     let path = "BENCH_throughput.json";
     std::fs::write(path, &json).expect("write BENCH_throughput.json");

@@ -364,6 +364,7 @@ pub fn default_matrix() -> Vec<MatrixCase> {
     use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCounter};
     use td_decay::{Constant, Exponential, LogDecay, PolyExponential, Polynomial, SlidingWindow};
     use td_eh::{ClassicEh, DominationEh};
+    use td_shard::ShardedAggregate;
     use td_wbmh::Wbmh;
 
     const WBMH_MAX_AGE: Time = 1 << 41;
@@ -522,6 +523,38 @@ pub fn default_matrix() -> Vec<MatrixCase> {
             )
         })
         .with_truth(TruthKind::Variance { budget: 0.5 }),
+        // The td-shard engine (§6 turned into threads): three worker
+        // shards fed round-robin, queries served from the epoch-cached
+        // merged summary. Concrete (unboxed) decays — the backends must
+        // be `Send` to cross into the worker threads. The certifier
+        // replays these exactly like any single-threaded backend; the
+        // envelope it checks against is the merged summary's own
+        // (merge-widened, e.g. k·ε for the EH family).
+        MatrixCase::sum("sharded-exp-counter/x3", || {
+            (
+                Box::new(ShardedAggregate::new(3, || {
+                    ExpCounter::new(Exponential::new(0.01))
+                })),
+                Oracle::new(boxed(Exponential::new(0.01))),
+            )
+        }),
+        MatrixCase::sum("sharded-ceh/exp-x3", || {
+            (
+                Box::new(ShardedAggregate::new(3, || {
+                    CascadedEh::new(Exponential::new(0.01), 0.1)
+                })),
+                Oracle::new(boxed(Exponential::new(0.01))),
+            )
+        }),
+        MatrixCase::sum("sharded-wbmh/poly1-x3", || {
+            (
+                Box::new(ShardedAggregate::new(3, || {
+                    Wbmh::new(Polynomial::new(1.0), 0.1, WBMH_MAX_AGE)
+                })),
+                Oracle::new(boxed(Polynomial::new(1.0))),
+            )
+        })
+        .with_max_time(WBMH_MAX_AGE / 2),
     ]
 }
 

@@ -78,7 +78,7 @@ impl<G: DecayFunction> Oracle<G> {
     /// Panics if the batch is not sorted by non-decreasing time or
     /// starts before a previously observed time.
     pub fn observe_batch(&mut self, items: &[(Time, u64)]) {
-        let Some((&(first, _), &(last, _))) = items.first().zip(items.last()) else {
+        let Some(&(first, _)) = items.first() else {
             return;
         };
         assert!(
@@ -86,13 +86,18 @@ impl<G: DecayFunction> Oracle<G> {
             "time went backwards: {first} < {}",
             self.last_t
         );
+        // A load-only validation sweep followed by one bulk memcpy: the
+        // sortedness scan has no stores (it vectorizes and predicts
+        // perfectly), and `extend_from_slice` amortizes the capacity
+        // check once per batch instead of per push. The clock and
+        // started flag move once per batch, not per item.
         assert!(
             items.windows(2).all(|w| w[0].0 <= w[1].0),
             "batch items must be sorted by non-decreasing time"
         );
         self.items.extend_from_slice(items);
         self.started = true;
-        self.last_t = last;
+        self.last_t = items.last().expect("non-empty").0;
     }
 
     /// Advances the clock (the oracle never drops state — it is the

@@ -1,0 +1,175 @@
+//! Property tests of the td-shard serving engine against the
+//! single-threaded backends it wraps.
+//!
+//! Two properties:
+//!
+//! * **Envelope containment.** For every scenario family in the
+//!   catalogue, a `ShardedAggregate` over K worker shards replaying
+//!   the *same interleaved stream* as a single-shard backend answers
+//!   every query (a) within its own merged `error_bound()` of the
+//!   oracle truth, and (b) within the merge-widened envelope of the
+//!   single backend's answer — both centered estimates are certified
+//!   around the same true decayed sum, so their ratio is confined to
+//!   `[(1−l_m)/(1+u_1), (1+u_m)/(1−l_1)]`.
+//! * **Shutdown-mid-batch drain.** Tearing the engine down via
+//!   `into_merged` immediately after pushing batches — no barrier, no
+//!   query, workers still mid-drain — loses nothing: the folded
+//!   summary carries exactly the mass an exact single-threaded counter
+//!   accumulated from the same items.
+
+use proptest::prelude::*;
+use td_ceh::CascadedEh;
+use td_conformance::{catalogue, Op, Oracle, Scenario};
+use td_counters::{ExactDecayedSum, ExpCounter};
+use td_decay::{DecayFunction, ErrorBound, Exponential, Polynomial, StreamAggregate, Time};
+use td_shard::ShardedAggregate;
+use td_wbmh::Wbmh;
+
+/// Matches the certifier's f64 summation-order tolerance, scaled up a
+/// touch because three replicas (sharded, single, oracle) sum the same
+/// stream in three different orders.
+fn slop(v: f64) -> f64 {
+    1e-7 * v.abs().max(1.0)
+}
+
+/// The envelope of `est_sharded` *around the single backend's answer*:
+/// with `est_s ∈ [v(1−l_m), v(1+u_m)]` and `est_1 ∈ [v(1−l_1), v(1+u_1)]`
+/// for the same non-negative truth `v`, the ratio `est_s / est_1` lies in
+/// `[(1−l_m)/(1+u_1), (1+u_m)/(1−l_1)]`.
+fn combined_envelope(merged: ErrorBound, single: ErrorBound) -> Option<ErrorBound> {
+    if !merged.is_bounded() || !single.is_bounded() || single.lower >= 1.0 {
+        return None;
+    }
+    Some(ErrorBound {
+        lower: 1.0 - (1.0 - merged.lower) / (1.0 + single.upper),
+        upper: (1.0 + merged.upper) / (1.0 - single.lower) - 1.0,
+    })
+}
+
+/// Replays `scenario` into a K-shard engine, a single backend, and the
+/// brute-force oracle in lock-step, checking both containment claims at
+/// every query.
+fn check_scenario<B>(
+    make: &dyn Fn() -> B,
+    oracle_decay: Box<dyn DecayFunction>,
+    k: usize,
+    scenario: &Scenario,
+    label: &str,
+) where
+    B: StreamAggregate + Clone + Send + 'static,
+{
+    let mut sharded = ShardedAggregate::new(k, make);
+    let mut single = make();
+    let mut oracle = Oracle::new(oracle_decay);
+    for op in &scenario.ops {
+        match op {
+            Op::Observe(t, f) => {
+                sharded.observe(*t, *f);
+                single.observe(*t, *f);
+                oracle.observe(*t, *f);
+            }
+            Op::ObserveBatch(items) => {
+                sharded.observe_batch(items);
+                single.observe_batch(items);
+                oracle.observe_batch(items);
+            }
+            Op::Advance(t) => {
+                sharded.advance(*t);
+                single.advance(*t);
+                oracle.advance(*t);
+            }
+            Op::Query(t) => {
+                let est_s = sharded.query(*t);
+                let bound_m = sharded.error_bound();
+                let est_1 = single.query(*t);
+                let truth = oracle.decayed_sum(*t);
+                assert!(
+                    bound_m.admits(est_s, truth, slop(truth)),
+                    "{label} x{k} vs oracle: {} seed {} t={t}: est {est_s} \
+                     outside {bound_m:?} around {truth}",
+                    scenario.name,
+                    scenario.seed,
+                );
+                if let Some(env) = combined_envelope(bound_m, single.error_bound()) {
+                    assert!(
+                        env.admits(est_s, est_1, slop(est_1)),
+                        "{label} x{k} vs single: {} seed {} t={t}: sharded {est_s} \
+                         outside {env:?} around single-shard {est_1}",
+                        scenario.name,
+                        scenario.seed,
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// K-shard engines agree with their single-shard counterpart on
+    /// every family in the scenario catalogue, for an exact backend
+    /// (ExpCounter), a Theorem-1 sketch (CEH), and WBMH.
+    #[test]
+    fn sharded_within_merged_envelope_of_single(
+        seed in 0u64..1_000_000,
+        k in 2usize..5,
+        pick in 0usize..3,
+    ) {
+        for scenario in catalogue(seed, 80) {
+            match pick {
+                0 => check_scenario(
+                    &|| ExpCounter::new(Exponential::new(0.01)),
+                    Box::new(Exponential::new(0.01)),
+                    k,
+                    &scenario,
+                    "exp-counter",
+                ),
+                1 => check_scenario(
+                    &|| CascadedEh::new(Exponential::new(0.01), 0.1),
+                    Box::new(Exponential::new(0.01)),
+                    k,
+                    &scenario,
+                    "ceh/exp",
+                ),
+                _ => check_scenario(
+                    &|| Wbmh::new(Polynomial::new(1.0), 0.1, 1 << 41),
+                    Box::new(Polynomial::new(1.0)),
+                    k,
+                    &scenario,
+                    "wbmh/poly1",
+                ),
+            }
+        }
+    }
+
+    /// Shutdown mid-batch drains everything: `into_merged` without any
+    /// barrier or query must account for every submitted item, even
+    /// with a tiny ring forcing the coordinator to block on full
+    /// buffers right up to the teardown.
+    #[test]
+    fn shutdown_mid_batch_loses_nothing(
+        k in 2usize..5,
+        batches in collection::vec((1u64..50, 1u64..9), 1..20),
+    ) {
+        let mut engine = ShardedAggregate::with_options(
+            k,
+            td_shard::Partitioner::RoundRobin,
+            64, // tiny ring: teardown happens with items still queued
+            || ExactDecayedSum::new(td_decay::Constant),
+        );
+        let mut expected = 0u64;
+        let mut t: Time = 0;
+        for &(dt, per_item) in &batches {
+            t += dt;
+            let items: Vec<(Time, u64)> = (0..97).map(|_| (t, per_item)).collect();
+            expected += 97 * per_item;
+            engine.observe_batch(&items);
+        }
+        // No barrier, no query: workers are mid-drain right here.
+        let merged = engine.into_merged();
+        let got = merged.query(t + 1);
+        prop_assert!(
+            (got - expected as f64).abs() < 1e-6,
+            "dropped mass: merged {got} vs submitted {expected}"
+        );
+    }
+}

@@ -166,6 +166,24 @@ pub trait StreamAggregate: StorageAccounting {
     fn error_bound(&self) -> ErrorBound {
         ErrorBound::exact()
     }
+
+    /// A point-in-time copy of the summary, safe to query and
+    /// [`merge_from`](Self::merge_from) independently of the original.
+    ///
+    /// This is the hook the sharded engine (`td-shard`) uses to build
+    /// merged serving summaries: each worker's private shard is
+    /// snapshotted under a sequence-number barrier and the clones are
+    /// folded off the ingest path. Every backend in this workspace is a
+    /// plain-old-data value (bucket lists, counters), so the default —
+    /// `Clone::clone` — is both correct and cheap relative to a merge;
+    /// a backend with shared interior state would override this to
+    /// detach it. `Sized` keeps `dyn StreamAggregate` object-safe.
+    fn snapshot(&self) -> Self
+    where
+        Self: Sized + Clone,
+    {
+        self.clone()
+    }
 }
 
 #[cfg(test)]

@@ -134,6 +134,23 @@ impl RegionSchedule {
         }
     }
 
+    /// [`Self::region_of`] with a positional hint: walks from `hint`
+    /// instead of binary-searching, so a caller sweeping a bucket list
+    /// in age order (WBMH merge passes) pays amortized O(1) per lookup
+    /// instead of O(log regions). Always returns exactly
+    /// `region_of(age)` — the hint affects cost only.
+    pub fn region_of_near(&self, age: Time, hint: usize) -> usize {
+        let age = age.max(1);
+        let mut i = hint.min(self.boundaries.len() - 1);
+        while i > 0 && age < self.boundaries[i] {
+            i -= 1;
+        }
+        while i + 1 < self.boundaries.len() && age >= self.boundaries[i + 1] {
+            i += 1;
+        }
+        i
+    }
+
     /// The inclusive age interval `[start, end]` of region `i`; `end` is
     /// `None` for the final (open-ended) region.
     ///

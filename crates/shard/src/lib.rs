@@ -1,0 +1,705 @@
+//! Sharded multi-core ingest/query engine over any [`StreamAggregate`].
+//!
+//! The paper's §6 merge property — summaries of disjoint substreams
+//! combine into a summary of the union, within a (possibly widened)
+//! error envelope — is exactly what makes a decay summary *shardable*:
+//! split the stream across N private backend shards, each owned by one
+//! worker thread, and fold snapshots back together only when someone
+//! asks a question. PR 1's `merge_from` and PR 2's `certify_sharded`
+//! proved the algebra; this crate turns it into wall-clock throughput.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             ┌─ SPSC ring ─▶ worker 0 ─ owns B (shard 0)
+//!  caller ────┼─ SPSC ring ─▶ worker 1 ─ owns B (shard 1)
+//!  (observe)  └─ SPSC ring ─▶ worker 2 ─ owns B (shard 2)
+//!                                  │
+//!  caller (query) ── barrier ──────┴──▶ snapshot · advance · merge_from
+//!                                        └──▶ epoch-cached merged B
+//! ```
+//!
+//! * **Ingest** partitions items round-robin (or by key hash) and pushes
+//!   them onto bounded lock-free SPSC rings (`vendor/spsc`). Each worker
+//!   drains its ring in chunks and feeds its private backend through the
+//!   amortized [`StreamAggregate::observe_batch`] path, so the per-item
+//!   cost on the worker is the backend's *batched* cost, not its
+//!   single-item cost.
+//! * **Queries** run at a sequence-number barrier: the coordinator waits
+//!   until every shard's `applied` counter catches up to its `submitted`
+//!   counter (the rings are empty and every pushed item is inside some
+//!   backend), then snapshots each shard under its mutex, advances the
+//!   clones to the shared clock, and folds them with `merge_from`.
+//! * **The epoch cache** makes the read-heavy case cheap: the merged
+//!   summary and its [`ErrorBound`](td_decay::ErrorBound) are cached
+//!   together with the vector of per-shard `applied` counters ("epochs")
+//!   they were built from. A query whose barrier lands on the same epoch
+//!   vector serves straight from the cache — the merge is paid once per
+//!   *state change*, not once per query.
+//!
+//! # Semantics
+//!
+//! `ShardedAggregate<B>` implements `StreamAggregate` itself and
+//! preserves the workspace-wide conventions exactly: ticks are
+//! non-decreasing (enforced at the coordinator so a contract violation
+//! panics on the caller's thread, not inside a worker), an item observed
+//! at the query tick is invisible (§2.1 — snapshots are advanced *to*
+//! the shared clock, which never folds at-tick mass), and
+//! `error_bound()` is read from the live merged summary so k-way merge
+//! fan-in widening (k·ε for the EH family) is reported automatically.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle, Thread};
+use std::time::Duration;
+
+use td_decay::{ErrorBound, StorageAccounting, StreamAggregate, Time};
+
+/// How many messages a worker drains per ring pop (and the batch fed to
+/// `observe_batch`). Large enough to amortize the per-chunk atomics and
+/// the backend's per-batch setup; small enough to keep barriers snappy.
+const DRAIN_BATCH: usize = 1024;
+
+/// Default ring capacity per shard (messages, rounded up to a power of
+/// two by the ring). ~96 KiB of in-flight items per shard.
+const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// How long an idle worker parks between ring polls. Bounds the extra
+/// latency a barrier can observe when it races a worker going idle.
+const IDLE_PARK: Duration = Duration::from_micros(100);
+
+/// How an un-keyed [`observe`](ShardedAggregate::observe) picks a shard.
+/// Keyed ingest ([`observe_keyed`](ShardedAggregate::observe_keyed))
+/// always hashes, so same-key items land on the same shard regardless
+/// of this setting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Spread items evenly: item i goes to shard i mod N. Best load
+    /// balance; no per-key locality.
+    RoundRobin,
+    /// Un-keyed items still round-robin (there is no key to hash), but
+    /// declares intent: use [`observe_keyed`](ShardedAggregate::observe_keyed)
+    /// so a key's whole substream lives in one shard.
+    HashByKey,
+}
+
+/// The wire format between coordinator and workers. `Copy`, so the ring
+/// can move whole slices with one atomic release per chunk.
+#[derive(Clone, Copy, Debug)]
+enum Msg {
+    Observe(Time, u64),
+    Advance(Time),
+}
+
+/// State shared between the coordinator and one worker.
+struct ShardState<B> {
+    /// The worker's private backend. Uncontended in steady state: the
+    /// worker locks it per drained chunk, the coordinator only at
+    /// snapshot/merge time (which the barrier has already quiesced).
+    backend: Mutex<B>,
+    /// Messages fully applied to `backend`. This is the shard's
+    /// *epoch*: any state change moves it, so cache validity is "the
+    /// epoch vector I built from is the epoch vector I see now".
+    applied: AtomicU64,
+    /// Set (after the final message is pushed) to ask the worker to
+    /// drain the ring completely and exit.
+    shutdown: AtomicBool,
+}
+
+/// Coordinator-side handle to one shard.
+struct Shard<B> {
+    state: Arc<ShardState<B>>,
+    tx: spsc::Producer<Msg>,
+    /// Messages pushed onto the ring. Written only by the coordinator
+    /// (`&mut self` ingest), read by `&self` barriers — hence atomic.
+    submitted: AtomicU64,
+    worker: Option<JoinHandle<()>>,
+    /// The worker's thread handle, for unparking it out of idle sleep.
+    thread: Thread,
+}
+
+/// The epoch-cached merged serving summary.
+struct Cache<B> {
+    merged: Option<B>,
+    /// Per-shard `applied` counters the cached summary was built from.
+    epochs: Vec<u64>,
+    /// Queries served straight from the cache.
+    hits: u64,
+    /// Cache (re)builds: one snapshot+advance+merge sweep each.
+    rebuilds: u64,
+}
+
+/// N worker-owned shards of backend `B` behind one `StreamAggregate`
+/// surface. See the crate docs for the architecture.
+pub struct ShardedAggregate<B> {
+    shards: Vec<Shard<B>>,
+    partitioner: Partitioner,
+    /// Next round-robin target.
+    rr_next: usize,
+    /// Global clock high-water mark (max time ever submitted). Atomic
+    /// because `&self` queries read it while only `&mut self` writes it.
+    last_t: AtomicU64,
+    cache: Mutex<Cache<B>>,
+    /// Reusable per-shard partition buffers for batched ingest.
+    scratch: Vec<Vec<Msg>>,
+}
+
+/// The worker: drain the ring in chunks, coalesce runs of observations
+/// into `observe_batch` calls (advances cut the run), publish progress
+/// through `applied`. On shutdown it drains the ring to empty before
+/// exiting, so no submitted item is ever dropped.
+fn worker_loop<B: StreamAggregate>(state: Arc<ShardState<B>>, mut rx: spsc::Consumer<Msg>) {
+    let mut buf: Vec<Msg> = Vec::with_capacity(DRAIN_BATCH);
+    let mut items: Vec<(Time, u64)> = Vec::with_capacity(DRAIN_BATCH);
+    loop {
+        buf.clear();
+        if rx.pop_chunk(&mut buf, DRAIN_BATCH) == 0 {
+            if state.shutdown.load(Ordering::Acquire) {
+                // The shutdown flag is stored *after* the final push, so
+                // seeing it (Acquire) means every in-flight item is
+                // already visible through the ring: one more empty pop
+                // proves the ring is drained for good.
+                if rx.pop_chunk(&mut buf, DRAIN_BATCH) == 0 {
+                    break;
+                }
+            } else {
+                thread::park_timeout(IDLE_PARK);
+                continue;
+            }
+        }
+        {
+            let mut backend = state.backend.lock().expect("shard backend poisoned");
+            items.clear();
+            for &msg in &buf {
+                match msg {
+                    Msg::Observe(t, f) => items.push((t, f)),
+                    Msg::Advance(t) => {
+                        if !items.is_empty() {
+                            backend.observe_batch(&items);
+                            items.clear();
+                        }
+                        backend.advance(t);
+                    }
+                }
+            }
+            if !items.is_empty() {
+                backend.observe_batch(&items);
+            }
+        }
+        // Release-publish progress only after the backend mutation is
+        // complete; the coordinator's Acquire read in `barrier` pairs
+        // with this.
+        state.applied.fetch_add(buf.len() as u64, Ordering::Release);
+    }
+}
+
+impl<B> Shard<B> {
+    /// Pushes every message, spinning through ring-full backpressure
+    /// (unparking the worker so it drains), then publishes the new
+    /// submitted count.
+    fn push_all(&mut self, msgs: &[Msg]) {
+        let mut sent = 0;
+        while sent < msgs.len() {
+            let n = self.tx.push_slice(&msgs[sent..]);
+            if n == 0 {
+                self.thread.unpark();
+                thread::yield_now();
+            }
+            sent += n;
+        }
+        self.submitted
+            .fetch_add(msgs.len() as u64, Ordering::Release);
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche integer hash, so adjacent
+/// keys spread across shards.
+fn hash_key(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
+    /// Spawns `shards` workers, each owning one `make()` backend, with
+    /// round-robin partitioning and the default ring capacity.
+    ///
+    /// Every shard must be built from the *same* configuration (same
+    /// decay, ε, caps): `merge_from` asserts compatibility when the
+    /// serving summary is folded.
+    pub fn new(shards: usize, make: impl Fn() -> B) -> Self {
+        Self::with_options(shards, Partitioner::RoundRobin, DEFAULT_RING_CAPACITY, make)
+    }
+
+    /// Full-control constructor: shard count, partitioner, and per-shard
+    /// ring capacity (rounded up to a power of two).
+    pub fn with_options(
+        shards: usize,
+        partitioner: Partitioner,
+        ring_capacity: usize,
+        make: impl Fn() -> B,
+    ) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = spsc::ring::<Msg>(ring_capacity);
+            let state = Arc::new(ShardState {
+                backend: Mutex::new(make()),
+                applied: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            });
+            let worker_state = Arc::clone(&state);
+            let worker = thread::Builder::new()
+                .name(format!("td-shard-{i}"))
+                .spawn(move || worker_loop(worker_state, rx))
+                .expect("spawn shard worker");
+            let thread = worker.thread().clone();
+            handles.push(Shard {
+                state,
+                tx,
+                submitted: AtomicU64::new(0),
+                worker: Some(worker),
+                thread,
+            });
+        }
+        ShardedAggregate {
+            scratch: (0..shards).map(|_| Vec::new()).collect(),
+            shards: handles,
+            partitioner,
+            rr_next: 0,
+            last_t: AtomicU64::new(0),
+            cache: Mutex::new(Cache {
+                merged: None,
+                epochs: Vec::new(),
+                hits: 0,
+                rebuilds: 0,
+            }),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `(hits, rebuilds)` of the epoch cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.cache.lock().expect("cache poisoned");
+        (c.hits, c.rebuilds)
+    }
+
+    fn note_time(&mut self, t: Time) {
+        let last = self.last_t.load(Ordering::Relaxed);
+        assert!(t >= last, "time went backwards: {t} < {last}");
+        self.last_t.store(t, Ordering::Release);
+    }
+
+    /// Routes one item to the shard owning `key`'s substream.
+    pub fn observe_keyed(&mut self, key: u64, t: Time, f: u64) {
+        self.note_time(t);
+        let i = (hash_key(key) % self.shards.len() as u64) as usize;
+        self.shards[i].push_all(&[Msg::Observe(t, f)]);
+    }
+
+    /// Blocks until every submitted message has been applied to its
+    /// shard's backend — the rings are empty and the shards quiescent.
+    /// (Only this `&self` coordinator submits, so the condition is
+    /// stable once reached.)
+    fn barrier(&self) {
+        for sh in &self.shards {
+            let target = sh.submitted.load(Ordering::Acquire);
+            let mut spins = 0u32;
+            while sh.state.applied.load(Ordering::Acquire) < target {
+                sh.thread.unpark();
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Snapshots every shard at the barrier, advances the clones to the
+    /// shared clock, and folds them into one serving summary.
+    ///
+    /// Advancing the *clones* (never the live shards) is what keeps two
+    /// conventions intact at once: backends like WBMH require equal
+    /// clocks before `merge_from`, and §2.1 at-tick invisibility
+    /// survives because `advance(t)` with `t` equal to a backend's
+    /// current tick never folds that tick's pending mass.
+    fn build_merged(&self) -> B {
+        let t_sync = self.last_t.load(Ordering::Acquire);
+        let mut snaps: Vec<B> = self
+            .shards
+            .iter()
+            .map(|sh| {
+                sh.state
+                    .backend
+                    .lock()
+                    .expect("shard backend poisoned")
+                    .snapshot()
+            })
+            .collect();
+        if t_sync > 0 {
+            for snap in &mut snaps {
+                snap.advance(t_sync);
+            }
+        }
+        let mut it = snaps.into_iter();
+        let mut merged = it.next().expect("at least one shard");
+        for snap in it {
+            merged.merge_from(&snap);
+        }
+        merged
+    }
+
+    /// Barrier, then serve from the epoch cache — rebuilding only if
+    /// some shard's epoch moved since the cached summary was built.
+    fn merged_guard(&self) -> MutexGuard<'_, Cache<B>> {
+        self.barrier();
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        let fresh = self
+            .shards
+            .iter()
+            .map(|sh| sh.state.applied.load(Ordering::Acquire))
+            .collect::<Vec<u64>>();
+        if cache.merged.is_none() || cache.epochs != fresh {
+            cache.merged = Some(self.build_merged());
+            cache.epochs = fresh;
+            cache.rebuilds += 1;
+        } else {
+            cache.hits += 1;
+        }
+        cache
+    }
+
+    /// The query path with the epoch cache bypassed: barrier, snapshot,
+    /// advance, and merge on *every* call. This is what every query
+    /// would cost without the cache; the e13 experiment measures the
+    /// two side by side.
+    pub fn query_uncached(&self, t: Time) -> f64 {
+        self.barrier();
+        self.build_merged().query(t)
+    }
+
+    /// Shuts the workers down (each drains its ring to empty first),
+    /// joins them, and folds the shard backends into one owned summary.
+    /// Nothing submitted before the call is lost.
+    pub fn into_merged(mut self) -> B {
+        let t_sync = self.last_t.load(Ordering::Acquire);
+        let shards = std::mem::take(&mut self.shards);
+        let mut backends: Vec<B> = Vec::with_capacity(shards.len());
+        for mut sh in shards {
+            sh.state.shutdown.store(true, Ordering::Release);
+            sh.thread.unpark();
+            if let Some(h) = sh.worker.take() {
+                h.join().expect("shard worker panicked");
+            }
+            let state = Arc::try_unwrap(sh.state)
+                .unwrap_or_else(|_| panic!("worker exited but still holds shard state"));
+            backends.push(state.backend.into_inner().expect("shard backend poisoned"));
+        }
+        if t_sync > 0 {
+            for b in &mut backends {
+                b.advance(t_sync);
+            }
+        }
+        let mut it = backends.into_iter();
+        let mut merged = it.next().expect("at least one shard");
+        for b in it {
+            merged.merge_from(&b);
+        }
+        merged
+    }
+}
+
+impl<B: StreamAggregate + Clone + Send + 'static> StreamAggregate for ShardedAggregate<B> {
+    fn observe(&mut self, t: Time, f: u64) {
+        self.note_time(t);
+        let i = match self.partitioner {
+            Partitioner::RoundRobin | Partitioner::HashByKey => {
+                let i = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % self.shards.len();
+                i
+            }
+        };
+        self.shards[i].push_all(&[Msg::Observe(t, f)]);
+    }
+
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        let Some(&(last, _)) = items.last() else {
+            return;
+        };
+        // Validate the whole batch on the caller's thread: a violation
+        // inside a worker would kill the shard and hang later barriers.
+        let mut prev = self.last_t.load(Ordering::Relaxed);
+        for &(t, _) in items {
+            assert!(
+                t >= prev,
+                "batch times must be non-decreasing: {t} < {prev}"
+            );
+            prev = t;
+        }
+        self.note_time(last);
+        for buf in &mut self.scratch {
+            buf.clear();
+        }
+        let n = self.shards.len();
+        for &(t, f) in items {
+            self.scratch[self.rr_next].push(Msg::Observe(t, f));
+            self.rr_next = (self.rr_next + 1) % n;
+        }
+        for (sh, buf) in self.shards.iter_mut().zip(&self.scratch) {
+            if !buf.is_empty() {
+                sh.push_all(buf);
+            }
+        }
+    }
+
+    fn advance(&mut self, t: Time) {
+        self.note_time(t);
+        for sh in &mut self.shards {
+            sh.push_all(&[Msg::Advance(t)]);
+        }
+    }
+
+    fn query(&self, t: Time) -> f64 {
+        self.merged_guard()
+            .merged
+            .as_ref()
+            .expect("merged_guard builds the summary")
+            .query(t)
+    }
+
+    /// Folds another sharded engine's merged summary into shard 0 of
+    /// this one. Both engines are quiesced at their barriers; both
+    /// sides are advanced to the later of the two clocks first (the
+    /// folded-in mass is strictly past by then, so visibility is
+    /// unchanged).
+    fn merge_from(&mut self, other: &Self) {
+        self.barrier();
+        other.barrier();
+        let t_common = self
+            .last_t
+            .load(Ordering::Acquire)
+            .max(other.last_t.load(Ordering::Acquire));
+        let mut theirs = other.build_merged();
+        if t_common > 0 {
+            theirs.advance(t_common);
+        }
+        {
+            let mut backend = self.shards[0]
+                .state
+                .backend
+                .lock()
+                .expect("shard backend poisoned");
+            if t_common > 0 {
+                backend.advance(t_common);
+            }
+            backend.merge_from(&theirs);
+        }
+        self.last_t.store(t_common, Ordering::Release);
+        // The fold changed shard 0 without moving its applied counter:
+        // drop the cached summary explicitly.
+        let cache = self.cache.get_mut().expect("cache poisoned");
+        cache.merged = None;
+        cache.epochs.clear();
+    }
+
+    /// The merged serving summary's own envelope — merge fan-in
+    /// widening (k·ε for the EH family) is already folded into the
+    /// cached summary's state.
+    fn error_bound(&self) -> ErrorBound {
+        self.merged_guard()
+            .merged
+            .as_ref()
+            .expect("merged_guard builds the summary")
+            .error_bound()
+    }
+}
+
+impl<B: StreamAggregate + Clone + Send + 'static> StorageAccounting for ShardedAggregate<B> {
+    /// Total bits across the live shards (the cache is serving state,
+    /// not summary state, and is excluded — it duplicates the shards).
+    fn storage_bits(&self) -> u64 {
+        self.barrier();
+        self.shards
+            .iter()
+            .map(|sh| {
+                sh.state
+                    .backend
+                    .lock()
+                    .expect("shard backend poisoned")
+                    .storage_bits()
+            })
+            .sum()
+    }
+}
+
+impl<B> Drop for ShardedAggregate<B> {
+    fn drop(&mut self) {
+        for sh in &mut self.shards {
+            sh.state.shutdown.store(true, Ordering::Release);
+            sh.thread.unpark();
+            if let Some(h) = sh.worker.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_counters::{ExactDecayedSum, ExpCounter};
+    use td_decay::{Constant, DecayFunction, Exponential, Polynomial};
+    use td_wbmh::Wbmh;
+
+    /// A deterministic interleaved stream with bursts and silences.
+    fn stream(n: usize) -> Vec<(Time, u64)> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = 1u64;
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t += x % 3;
+            out.push((t, 1 + x % 7));
+        }
+        out
+    }
+
+    #[test]
+    fn matches_single_backend_exp_counter() {
+        let items = stream(2000);
+        let mut single = ExpCounter::new(Exponential::new(0.01));
+        let mut sharded = ShardedAggregate::new(4, || ExpCounter::new(Exponential::new(0.01)));
+        for &(t, f) in &items {
+            single.observe(t, f);
+            sharded.observe(t, f);
+        }
+        let probe = items.last().unwrap().0 + 3;
+        let got = sharded.query(probe);
+        let want = single.query(probe);
+        assert!(
+            (got - want).abs() <= want.abs() * 1e-9 + 1e-9,
+            "sharded {got} vs single {want}"
+        );
+    }
+
+    #[test]
+    fn matches_single_backend_wbmh_within_envelope() {
+        let items = stream(3000);
+        let mut single = Wbmh::new(Polynomial::new(1.0), 0.1, 1 << 30);
+        let mut sharded =
+            ShardedAggregate::new(3, || Wbmh::new(Polynomial::new(1.0), 0.1, 1 << 30));
+        single.observe_batch(&items);
+        sharded.observe_batch(&items);
+        let probe = items.last().unwrap().0 + 5;
+        let got = sharded.query(probe);
+        let exact: f64 = items
+            .iter()
+            .map(|&(t, f)| f as f64 * Polynomial::new(1.0).weight(probe - t))
+            .sum();
+        let env = sharded.error_bound();
+        assert!(
+            env.admits(got, exact, 1e-9),
+            "sharded WBMH {got} outside envelope {env:?} of exact {exact}"
+        );
+    }
+
+    #[test]
+    fn empty_and_at_tick_conventions() {
+        let mut s = ShardedAggregate::new(3, || ExpCounter::new(Exponential::new(0.5)));
+        assert_eq!(s.query(5), 0.0);
+        s.observe(7, 3);
+        assert_eq!(s.query(7), 0.0, "at-tick mass must be invisible (§2.1)");
+        assert!(s.query(8) > 0.0);
+    }
+
+    #[test]
+    fn epoch_cache_hits_until_state_changes() {
+        let mut s = ShardedAggregate::new(4, || ExpCounter::new(Exponential::new(0.1)));
+        s.observe_batch(&stream(500));
+        let _ = s.query(10_000);
+        let _ = s.query(10_001);
+        let _ = s.query(10_002);
+        let (hits, rebuilds) = s.cache_stats();
+        assert_eq!(rebuilds, 1, "idle queries must reuse the cached merge");
+        assert_eq!(hits, 2);
+        s.observe(20_000, 1);
+        let _ = s.query(20_001);
+        let (_, rebuilds) = s.cache_stats();
+        assert_eq!(rebuilds, 2, "new mass must invalidate the cache");
+    }
+
+    #[test]
+    fn keyed_ingest_accounts_all_mass() {
+        let mut s = ShardedAggregate::with_options(4, Partitioner::HashByKey, 64, || {
+            ExactDecayedSum::new(Constant)
+        });
+        let mut total = 0u64;
+        for i in 0..1000u64 {
+            let f = 1 + i % 5;
+            s.observe_keyed(i % 17, 1 + i / 10, f);
+            total += f;
+        }
+        assert_eq!(s.query(1000), total as f64);
+    }
+
+    #[test]
+    fn into_merged_drains_everything_without_a_barrier() {
+        // Push a big burst and immediately tear down: the workers must
+        // drain their rings fully before exiting, so every item lands.
+        let items = stream(20_000);
+        let total: u64 = items.iter().map(|&(_, f)| f).sum();
+        let mut s = ShardedAggregate::with_options(4, Partitioner::RoundRobin, 256, || {
+            ExactDecayedSum::new(Constant)
+        });
+        s.observe_batch(&items);
+        let merged = s.into_merged();
+        let probe = items.last().unwrap().0 + 1;
+        assert_eq!(merged.query(probe), total as f64, "items were dropped");
+    }
+
+    #[test]
+    fn merge_from_combines_two_engines() {
+        let items = stream(1000);
+        let (a_items, b_items): (Vec<_>, Vec<_>) =
+            items.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+        let a_items: Vec<(Time, u64)> = a_items.into_iter().map(|(_, &x)| x).collect();
+        let b_items: Vec<(Time, u64)> = b_items.into_iter().map(|(_, &x)| x).collect();
+
+        let mut a = ShardedAggregate::new(2, || ExpCounter::new(Exponential::new(0.02)));
+        let mut b = ShardedAggregate::new(3, || ExpCounter::new(Exponential::new(0.02)));
+        a.observe_batch(&a_items);
+        b.observe_batch(&b_items);
+        a.merge_from(&b);
+
+        let mut single = ExpCounter::new(Exponential::new(0.02));
+        single.observe_batch(&items);
+        let probe = items.last().unwrap().0 + 2;
+        let got = a.query(probe);
+        let want = single.query(probe);
+        assert!(
+            (got - want).abs() <= want.abs() * 1e-9 + 1e-9,
+            "merged engines {got} vs single {want}"
+        );
+    }
+
+    #[test]
+    fn advance_reclaims_and_is_broadcast() {
+        let mut s =
+            ShardedAggregate::new(2, || ExactDecayedSum::new(td_decay::SlidingWindow::new(10)));
+        for t in 1..=50u64 {
+            s.observe(t, 1);
+        }
+        s.advance(1000);
+        assert_eq!(s.query(1001), 0.0, "window-expired mass must be gone");
+        assert!(s.storage_bits() == 0, "expired state must be reclaimed");
+    }
+}

@@ -108,6 +108,55 @@ struct WbmhBucket {
     count: BucketCount,
 }
 
+/// A precomputed lookup table over the (stream-independent) region
+/// schedule answering "what is the first region at least `len` ticks
+/// long?" in one binary search.
+///
+/// The §5 merge rule admits a pair iff the region containing the
+/// union's newest age is long enough to hold the union's whole span —
+/// so the *earliest* time a pair `(a, c)` can ever merge is
+/// `union_end + b_i` for the first region `i` whose length fits the
+/// union. Regions whose length is not a running maximum can never be
+/// "first fit" for any span (an earlier, longer region wins), so the
+/// table keeps only the strict running maxima of region length: it is
+/// ascending in both length and boundary, and a single
+/// `partition_point` answers the query. This replaces the per-pair
+/// `region_of` + `region_span` recomputation the merge cascade used to
+/// do on every scan.
+#[derive(Debug, Clone)]
+struct MergeLadder {
+    /// `(region_len, b_i)` at strict running maxima of finite-region
+    /// length, ascending in both components.
+    steps: Vec<(Time, Time)>,
+    /// Start age of the final, open-ended region.
+    last_b: Time,
+}
+
+impl MergeLadder {
+    fn new(schedule: &RegionSchedule) -> Self {
+        let mut steps = Vec::new();
+        let mut best = 0;
+        for i in 0..schedule.num_regions() - 1 {
+            let (start, end) = schedule.region_span(i);
+            let end = end.expect("finite region");
+            let len = end - start + 1;
+            if len > best {
+                best = len;
+                steps.push((len, start));
+            }
+        }
+        let last_b = schedule.boundary(schedule.num_regions() - 1);
+        Self { steps, last_b }
+    }
+
+    /// Start age `b_i` of the first finite region at least `len` ticks
+    /// long, if any.
+    fn first_boundary_fitting(&self, len: Time) -> Option<Time> {
+        let i = self.steps.partition_point(|&(l, _)| l < len);
+        self.steps.get(i).map(|&(_, b)| b)
+    }
+}
+
 /// A view of one bucket's time span and (possibly approximate) count,
 /// as returned by [`Wbmh::bucket_spans`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -160,6 +209,17 @@ pub struct Wbmh<G> {
     /// deferring merges never violates the ε band — it only keeps the
     /// histogram transiently finer than canonical.
     seals_since_pass: usize,
+    /// The precomputed first-fit lookup over the region schedule.
+    ladder: MergeLadder,
+    /// Exact earliest time any currently adjacent sealed pair may merge
+    /// (`Time::MAX` when none ever can; 0 means "unknown — recompute at
+    /// the next pass"). A merge pass scheduled before this time is
+    /// provably a no-op and is skipped without scanning the buckets;
+    /// skipping changes no observable state, so structure stays
+    /// bit-identical to running the pass. Maintained exactly: it is
+    /// refreshed after every real pass, and lowered when a seal appends
+    /// a bucket (the only other event that creates an adjacent pair).
+    next_merge_at: Time,
     last_t: Time,
     started: bool,
 }
@@ -209,6 +269,7 @@ impl<G: DecayFunction> Wbmh<G> {
         let seal_period = schedule.seal_period();
         let last = schedule.boundary(schedule.num_regions() - 1);
         let merge_beyond_schedule = decay.weight(last) == 0.0;
+        let ladder = MergeLadder::new(&schedule);
         Self {
             decay,
             epsilon,
@@ -220,6 +281,8 @@ impl<G: DecayFunction> Wbmh<G> {
             open: None,
             pending: None,
             seals_since_pass: 0,
+            ladder,
+            next_merge_at: 0,
             last_t: 0,
             started: false,
         }
@@ -277,6 +340,7 @@ impl<G: DecayFunction> Wbmh<G> {
                 if let Some(done) = self.open.take() {
                     self.buckets.push_back(done);
                     self.seals_since_pass += 1;
+                    self.note_sealed_pair();
                 }
                 self.open = Some(WbmhBucket {
                     start: cell * self.seal_period,
@@ -292,6 +356,12 @@ impl<G: DecayFunction> Wbmh<G> {
     /// True when the pair (older `a`, newer `c`) may merge at time
     /// `now` — the paper's §5 merge rule: there is a region `i` with
     /// `b_i <= now − c.end` and `now − a.start <= b_{i+1} − 1`.
+    ///
+    /// Reference implementation: the hot paths use
+    /// [`Self::may_merge_hinted`]; this plain form remains as the
+    /// brute-force ground truth for the `pair_next_merge` exactness
+    /// test.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn may_merge(&self, a: &WbmhBucket, c: &WbmhBucket, now: Time) -> bool {
         let union_end = a.end.max(c.end);
         let union_start = a.start.min(c.start);
@@ -307,37 +377,171 @@ impl<G: DecayFunction> Wbmh<G> {
         }
     }
 
-    /// Runs merge passes at time `now` until no adjacent pair merges.
-    fn merge_pass(&mut self, now: Time) {
+    /// [`Self::may_merge`] with a region hint threaded through a sweep:
+    /// returns the verdict plus the region index to hint the next pair
+    /// with. Sweeps visit pairs in decreasing-age order, so the hinted
+    /// walk is amortized O(1) where the plain lookup binary-searches —
+    /// and the verdict is identical (`region_of_near` is exact).
+    fn may_merge_hinted(
+        &self,
+        a: &WbmhBucket,
+        c: &WbmhBucket,
+        now: Time,
+        hint: usize,
+    ) -> (bool, usize) {
+        let union_end = a.end.max(c.end);
+        let union_start = a.start.min(c.start);
+        if union_end >= now {
+            return (false, hint);
+        }
+        let newest_age = now - union_end;
+        let oldest_age = now - union_start;
+        let region = self.schedule.region_of_near(newest_age, hint);
+        debug_assert_eq!(region, self.schedule.region_of(newest_age));
+        let ok = match self.schedule.region_span(region) {
+            (_, Some(end)) => oldest_age <= end,
+            (_, None) => self.merge_beyond_schedule,
+        };
+        (ok, region)
+    }
+
+    /// The smallest time strictly after `now` at which the pair
+    /// (older `a`, newer `c`) may merge, or `Time::MAX` if it never
+    /// can. Exact with respect to [`Self::may_merge`].
+    fn pair_next_merge(&self, a: &WbmhBucket, c: &WbmhBucket, now: Time) -> Time {
+        let e = a.end.max(c.end);
+        let s = a.start.min(c.start);
+        let len = e - s + 1;
+        match self.ladder.first_boundary_fitting(len) {
+            Some(b) => {
+                let t0 = e.saturating_add(b);
+                if t0 > now {
+                    // The union's first-fit region is still ahead: the
+                    // very first opportunity is when the newest age
+                    // reaches that region's start.
+                    return t0;
+                }
+                self.pair_next_merge_slow(e, s, len, now)
+            }
+            // No finite region fits; the open-ended tail region fits
+            // everything (when the decay has nullified there).
+            None if self.merge_beyond_schedule => e.saturating_add(self.ladder.last_b).max(now + 1),
+            None => Time::MAX,
+        }
+    }
+
+    /// Slow path of [`Self::pair_next_merge`], for a pair whose first
+    /// opportunity is already behind `now` (it sat in a merge "gap"):
+    /// walk the regions from the one containing the union's age at
+    /// `now + 1` until one is long enough and its window is still open.
+    fn pair_next_merge_slow(&self, e: Time, s: Time, len: Time, now: Time) -> Time {
+        let mut i = self.schedule.region_of((now + 1).saturating_sub(e).max(1));
         loop {
-            let mut merged_any = false;
-            let mut i = 0;
-            while i + 1 < self.buckets.len() {
-                if self.may_merge(&self.buckets[i], &self.buckets[i + 1], now) {
-                    // min/max span handles nested/overlapping pairs that
-                    // arise transiently after `merge_from`.
-                    let merged = WbmhBucket {
-                        start: self.buckets[i].start.min(self.buckets[i + 1].start),
-                        end: self.buckets[i].end.max(self.buckets[i + 1].end),
-                        first_item: self.buckets[i]
-                            .first_item
-                            .min(self.buckets[i + 1].first_item),
-                        last_item: self.buckets[i].last_item.max(self.buckets[i + 1].last_item),
-                        count: self.buckets[i].count.merge(&self.buckets[i + 1].count),
-                    };
-                    self.buckets[i] = merged;
-                    self.buckets.remove(i + 1);
-                    merged_any = true;
-                    // Re-check the same position against the next
-                    // neighbour.
-                } else {
+            let (start, end) = self.schedule.region_span(i);
+            match end {
+                Some(end) => {
+                    // Feasible times for region i: now' − e ≥ start and
+                    // now' − s ≤ end, i.e. [e + start, s + end].
+                    if end - start + 1 >= len && s.saturating_add(end) > now {
+                        return e.saturating_add(start).max(now + 1);
+                    }
                     i += 1;
                 }
-            }
-            if !merged_any {
-                break;
+                None => {
+                    return if self.merge_beyond_schedule {
+                        e.saturating_add(start).max(now + 1)
+                    } else {
+                        Time::MAX
+                    };
+                }
             }
         }
+    }
+
+    /// Refreshes [`Self::next_merge_at`] as the exact minimum over all
+    /// adjacent sealed pairs, as seen from time `now`. Only called
+    /// after a *futile* merge pass — while passes keep merging,
+    /// `next_merge_at` stays 0 ("ripe, don't bother") and no pair scan
+    /// runs.
+    fn recompute_next_merge(&mut self, now: Time) {
+        let mut next = Time::MAX;
+        for i in 0..self.buckets.len().saturating_sub(1) {
+            let t = self.pair_next_merge(&self.buckets[i], &self.buckets[i + 1], now);
+            next = next.min(t);
+        }
+        self.next_merge_at = next;
+    }
+
+    /// Lowers [`Self::next_merge_at`] for the pair a fresh seal just
+    /// created at the back of the bucket list (the only event outside a
+    /// merge pass that creates an adjacent pair).
+    fn note_sealed_pair(&mut self) {
+        // In the "ripe" state the bound is already 0 — nothing a new
+        // pair could lower.
+        if self.next_merge_at == 0 {
+            return;
+        }
+        let n = self.buckets.len();
+        if n < 2 {
+            return;
+        }
+        let t = self.pair_next_merge(&self.buckets[n - 2], &self.buckets[n - 1], 0);
+        self.next_merge_at = self.next_merge_at.min(t);
+    }
+
+    /// Runs one merge sweep at time `now`; returns whether anything
+    /// merged.
+    ///
+    /// The sweep is oldest-to-newest with an accumulator: "merge at `i`
+    /// and re-check `i` against its next neighbour" is exactly "keep
+    /// folding the next bucket into the accumulator until it stops
+    /// fitting, then flush" — same sequence of [`Self::may_merge`]
+    /// decisions as the index-walking formulation, but O(len) per sweep
+    /// with no mid-deque removals (each `remove` used to shift half the
+    /// deque, which dominated ingest once the bucket list grew into the
+    /// hundreds).
+    ///
+    /// One sweep reaches the canonical fixpoint in steady ingest: once a
+    /// flush decides a pair cannot merge, growing the younger side only
+    /// moves the union's newest age *younger* (an equal-or-shorter
+    /// region) while the span grows, so the verdict cannot flip within
+    /// the sweep — and any opportunity a sweep does miss (the rule only
+    /// loosens as `now` advances) is picked up by a later pass.
+    /// [`Wbmh::merge_from`], whose transient overlapping unions break
+    /// the monotonicity argument, loops this to fixpoint explicitly.
+    fn merge_pass(&mut self, now: Time) -> bool {
+        let mut merged_any = false;
+        let buckets = std::mem::take(&mut self.buckets);
+        let mut out: VecDeque<WbmhBucket> = VecDeque::with_capacity(buckets.len());
+        let mut iter = buckets.into_iter();
+        let Some(mut acc) = iter.next() else {
+            return false;
+        };
+        // Oldest buckets first: ages only fall along the sweep, so
+        // thread the region hint through it.
+        let mut hint = self.schedule.num_regions() - 1;
+        for c in iter {
+            let (ok, region) = self.may_merge_hinted(&acc, &c, now, hint);
+            hint = region;
+            if ok {
+                // min/max span handles nested/overlapping pairs that
+                // arise transiently after `merge_from`.
+                acc = WbmhBucket {
+                    start: acc.start.min(c.start),
+                    end: acc.end.max(c.end),
+                    first_item: acc.first_item.min(c.first_item),
+                    last_item: acc.last_item.max(c.last_item),
+                    count: acc.count.merge(&c.count),
+                };
+                merged_any = true;
+            } else {
+                out.push_back(acc);
+                acc = c;
+            }
+        }
+        out.push_back(acc);
+        self.buckets = out;
+        merged_any
     }
 
     /// Seals the open bucket purely by clock: its cell closes once `now`
@@ -348,6 +552,7 @@ impl<G: DecayFunction> Wbmh<G> {
                 let done = self.open.take().expect("checked above");
                 self.buckets.push_back(done);
                 self.seals_since_pass += 1;
+                self.note_sealed_pair();
             }
         }
     }
@@ -379,8 +584,29 @@ impl<G: DecayFunction> Wbmh<G> {
         }
         self.seal_by_clock(t);
         if force_pass || self.seals_since_pass >= (self.buckets.len() / 8).max(4) {
-            self.merge_pass(t);
-            self.seals_since_pass = 0;
+            // `next_merge_at` is a *lower bound* on the earliest time
+            // any adjacent pair may merge (0 when unknown): a pass
+            // scheduled before it would scan every pair and merge
+            // nothing, so skip the scan. The reset of
+            // `seals_since_pass` mirrors what the no-op pass would
+            // have done. The bound is computed lazily — only after a
+            // pass that merged *nothing* — because that is the one
+            // situation where skipping pays: a busy stream whose
+            // passes keep merging would otherwise spend more on the
+            // exact-minimum bookkeeping (an O(buckets) scan of
+            // `pair_next_merge` after every pass) than the skips it
+            // enables could ever save.
+            if t < self.next_merge_at {
+                self.seals_since_pass = 0;
+            } else {
+                let merged = self.merge_pass(t);
+                self.seals_since_pass = 0;
+                if merged {
+                    self.next_merge_at = 0;
+                } else {
+                    self.recompute_next_merge(t);
+                }
+            }
         }
         self.last_t = t;
     }
@@ -497,8 +723,12 @@ impl<G: DecayFunction> Wbmh<G> {
             (a, b) => a.or(b),
         };
         self.started |= other.started;
-        self.merge_pass(self.last_t);
+        // Transient overlapping unions from the interleave can cascade
+        // across sweeps, so compact to fixpoint here (steady ingest
+        // needs only the single sweep — see `merge_pass`).
+        while self.merge_pass(self.last_t) {}
         self.seals_since_pass = 0;
+        self.recompute_next_merge(self.last_t);
     }
 
     /// The decaying-sum estimate with the default one-sided estimator.
@@ -862,6 +1092,42 @@ mod tests {
         let ca: f64 = ones.bucket_spans().iter().map(|b| b.count).sum();
         let cb: f64 = wild.bucket_spans().iter().map(|b| b.count).sum();
         assert!(cb > ca);
+    }
+
+    /// The merge-pass skip is sound only if `pair_next_merge` never
+    /// overshoots the true first merge opportunity (a late bound would
+    /// delay merges and change structure). Brute-force `may_merge` over
+    /// a time window and compare against the ladder-computed answer for
+    /// every adjacent pair of a live histogram.
+    #[test]
+    fn pair_next_merge_is_exact_against_brute_force() {
+        let mut h = Wbmh::new(Polynomial::new(1.0), 0.3, 1 << 16);
+        let mut x = 9u64;
+        for t in 1..=2_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.observe(t, 1 + x % 4);
+        }
+        let now = h.last_t;
+        let horizon = now + 4_000;
+        let mut checked = 0;
+        for i in 0..h.buckets.len() - 1 {
+            let (a, c) = (&h.buckets[i], &h.buckets[i + 1]);
+            let got = h.pair_next_merge(a, c, now);
+            let brute = ((now + 1)..=horizon).find(|&t| h.may_merge(a, c, t));
+            match brute {
+                Some(t) => {
+                    assert_eq!(got, t, "pair {i}: ladder answer disagrees with may_merge");
+                    checked += 1;
+                }
+                None => assert!(
+                    got > horizon,
+                    "pair {i}: ladder predicts merge at {got} but may_merge never fires by {horizon}"
+                ),
+            }
+        }
+        assert!(checked > 0, "no pair merged within the brute-force window");
     }
 
     /// With identical occupancy patterns the *entire* structure —
