@@ -283,6 +283,34 @@ impl<G: DecayFunction, S: WindowSketch + StorageAccounting> StorageAccounting fo
     }
 }
 
+/// Checkpoint tag for [`CascadedEh`] over a [`DominationEh`] sketch.
+const TAG_CEH: u8 = 7;
+
+impl<G: DecayFunction> td_decay::checkpoint::Checkpoint for CascadedEh<G, DominationEh> {
+    fn save_checkpoint(&self) -> Vec<u8> {
+        use td_decay::checkpoint::{fingerprint, CheckpointWriter};
+        let mut w = CheckpointWriter::new(TAG_CEH);
+        w.put_u64(fingerprint(&self.decay.describe())); // configuration pin
+        w.put_bytes(&self.sketch.save_checkpoint());
+        w.seal()
+    }
+
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), td_decay::RestoreError> {
+        use td_decay::checkpoint::{fingerprint, CheckpointReader, RestoreError};
+        let mut r = CheckpointReader::open(bytes, TAG_CEH)?;
+        let fp = r.get_u64()?;
+        if fp != fingerprint(&self.decay.describe()) {
+            return Err(RestoreError::Invariant(format!(
+                "decay mismatch: receiver is {}",
+                self.decay.describe()
+            )));
+        }
+        let inner = r.get_bytes()?.to_vec();
+        r.finish()?;
+        self.sketch.restore_checkpoint(&inner)
+    }
+}
+
 impl<G: DecayFunction> td_decay::StreamAggregate for CascadedEh<G, DominationEh> {
     fn observe(&mut self, t: Time, f: u64) {
         CascadedEh::observe(self, t, f)

@@ -1,7 +1,8 @@
 //! Differential conformance harness for the workspace's time-decayed
 //! summaries (Cohen & Strauss, PODS 2003).
 //!
-//! Three pieces, composed by the test matrix in `tests/matrix.rs`:
+//! Four pieces, composed by the test matrices in `tests/matrix.rs` and
+//! `tests/fault_matrix.rs`:
 //!
 //! * [`oracle`] — brute-force references that retain every `(t_i, f_i)`
 //!   and evaluate `Σ f_i · g(T − t_i)` directly: ground truth for
@@ -18,18 +19,30 @@
 //!   [`td_decay::StreamAggregate::error_bound`]. Violations surface as
 //!   a [`Failure`] carrying the replayable `(family, seed, tick)`
 //!   repro.
+//! * [`fault`] — deterministic fault injection for the sharded serving
+//!   engine: seeded [`FaultPlan`]s that panic a victim worker
+//!   mid-stream (with restart, quarantine, or checkpoint-corruption
+//!   outcomes), replayed lock-step against the oracle to prove every
+//!   degraded answer sits inside its self-reported widened envelope
+//!   and every corrupted checkpoint is *detected*, never silently
+//!   restored.
 //!
 //! Run the tier-1 matrix with `cargo test -p td-conformance`; the
 //! exhaustive sweep (more seeds, longer streams) is behind
 //! `cargo test -p td-conformance -- --ignored`.
 
 pub mod certify;
+pub mod fault;
 pub mod oracle;
 pub mod scenario;
 
 pub use certify::{
     certify_sharded, default_matrix, run_scenario, DynAggregate, DynOracle, Failure, MatrixCase,
     RunStats, TruthKind,
+};
+pub use fault::{
+    certify_corruption_detected, certify_faulted, corruption_offsets, default_fault_matrix,
+    FaultCase, FaultInjector, FaultMode, FaultPlan, FaultReport, FaultyBackend,
 };
 pub use oracle::{CoordOracle, Oracle};
 pub use scenario::{catalogue, Op, Rng, Scenario};

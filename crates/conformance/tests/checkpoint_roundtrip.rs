@@ -1,0 +1,220 @@
+//! Checkpoint round-trip conformance for every checkpointable backend
+//! in the workspace, across the six seeded scenario families.
+//!
+//! Two contracts:
+//!
+//! * **Round-trip is bit-identical.** `restore(save(b))` onto an
+//!   identically-configured fresh instance reproduces the state
+//!   exactly: the restored instance re-saves to the *same bytes*,
+//!   answers queries with the *same f64 bits*, and accounts the same
+//!   `storage_bits` — not merely "close", identical.
+//! * **Corruption is always detected.** Any single-bit flip anywhere in
+//!   the checkpoint (every bit for small checkpoints, a seeded sample
+//!   for large ones) is rejected with `RestoreError::Checksum` —
+//!   checked via [`certify_corruption_detected`], which also rejects
+//!   decode orders that would read unverified bytes.
+
+use td_ceh::CascadedEh;
+use td_conformance::{catalogue, certify_corruption_detected, corruption_offsets, Op, Scenario};
+use td_core::{BackendChoice, DecayedSum};
+use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCounter};
+use td_decay::checkpoint::Checkpoint;
+use td_decay::{DecayFunction, Exponential, Polynomial, SlidingWindow, Time};
+use td_eh::{ClassicEh, DominationEh};
+use td_wbmh::Wbmh;
+
+const WBMH_MAX_AGE: Time = 1 << 41;
+
+/// One checkpointable backend under test: a factory for
+/// identically-configured instances, a value clamp for
+/// restricted-domain backends, and a horizon cap for finite-`max_age`
+/// ones.
+struct RtCase {
+    name: &'static str,
+    value_cap: Option<u64>,
+    max_time: Option<Time>,
+    make: Box<dyn Fn() -> Box<dyn Checkpoint>>,
+}
+
+fn rt(name: &'static str, make: impl Fn() -> Box<dyn Checkpoint> + 'static) -> RtCase {
+    RtCase {
+        name,
+        value_cap: None,
+        max_time: None,
+        make: Box::new(make),
+    }
+}
+
+fn boxed<G: DecayFunction + 'static>(g: G) -> Box<dyn DecayFunction> {
+    Box::new(g)
+}
+
+/// Every backend with a `Checkpoint` impl, same configurations as the
+/// conformance matrix.
+fn cases() -> Vec<RtCase> {
+    vec![
+        rt("exp-counter", || {
+            Box::new(ExpCounter::new(Exponential::new(0.01)))
+        }),
+        rt("quantized-exp/m20", || {
+            Box::new(QuantizedExpCounter::new(Exponential::new(0.01), 20))
+        }),
+        rt("polyexp-pipeline/k2", || {
+            Box::new(PolyExpCounter::new(2, 0.03))
+        }),
+        rt("exact/exp", || {
+            Box::new(ExactDecayedSum::new(boxed(Exponential::new(0.01))))
+        }),
+        rt("exact/sliding256", || {
+            Box::new(ExactDecayedSum::new(boxed(SlidingWindow::new(256))))
+        }),
+        rt("domination-eh", || Box::new(DominationEh::new(0.1, None))),
+        RtCase {
+            value_cap: Some(1),
+            ..rt("classic-eh", || Box::new(ClassicEh::new(0.1, None)))
+        },
+        rt("ceh/exp", || {
+            Box::new(CascadedEh::new(boxed(Exponential::new(0.01)), 0.1))
+        }),
+        RtCase {
+            max_time: Some(WBMH_MAX_AGE / 2),
+            ..rt("wbmh/poly1", || {
+                Box::new(Wbmh::new(boxed(Polynomial::new(1.0)), 0.1, WBMH_MAX_AGE))
+            })
+        },
+        rt("core-auto/exp", || {
+            Box::new(
+                DecayedSum::builder(Exponential::new(0.01))
+                    .epsilon(0.1)
+                    .backend(BackendChoice::Auto)
+                    .build(),
+            )
+        }),
+        rt("core-auto/poly1", || {
+            Box::new(
+                DecayedSum::builder(Polynomial::new(1.0))
+                    .epsilon(0.1)
+                    .backend(BackendChoice::Auto)
+                    .build(),
+            )
+        }),
+    ]
+}
+
+fn replay(b: &mut dyn Checkpoint, scenario: &Scenario, cap: Option<u64>) {
+    let cap = cap.unwrap_or(u64::MAX);
+    for op in &scenario.ops {
+        match op {
+            Op::Observe(t, f) => b.observe(*t, (*f).min(cap)),
+            Op::ObserveBatch(items) => {
+                let capped: Vec<(Time, u64)> =
+                    items.iter().map(|&(t, f)| (t, f.min(cap))).collect();
+                b.observe_batch(&capped);
+            }
+            Op::Advance(t) => b.advance(*t),
+            Op::Query(_) => {}
+        }
+    }
+}
+
+#[test]
+fn roundtrip_is_bit_identical_across_the_catalogue() {
+    for case in cases() {
+        for seed in [1u64, 7, 23] {
+            for scenario in catalogue(seed, 160) {
+                if let Some(limit) = case.max_time {
+                    if scenario.max_time() > limit {
+                        continue;
+                    }
+                }
+                let mut original = (case.make)();
+                replay(&mut *original, &scenario, case.value_cap);
+                let bytes = original.save_checkpoint();
+
+                let mut restored = (case.make)();
+                restored.restore_checkpoint(&bytes).unwrap_or_else(|e| {
+                    panic!(
+                        "{} on `{}` seed {:#x}: clean restore failed: {e}",
+                        case.name, scenario.name, scenario.seed
+                    )
+                });
+
+                assert_eq!(
+                    restored.save_checkpoint(),
+                    bytes,
+                    "{} on `{}` seed {:#x}: restored state re-saves differently",
+                    case.name,
+                    scenario.name,
+                    scenario.seed
+                );
+                assert_eq!(
+                    original.storage_bits(),
+                    restored.storage_bits(),
+                    "{} on `{}` seed {:#x}: storage accounting diverged",
+                    case.name,
+                    scenario.name,
+                    scenario.seed
+                );
+                for dt in [1u64, 5, 1000] {
+                    let t = scenario.max_time() + dt;
+                    assert_eq!(
+                        original.query(t).to_bits(),
+                        restored.query(t).to_bits(),
+                        "{} on `{}` seed {:#x}: answers diverged at t={t}",
+                        case.name,
+                        scenario.name,
+                        scenario.seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_corruption_is_rejected_as_checksum() {
+    for case in cases() {
+        // One representative non-trivial state per backend (bursty
+        // family: real bucket structure, multiple classes).
+        let scenario = catalogue(5, 160)
+            .into_iter()
+            .filter(|s| case.max_time.is_none_or(|limit| s.max_time() <= limit))
+            .nth(1)
+            .expect("catalogue has families within the horizon");
+        let mut b = (case.make)();
+        replay(&mut *b, &scenario, case.value_cap);
+        let bytes = b.save_checkpoint();
+        // Every bit for small checkpoints, a 256-offset seeded sample
+        // for large ones; fresh restore target per offset so a corrupt
+        // restore cannot contaminate the next probe.
+        let offsets = corruption_offsets(0xC0DE ^ bytes.len() as u64, bytes.len(), 256);
+        certify_corruption_detected(case.name, &bytes, offsets, |corrupt| {
+            (case.make)().restore_checkpoint(corrupt)
+        })
+        .unwrap_or_else(|repro| panic!("{repro}"));
+    }
+}
+
+/// Cross-configuration restores must be rejected as typed errors, not
+/// silently mis-adopted: a checkpoint is only valid on an identically-
+/// configured instance.
+#[test]
+fn config_mismatch_is_a_typed_error() {
+    let mut a = CascadedEh::new(boxed(Exponential::new(0.01)), 0.1);
+    a.observe(5, 3);
+    let bytes = a.save_checkpoint();
+    let mut wrong_decay = CascadedEh::new(boxed(Exponential::new(0.02)), 0.1);
+    assert!(
+        wrong_decay.restore_checkpoint(&bytes).is_err(),
+        "restore onto a different decay must be rejected"
+    );
+    let mut counter = ExpCounter::new(Exponential::new(0.01));
+    counter.observe(5, 3);
+    let mut other = QuantizedExpCounter::new(Exponential::new(0.01), 20);
+    assert!(
+        other
+            .restore_checkpoint(&counter.save_checkpoint())
+            .is_err(),
+        "restore across backend kinds must be rejected (wrong tag)"
+    );
+}

@@ -578,6 +578,111 @@ impl StorageAccounting for DecayedSum {
     }
 }
 
+/// Checkpoint tag for [`DecayedSum`].
+const TAG_DECAYED_SUM: u8 = 9;
+
+impl td_decay::checkpoint::Checkpoint for DecayedSum {
+    fn save_checkpoint(&self) -> Vec<u8> {
+        use td_decay::checkpoint::CheckpointWriter;
+        let mut w = CheckpointWriter::new(TAG_DECAYED_SUM);
+        // One byte selects the backend variant; delegating backends nest
+        // their own sealed checkpoint so corruption inside the payload is
+        // still caught by the inner checksum.
+        match &self.backend {
+            Backend::Plain {
+                total,
+                last_t,
+                at_last,
+            } => {
+                w.put_u8(0);
+                w.put_u64(*total);
+                w.put_u64(*last_t);
+                w.put_u64(*at_last);
+            }
+            Backend::Exp(c) => {
+                w.put_u8(1);
+                w.put_bytes(&c.save_checkpoint());
+            }
+            Backend::PolyExp(c) => {
+                w.put_u8(2);
+                w.put_bytes(&c.save_checkpoint());
+            }
+            Backend::Ceh(c) => {
+                w.put_u8(3);
+                w.put_bytes(&c.save_checkpoint());
+            }
+            Backend::Wbmh(h) => {
+                w.put_u8(4);
+                w.put_bytes(&h.save_checkpoint());
+            }
+            Backend::Exact(e) => {
+                w.put_u8(5);
+                w.put_bytes(&e.save_checkpoint());
+            }
+        }
+        w.seal()
+    }
+
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), td_decay::RestoreError> {
+        use td_decay::checkpoint::{CheckpointReader, RestoreError};
+        let mut r = CheckpointReader::open(bytes, TAG_DECAYED_SUM)?;
+        let variant = r.get_u8()?;
+        match (&mut self.backend, variant) {
+            (
+                Backend::Plain {
+                    total,
+                    last_t,
+                    at_last,
+                },
+                0,
+            ) => {
+                let t = r.get_u64()?;
+                let lt = r.get_u64()?;
+                let al = r.get_u64()?;
+                if al > t {
+                    return Err(RestoreError::Invariant(format!(
+                        "at-tick mass {al} exceeds total {t}"
+                    )));
+                }
+                r.finish()?;
+                *total = t;
+                *last_t = lt;
+                *at_last = al;
+                Ok(())
+            }
+            (Backend::Exp(c), 1) => {
+                let inner = r.get_bytes()?.to_vec();
+                r.finish()?;
+                c.restore_checkpoint(&inner)
+            }
+            (Backend::PolyExp(c), 2) => {
+                let inner = r.get_bytes()?.to_vec();
+                r.finish()?;
+                c.restore_checkpoint(&inner)
+            }
+            (Backend::Ceh(c), 3) => {
+                let inner = r.get_bytes()?.to_vec();
+                r.finish()?;
+                c.restore_checkpoint(&inner)
+            }
+            (Backend::Wbmh(h), 4) => {
+                let inner = r.get_bytes()?.to_vec();
+                r.finish()?;
+                h.restore_checkpoint(&inner)
+            }
+            (Backend::Exact(e), 5) => {
+                let inner = r.get_bytes()?.to_vec();
+                r.finish()?;
+                e.restore_checkpoint(&inner)
+            }
+            (backend, v) => Err(RestoreError::Invariant(format!(
+                "backend mismatch: receiver is {}, checkpoint variant {v}",
+                self_backend_name(backend)
+            ))),
+        }
+    }
+}
+
 // Keep the plain (f64) exponential counter exported for users who want
 // the raw Eq. 1 recurrence without quantization.
 pub use td_counters::ExpCounter as RawExpCounter;

@@ -1,5 +1,6 @@
 //! The classic exponential-decay counter (paper Eq. 1, §3.1).
 
+use td_decay::checkpoint::{Checkpoint, CheckpointReader, CheckpointWriter, RestoreError};
 use td_decay::storage::{bits_for_quantized_float, bits_for_timestamp, StorageAccounting};
 use td_decay::{Exponential, Time};
 
@@ -332,6 +333,90 @@ impl td_decay::StreamAggregate for QuantizedExpCounter {
         // the perturbations compound: (1 + 2^{-m})^n − 1.
         let per = (-(self.mantissa_bits as f64)).exp2();
         td_decay::ErrorBound::symmetric((self.roundings as f64 * per.ln_1p()).exp_m1())
+    }
+}
+
+/// Checkpoint tag for [`ExpCounter`].
+const TAG_EXP: u8 = 1;
+/// Checkpoint tag for [`QuantizedExpCounter`].
+const TAG_QEXP: u8 = 2;
+
+/// Writes the four per-stream fields shared by both counter flavours.
+fn write_exp_state(w: &mut CheckpointWriter, c: &ExpCounter) {
+    w.put_f64(c.decay.lambda()); // configuration pin
+    w.put_f64(c.sum_before);
+    w.put_f64(c.at_upto);
+    w.put_u64(c.upto);
+    w.put_bool(c.started);
+}
+
+/// Reads and validates the shared counter fields into `c`.
+fn read_exp_state(r: &mut CheckpointReader<'_>, c: &mut ExpCounter) -> Result<(), RestoreError> {
+    let lambda = r.get_f64()?;
+    if lambda.to_bits() != c.decay.lambda().to_bits() {
+        return Err(RestoreError::Invariant(format!(
+            "decay rate mismatch: checkpoint λ={lambda}, receiver λ={}",
+            c.decay.lambda()
+        )));
+    }
+    let sum_before = r.get_f64()?;
+    let at_upto = r.get_f64()?;
+    let upto = r.get_u64()?;
+    let started = r.get_bool()?;
+    for v in [sum_before, at_upto] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(RestoreError::Invariant(format!(
+                "non-finite or negative sum {v}"
+            )));
+        }
+    }
+    if !started && (sum_before != 0.0 || at_upto != 0.0 || upto != 0) {
+        return Err(RestoreError::Invariant(
+            "unstarted counter carries state".into(),
+        ));
+    }
+    c.sum_before = sum_before;
+    c.at_upto = at_upto;
+    c.upto = upto;
+    c.started = started;
+    Ok(())
+}
+
+impl Checkpoint for ExpCounter {
+    fn save_checkpoint(&self) -> Vec<u8> {
+        let mut w = CheckpointWriter::new(TAG_EXP);
+        write_exp_state(&mut w, self);
+        w.seal()
+    }
+
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+        let mut r = CheckpointReader::open(bytes, TAG_EXP)?;
+        read_exp_state(&mut r, self)?;
+        r.finish()
+    }
+}
+
+impl Checkpoint for QuantizedExpCounter {
+    fn save_checkpoint(&self) -> Vec<u8> {
+        let mut w = CheckpointWriter::new(TAG_QEXP);
+        w.put_u32(self.mantissa_bits); // configuration pin
+        w.put_u64(self.roundings);
+        write_exp_state(&mut w, &self.inner);
+        w.seal()
+    }
+
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+        let mut r = CheckpointReader::open(bytes, TAG_QEXP)?;
+        let m = r.get_u32()?;
+        if m != self.mantissa_bits {
+            return Err(RestoreError::Invariant(format!(
+                "mantissa width mismatch: checkpoint {m}, receiver {}",
+                self.mantissa_bits
+            )));
+        }
+        self.roundings = r.get_u64()?;
+        read_exp_state(&mut r, &mut self.inner)?;
+        r.finish()
     }
 }
 

@@ -213,6 +213,73 @@ impl<G: DecayFunction> StorageAccounting for ExactDecayedSum<G> {
     }
 }
 
+/// Checkpoint tag for [`ExactDecayedSum`].
+const TAG_EXACT: u8 = 4;
+
+impl<G: DecayFunction> td_decay::checkpoint::Checkpoint for ExactDecayedSum<G> {
+    fn save_checkpoint(&self) -> Vec<u8> {
+        use td_decay::checkpoint::{fingerprint, CheckpointWriter};
+        let mut w = CheckpointWriter::new(TAG_EXACT);
+        w.put_u64(fingerprint(&self.decay.describe())); // configuration pin
+        w.put_u64(self.last_t);
+        w.put_bool(self.started);
+        w.put_u64(self.items.len() as u64);
+        for &(t, f) in &self.items {
+            w.put_u64(t);
+            w.put_u64(f);
+        }
+        w.seal()
+    }
+
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), td_decay::RestoreError> {
+        use td_decay::checkpoint::{fingerprint, CheckpointReader, RestoreError};
+        let mut r = CheckpointReader::open(bytes, TAG_EXACT)?;
+        let fp = r.get_u64()?;
+        if fp != fingerprint(&self.decay.describe()) {
+            return Err(RestoreError::Invariant(format!(
+                "decay mismatch: receiver is {}",
+                self.decay.describe()
+            )));
+        }
+        let last_t = r.get_u64()?;
+        let started = r.get_bool()?;
+        let n = r.get_u64()?;
+        let mut items = std::collections::VecDeque::with_capacity(n as usize);
+        let mut prev: Option<Time> = None;
+        for _ in 0..n {
+            let t = r.get_u64()?;
+            let f = r.get_u64()?;
+            if let Some(p) = prev {
+                if t <= p {
+                    return Err(RestoreError::Invariant(format!(
+                        "item times not strictly increasing: {t} after {p}"
+                    )));
+                }
+            }
+            if t > last_t {
+                return Err(RestoreError::Invariant(format!(
+                    "item at {t} newer than checkpoint clock {last_t}"
+                )));
+            }
+            if f == 0 {
+                return Err(RestoreError::Invariant("zero-mass item".into()));
+            }
+            prev = Some(t);
+            items.push_back((t, f));
+        }
+        r.finish()?;
+        if !started && (last_t != 0 || !items.is_empty()) {
+            return Err(RestoreError::Invariant(
+                "unstarted sum carries state".into(),
+            ));
+        }
+        self.items = items;
+        self.last_t = last_t;
+        self.started = started;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

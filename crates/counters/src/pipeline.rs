@@ -276,6 +276,66 @@ impl td_decay::StreamAggregate for PolyExpCounter {
     }
 }
 
+/// Checkpoint tag for [`PolyExpCounter`].
+const TAG_POLYEXP: u8 = 3;
+
+impl td_decay::checkpoint::Checkpoint for PolyExpCounter {
+    fn save_checkpoint(&self) -> Vec<u8> {
+        use td_decay::checkpoint::CheckpointWriter;
+        let mut w = CheckpointWriter::new(TAG_POLYEXP);
+        w.put_u32(self.k); // configuration pins
+        w.put_f64(self.lambda);
+        for &m in &self.m {
+            w.put_f64(m);
+        }
+        w.put_f64(self.at_upto);
+        w.put_u64(self.upto);
+        w.put_bool(self.started);
+        w.put_u64(self.advances);
+        w.seal()
+    }
+
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), td_decay::RestoreError> {
+        use td_decay::checkpoint::{CheckpointReader, RestoreError};
+        let mut r = CheckpointReader::open(bytes, TAG_POLYEXP)?;
+        let k = r.get_u32()?;
+        let lambda = r.get_f64()?;
+        if k != self.k || lambda.to_bits() != self.lambda.to_bits() {
+            return Err(RestoreError::Invariant(format!(
+                "pipeline config mismatch: checkpoint (k={k}, λ={lambda}), \
+                 receiver (k={}, λ={})",
+                self.k, self.lambda
+            )));
+        }
+        let mut m = Vec::with_capacity(k as usize + 1);
+        for _ in 0..=k {
+            let v = r.get_f64()?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(RestoreError::Invariant(format!(
+                    "non-finite accumulator {v}"
+                )));
+            }
+            m.push(v);
+        }
+        let at_upto = r.get_f64()?;
+        if !at_upto.is_finite() || at_upto < 0.0 {
+            return Err(RestoreError::Invariant(format!(
+                "non-finite pending mass {at_upto}"
+            )));
+        }
+        let upto = r.get_u64()?;
+        let started = r.get_bool()?;
+        let advances = r.get_u64()?;
+        r.finish()?;
+        self.m = m;
+        self.at_upto = at_upto;
+        self.upto = upto;
+        self.started = started;
+        self.advances = advances;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

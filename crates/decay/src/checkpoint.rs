@@ -1,0 +1,387 @@
+//! Checkpoint/restore as a trait capability on [`StreamAggregate`].
+//!
+//! Every backend that participates in fault-tolerant sharded serving
+//! (`td-shard`) can serialize its **per-stream state** into a
+//! versioned, length-prefixed, checksummed byte envelope and later
+//! rebuild itself from those bytes. The shared configuration (decay
+//! function, ε, region schedules) is deliberately *not* encoded —
+//! §2.3's storage argument is that configuration is shared across all
+//! streams — so [`Checkpoint::restore_checkpoint`] takes `&mut self`
+//! on an already-configured instance and refuses bytes whose recorded
+//! configuration fingerprint disagrees with the receiver's.
+//!
+//! # Envelope layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"TDCP"
+//! 4       2     format version (little-endian u16, currently 1)
+//! 6       8     payload length (little-endian u64)
+//! 14      8     FNV-1a-64 checksum over bytes [0, 14) ++ [22, ..)
+//! 22      n     payload (backend tag byte, then backend-specific fields)
+//! ```
+//!
+//! The checksum covers every byte of the envelope except itself, and
+//! decoding verifies it **before** interpreting any other field: a
+//! single-bit flip anywhere — magic, version, length, payload, or the
+//! checksum field itself — therefore always surfaces as
+//! [`RestoreError::Checksum`], never as a misparse. (FNV-1a absorbs
+//! each byte with an xor followed by a multiply by an odd prime, so two
+//! equal-length inputs differing in exactly one byte always hash
+//! differently.)
+
+use std::fmt;
+
+use crate::aggregate::StreamAggregate;
+
+/// Magic prefix of every checkpoint envelope.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"TDCP";
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// Envelope header size in bytes (magic + version + length + checksum).
+const HEADER: usize = 22;
+
+/// Why a checkpoint could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The byte string is shorter than its header or recorded payload
+    /// length claims.
+    Truncated,
+    /// The FNV-1a-64 checksum does not match the envelope contents
+    /// (any corruption — including of the magic, version, or length
+    /// fields — reports here, because the checksum is verified first).
+    Checksum,
+    /// The envelope is intact but written by an unknown format version.
+    Version(u16),
+    /// The envelope decodes but violates a structural invariant of the
+    /// backend (wrong backend tag, mismatched configuration
+    /// fingerprint, non-canonical bucket lists, decreasing timestamps,
+    /// non-finite counts, ...).
+    Invariant(String),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Truncated => write!(f, "checkpoint truncated"),
+            RestoreError::Checksum => write!(f, "checkpoint checksum mismatch"),
+            RestoreError::Version(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (expected {CHECKPOINT_VERSION})"
+                )
+            }
+            RestoreError::Invariant(why) => write!(f, "checkpoint invariant violated: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Serializable per-stream state: a versioned, checksummed snapshot of
+/// everything the backend accumulated from its stream, restorable onto
+/// any identically-configured instance.
+pub trait Checkpoint: StreamAggregate {
+    /// Encodes the per-stream state into a self-validating envelope.
+    fn save_checkpoint(&self) -> Vec<u8>;
+
+    /// Replaces this instance's per-stream state with the checkpointed
+    /// one. The receiver must be configured identically (same decay,
+    /// ε, caps) to the instance that saved the bytes; a mismatch is
+    /// reported as [`RestoreError::Invariant`], corruption as
+    /// [`RestoreError::Checksum`] or [`RestoreError::Truncated`].
+    ///
+    /// On error the receiver's state is unspecified (it may be
+    /// partially overwritten); callers should discard it.
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), RestoreError>;
+}
+
+/// FNV-1a-64 over one byte chunk, continuing from `state`.
+fn fnv1a64(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state
+}
+
+/// FNV-1a-64 offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// FNV-1a-64 fingerprint of a string — used to pin configuration
+/// (decay `describe()` strings) inside checkpoints without serializing
+/// unserializable closures.
+pub fn fingerprint(s: &str) -> u64 {
+    fnv1a64(FNV_OFFSET, s.as_bytes())
+}
+
+/// Little-endian payload writer producing a sealed envelope.
+///
+/// Numeric fields are fixed-width little-endian; `f64` round-trips via
+/// [`f64::to_bits`] so restored state is bit-identical.
+pub struct CheckpointWriter {
+    buf: Vec<u8>,
+}
+
+impl CheckpointWriter {
+    /// Starts a payload whose first byte is the backend `tag`
+    /// (each implementor picks a unique constant).
+    pub fn new(tag: u8) -> Self {
+        let mut w = CheckpointWriter {
+            buf: Vec::with_capacity(64),
+        };
+        w.put_u8(tag);
+        w
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bit pattern (bit-identical round
+    /// trip, NaN-safe).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a length-prefixed byte string (e.g. a nested envelope).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u64(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Wraps the payload in the magic/version/length/checksum envelope.
+    pub fn seal(self) -> Vec<u8> {
+        let payload = self.buf;
+        let mut out = Vec::with_capacity(HEADER + payload.len());
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let sum = fnv1a64(fnv1a64(FNV_OFFSET, &out), &payload);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Payload reader over a verified envelope.
+pub struct CheckpointReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CheckpointReader<'a> {
+    /// Verifies the envelope (checksum first, then magic, version, and
+    /// length) and the leading backend tag, returning a reader
+    /// positioned after the tag.
+    pub fn open(bytes: &'a [u8], expect_tag: u8) -> Result<Self, RestoreError> {
+        if bytes.len() < HEADER {
+            return Err(RestoreError::Truncated);
+        }
+        // Checksum FIRST: any single-bit corruption — wherever it
+        // lands — must report as Checksum, not as a misparse of the
+        // field it happened to hit.
+        let recorded = u64::from_le_bytes(bytes[14..22].try_into().expect("8 bytes"));
+        let actual = fnv1a64(fnv1a64(FNV_OFFSET, &bytes[..14]), &bytes[HEADER..]);
+        if recorded != actual {
+            return Err(RestoreError::Checksum);
+        }
+        if bytes[..4] != CHECKPOINT_MAGIC {
+            return Err(RestoreError::Invariant("bad magic".into()));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        if version != CHECKPOINT_VERSION {
+            return Err(RestoreError::Version(version));
+        }
+        let len = u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes"));
+        if len != (bytes.len() - HEADER) as u64 {
+            return Err(RestoreError::Truncated);
+        }
+        let mut r = CheckpointReader {
+            buf: &bytes[HEADER..],
+            pos: 0,
+        };
+        let tag = r.get_u8()?;
+        if tag != expect_tag {
+            return Err(RestoreError::Invariant(format!(
+                "backend tag mismatch: checkpoint carries tag {tag}, receiver expects {expect_tag}"
+            )));
+        }
+        Ok(r)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RestoreError> {
+        if self.buf.len() - self.pos < n {
+            return Err(RestoreError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, RestoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, RestoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, RestoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from its raw bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, RestoreError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `bool`, rejecting bytes other than 0/1.
+    pub fn get_bool(&mut self) -> Result<bool, RestoreError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(RestoreError::Invariant(format!("bad bool byte {b}"))),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], RestoreError> {
+        let n = self.get_u64()?;
+        if n > self.buf.len() as u64 {
+            return Err(RestoreError::Truncated);
+        }
+        self.take(n as usize)
+    }
+
+    /// Asserts the payload was fully consumed (trailing garbage would
+    /// mean the encoder and decoder disagree on the schema).
+    pub fn finish(self) -> Result<(), RestoreError> {
+        if self.pos != self.buf.len() {
+            return Err(RestoreError::Invariant(format!(
+                "{} trailing payload bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// An eq-ability note: CheckpointReader::open is used in `assert_eq!`
+// in the tests below, so RestoreError derives PartialEq; reader
+// equality itself is never needed.
+impl PartialEq for CheckpointReader<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.buf == other.buf && self.pos == other.pos
+    }
+}
+
+impl fmt::Debug for CheckpointReader<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CheckpointReader(pos {} of {})",
+            self.pos,
+            self.buf.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = CheckpointWriter::new(7);
+        w.put_u64(0xDEAD_BEEF);
+        w.put_f64(1.5);
+        w.put_bool(true);
+        w.put_bytes(b"nested");
+        w.seal()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = sample();
+        let mut r = CheckpointReader::open(&bytes, 7).unwrap();
+        assert_eq!(r.get_u64().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_f64().unwrap(), 1.5);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_bytes().unwrap(), b"nested");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_a_checksum_error() {
+        let bytes = sample();
+        for bit in 0..bytes.len() * 8 {
+            let mut c = bytes.clone();
+            c[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                CheckpointReader::open(&c, 7),
+                Err(RestoreError::Checksum),
+                "flip of bit {bit} not detected as checksum mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = sample();
+        assert_eq!(
+            CheckpointReader::open(&bytes[..10], 7).err(),
+            Some(RestoreError::Truncated)
+        );
+        assert_eq!(
+            CheckpointReader::open(&[], 7).err(),
+            Some(RestoreError::Truncated)
+        );
+    }
+
+    #[test]
+    fn wrong_tag_is_invariant() {
+        let bytes = sample();
+        assert!(matches!(
+            CheckpointReader::open(&bytes, 8),
+            Err(RestoreError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_invariant() {
+        let bytes = sample();
+        let r = CheckpointReader::open(&bytes, 7).unwrap();
+        assert!(matches!(r.finish(), Err(RestoreError::Invariant(_))));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_strings() {
+        assert_ne!(fingerprint("EXPD(0.01)"), fingerprint("EXPD(0.02)"));
+        assert_eq!(fingerprint("x"), fingerprint("x"));
+    }
+}

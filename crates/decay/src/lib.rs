@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod combinators;
 pub mod exponential;
 pub mod func;
@@ -47,6 +48,7 @@ pub mod storage;
 pub mod table;
 
 pub use aggregate::{ErrorBound, StreamAggregate};
+pub use checkpoint::{Checkpoint, RestoreError};
 pub use combinators::{MaxOf, ProductOf, Scaled, SumOf};
 pub use exponential::Exponential;
 pub use func::{DecayClass, DecayFunction, Time};

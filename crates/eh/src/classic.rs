@@ -310,6 +310,114 @@ impl StorageAccounting for ClassicEh {
     }
 }
 
+/// Checkpoint tag for [`ClassicEh`].
+const TAG_CLASSIC: u8 = 5;
+
+impl td_decay::checkpoint::Checkpoint for ClassicEh {
+    fn save_checkpoint(&self) -> Vec<u8> {
+        use td_decay::checkpoint::CheckpointWriter;
+        let mut w = CheckpointWriter::new(TAG_CLASSIC);
+        w.put_f64(self.epsilon); // configuration pins
+        match self.window {
+            None => w.put_u8(0),
+            Some(win) => {
+                w.put_u8(1);
+                w.put_u64(win);
+            }
+        }
+        w.put_u64(self.live_total);
+        w.put_u64(self.last_t);
+        w.put_bool(self.started);
+        w.put_u64(self.at_last);
+        w.put_u64(self.buckets.len() as u64);
+        for b in &self.buckets {
+            w.put_u64(b.start);
+            w.put_u64(b.end);
+            w.put_u64(b.count);
+        }
+        w.seal()
+    }
+
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), td_decay::RestoreError> {
+        use td_decay::checkpoint::{CheckpointReader, RestoreError};
+        let mut r = CheckpointReader::open(bytes, TAG_CLASSIC)?;
+        let eps = r.get_f64()?;
+        let window = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u64()?),
+            b => return Err(RestoreError::Invariant(format!("bad window tag {b}"))),
+        };
+        if eps.to_bits() != self.epsilon.to_bits() || window != self.window {
+            return Err(RestoreError::Invariant(format!(
+                "config mismatch: checkpoint (ε={eps}, window={window:?}), \
+                 receiver (ε={}, window={:?})",
+                self.epsilon, self.window
+            )));
+        }
+        let live_total = r.get_u64()?;
+        let last_t = r.get_u64()?;
+        let started = r.get_bool()?;
+        let at_last = r.get_u64()?;
+        let n = r.get_u64()?;
+        let mut buckets = VecDeque::with_capacity(n as usize);
+        let mut sum = 0u64;
+        let mut run = 0usize;
+        for i in 0..n {
+            let start = r.get_u64()?;
+            let end = r.get_u64()?;
+            let count = r.get_u64()?;
+            let b = Bucket { start, end, count };
+            if start > end || end > last_t {
+                return Err(RestoreError::Invariant(format!(
+                    "bucket {i} spans [{start}, {end}] beyond clock {last_t}"
+                )));
+            }
+            if !count.is_power_of_two() {
+                return Err(RestoreError::Invariant(format!(
+                    "bucket {i} count {count} is not a power of two"
+                )));
+            }
+            if let Some(prev) = buckets.back() {
+                let prev: &Bucket = prev;
+                if prev.end > start {
+                    return Err(RestoreError::Invariant(format!(
+                        "buckets {} and {i} overlap or run backwards",
+                        i - 1
+                    )));
+                }
+                if prev.count < count {
+                    return Err(RestoreError::Invariant(
+                        "bucket sizes decrease toward the past".into(),
+                    ));
+                }
+                run = if prev.count == count { run + 1 } else { 1 };
+            } else {
+                run = 1;
+            }
+            if run > self.cap_per_class {
+                return Err(RestoreError::Invariant(format!(
+                    "size class {count} holds more than {} buckets",
+                    self.cap_per_class
+                )));
+            }
+            sum = sum.saturating_add(count);
+            buckets.push_back(b);
+        }
+        r.finish()?;
+        if sum != live_total {
+            return Err(RestoreError::Invariant(format!(
+                "bucket mass {sum} disagrees with live_total {live_total}"
+            )));
+        }
+        self.buckets = buckets;
+        self.live_total = live_total;
+        self.last_t = last_t;
+        self.started = started;
+        self.at_last = at_last;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -417,6 +417,107 @@ impl StorageAccounting for DominationEh {
     }
 }
 
+/// Checkpoint tag for [`DominationEh`].
+const TAG_DOMINATION: u8 = 6;
+
+impl td_decay::checkpoint::Checkpoint for DominationEh {
+    fn save_checkpoint(&self) -> Vec<u8> {
+        use td_decay::checkpoint::CheckpointWriter;
+        let mut w = CheckpointWriter::new(TAG_DOMINATION);
+        w.put_f64(self.epsilon); // configuration pins
+        match self.window {
+            None => w.put_u8(0),
+            Some(win) => {
+                w.put_u8(1);
+                w.put_u64(win);
+            }
+        }
+        w.put_u64(self.live_total);
+        w.put_u64(self.last_t);
+        w.put_bool(self.started);
+        w.put_u64(self.inserts_since_merge as u64);
+        w.put_u32(self.sites);
+        w.put_u64(self.at_last);
+        w.put_u64(self.buckets.len() as u64);
+        for b in &self.buckets {
+            w.put_u64(b.start);
+            w.put_u64(b.end);
+            w.put_u64(b.count);
+        }
+        w.seal()
+    }
+
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), td_decay::RestoreError> {
+        use td_decay::checkpoint::{CheckpointReader, RestoreError};
+        let mut r = CheckpointReader::open(bytes, TAG_DOMINATION)?;
+        let eps = r.get_f64()?;
+        let window = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u64()?),
+            b => return Err(RestoreError::Invariant(format!("bad window tag {b}"))),
+        };
+        if eps.to_bits() != self.epsilon.to_bits() || window != self.window {
+            return Err(RestoreError::Invariant(format!(
+                "config mismatch: checkpoint (ε={eps}, window={window:?}), \
+                 receiver (ε={}, window={:?})",
+                self.epsilon, self.window
+            )));
+        }
+        let live_total = r.get_u64()?;
+        let last_t = r.get_u64()?;
+        let started = r.get_bool()?;
+        let inserts_since_merge = r.get_u64()? as usize;
+        let sites = r.get_u32()?;
+        let at_last = r.get_u64()?;
+        if sites == 0 {
+            return Err(RestoreError::Invariant("zero sites".into()));
+        }
+        let n = r.get_u64()?;
+        let mut buckets = VecDeque::with_capacity(n as usize);
+        let mut sum = 0u64;
+        for i in 0..n {
+            let start = r.get_u64()?;
+            let end = r.get_u64()?;
+            let count = r.get_u64()?;
+            if start > end || end > last_t {
+                return Err(RestoreError::Invariant(format!(
+                    "bucket {i} spans [{start}, {end}] beyond clock {last_t}"
+                )));
+            }
+            if count == 0 {
+                return Err(RestoreError::Invariant(format!("bucket {i} is empty")));
+            }
+            if let Some(prev) = buckets.back() {
+                // Cross-site merges interleave by end time and may nest
+                // intervals, so only end-ordering is invariant.
+                let prev: &Bucket = prev;
+                if prev.end > end {
+                    return Err(RestoreError::Invariant(format!(
+                        "bucket {i} ends before bucket {}",
+                        i - 1
+                    )));
+                }
+            }
+            sum = sum.saturating_add(count);
+            buckets.push_back(Bucket { start, end, count });
+        }
+        r.finish()?;
+        if sum != live_total {
+            return Err(RestoreError::Invariant(format!(
+                "bucket mass {sum} disagrees with live_total {live_total}"
+            )));
+        }
+        self.buckets = buckets;
+        self.live_total = live_total;
+        self.last_t = last_t;
+        self.started = started;
+        self.inserts_since_merge = inserts_since_merge;
+        self.sites = sites;
+        self.at_last = at_last;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

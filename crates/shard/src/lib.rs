@@ -1,4 +1,6 @@
-//! Sharded multi-core ingest/query engine over any [`StreamAggregate`].
+//! Sharded multi-core ingest/query engine over any [`StreamAggregate`],
+//! with supervised workers, checkpoint/restore recovery, and degraded
+//! serving under shard failures.
 //!
 //! The paper's §6 merge property — summaries of disjoint substreams
 //! combine into a summary of the union, within a (possibly widened)
@@ -6,36 +8,62 @@
 //! split the stream across N private backend shards, each owned by one
 //! worker thread, and fold snapshots back together only when someone
 //! asks a question. PR 1's `merge_from` and PR 2's `certify_sharded`
-//! proved the algebra; this crate turns it into wall-clock throughput.
+//! proved the algebra; this crate turns it into wall-clock throughput
+//! — and keeps the answers *certified* even while shards are dying.
 //!
 //! # Architecture
 //!
 //! ```text
-//!             ┌─ SPSC ring ─▶ worker 0 ─ owns B (shard 0)
-//!  caller ────┼─ SPSC ring ─▶ worker 1 ─ owns B (shard 1)
-//!  (observe)  └─ SPSC ring ─▶ worker 2 ─ owns B (shard 2)
+//!             ┌─ SPSC ring ─▶ worker 0 ─ owns B (shard 0) ─ checkpoint
+//!  caller ────┼─ SPSC ring ─▶ worker 1 ─ owns B (shard 1) ─ checkpoint
+//!  (observe)  └─ SPSC ring ─▶ worker 2 ─ owns B (shard 2) ─ checkpoint
 //!                                  │
 //!  caller (query) ── barrier ──────┴──▶ snapshot · advance · merge_from
-//!                                        └──▶ epoch-cached merged B
+//!                      │                 └──▶ epoch-cached merged B
+//!                      └─ deadline / dead shards ──▶ degraded fold
+//!                                                    (widened envelope)
 //! ```
 //!
 //! * **Ingest** partitions items round-robin (or by key hash) and pushes
 //!   them onto bounded lock-free SPSC rings (`vendor/spsc`). Each worker
 //!   drains its ring in chunks and feeds its private backend through the
-//!   amortized [`StreamAggregate::observe_batch`] path, so the per-item
-//!   cost on the worker is the backend's *batched* cost, not its
-//!   single-item cost.
+//!   amortized [`StreamAggregate::observe_batch`] path.
 //! * **Queries** run at a sequence-number barrier: the coordinator waits
-//!   until every shard's `applied` counter catches up to its `submitted`
-//!   counter (the rings are empty and every pushed item is inside some
-//!   backend), then snapshots each shard under its mutex, advances the
-//!   clones to the shared clock, and folds them with `merge_from`.
-//! * **The epoch cache** makes the read-heavy case cheap: the merged
-//!   summary and its [`ErrorBound`](td_decay::ErrorBound) are cached
-//!   together with the vector of per-shard `applied` counters ("epochs")
-//!   they were built from. A query whose barrier lands on the same epoch
-//!   vector serves straight from the cache — the merge is paid once per
-//!   *state change*, not once per query.
+//!   until every live shard's `applied` counter catches up to its
+//!   `submitted` counter, then snapshots each shard, advances the clones
+//!   to the shared clock, and folds them with `merge_from`. The merged
+//!   summary is epoch-cached, so the merge is paid once per *state
+//!   change*, not once per query.
+//!
+//! # Fault tolerance
+//!
+//! Each worker applies every chunk under `catch_unwind`, **inside** its
+//! backend mutex guard so a panic never poisons the lock. In
+//! [supervised](ShardedAggregate::supervised) mode the worker
+//! checkpoints its backend (via the [`Checkpoint`] trait's versioned,
+//! checksummed encoding) on a configurable cadence; on a panic it
+//! restores the last good checkpoint in place, replays the failed
+//! chunk, and carries on — a deterministic "poison pill" chunk that
+//! panics again on replay is skipped with its mass accounted as lost.
+//! When recovery is impossible (no checkpoint capability, restarts
+//! exhausted, or the checkpoint itself fails restore — e.g. corruption
+//! detected by its checksum) the shard is **quarantined**: its worker
+//! exits, subsequent pushes to it are rerouted to live shards, and its
+//! partial state is never folded into an answer again.
+//!
+//! Queries keep working throughout. [`try_query`](ShardedAggregate::try_query)
+//! waits at the barrier with a deadline (a wedged shard surfaces as the
+//! typed [`QueryError::Wedged`] instead of a hang); when shards are
+//! quarantined it folds the *live* snapshots plus each dead shard's
+//! last checkpoint, and widens the reported [`ErrorBound`] by the
+//! checkpointed **mass at risk** — every unit of mass that was
+//! submitted but is not covered by any folded state can contribute at
+//! most `g(1)` each (items are strictly past), so the answer's
+//! self-reported envelope still provably covers the truth. The same
+//! widening covers mass dropped by the
+//! [`BackpressurePolicy::DropNewest`] policy and mass lost during
+//! recovery. Degraded answers carry the list of dead shards in
+//! [`Answer::degraded`].
 //!
 //! # Semantics
 //!
@@ -48,11 +76,14 @@
 //! `error_bound()` is read from the live merged summary so k-way merge
 //! fan-in widening (k·ε for the EH family) is reported automatically.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle, Thread};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use td_decay::checkpoint::{Checkpoint, RestoreError};
 use td_decay::{ErrorBound, StorageAccounting, StreamAggregate, Time};
 
 /// How many messages a worker drains per ring pop (and the batch fed to
@@ -67,6 +98,11 @@ const DEFAULT_RING_CAPACITY: usize = 4096;
 /// How long an idle worker parks between ring polls. Bounds the extra
 /// latency a barrier can observe when it races a worker going idle.
 const IDLE_PARK: Duration = Duration::from_micros(100);
+
+/// Shard health as stored in the shared atomic.
+const HEALTH_LIVE: u8 = 0;
+const HEALTH_FAILED: u8 = 1;
+const HEALTH_QUARANTINED: u8 = 2;
 
 /// How an un-keyed [`observe`](ShardedAggregate::observe) picks a shard.
 /// Keyed ingest ([`observe_keyed`](ShardedAggregate::observe_keyed))
@@ -83,12 +119,222 @@ pub enum Partitioner {
     HashByKey,
 }
 
+/// What the coordinator does when a shard's ring stays full.
+///
+/// The ring is strictly FIFO, so "drop oldest" is not implementable
+/// without the worker's cooperation; the two available policies are to
+/// wait or to shed the *newest* (not yet enqueued) items.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Spin (unparking the worker) until space frees up. Never drops;
+    /// each stall event is counted in [`ShardStats::blocked_pushes`].
+    #[default]
+    Block,
+    /// Give up on the items that did not fit. Dropped messages and mass
+    /// are counted per shard ([`ShardStats::dropped_msgs`] /
+    /// [`ShardStats::dropped_mass`]) and every subsequent query's error
+    /// envelope is widened by the dropped mass — shed load is *never*
+    /// silently wrong.
+    DropNewest,
+}
+
+/// Lifecycle state of one shard, as reported by
+/// [`ShardedAggregate::shard_stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Ingesting and serving normally.
+    Live,
+    /// The worker panicked and is restoring from its checkpoint. A
+    /// transient state: it resolves to `Live` (restart succeeded) or
+    /// `Quarantined`.
+    Failed,
+    /// Permanently out of service: the worker has exited, pushes are
+    /// rerouted, and queries fold the shard's last checkpoint instead
+    /// of its (possibly torn) live state.
+    Quarantined,
+}
+
+fn health_of(v: u8) -> ShardHealth {
+    match v {
+        HEALTH_LIVE => ShardHealth::Live,
+        HEALTH_FAILED => ShardHealth::Failed,
+        _ => ShardHealth::Quarantined,
+    }
+}
+
+/// Per-shard counters exposed by [`ShardedAggregate::shard_stats`].
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Current lifecycle state.
+    pub health: ShardHealth,
+    /// Messages pushed onto the shard's ring.
+    pub submitted: u64,
+    /// Messages fully applied to the shard's backend.
+    pub applied: u64,
+    /// Ring-full stall events under [`BackpressurePolicy::Block`].
+    pub blocked_pushes: u64,
+    /// Messages shed by [`BackpressurePolicy::DropNewest`] or rerouting
+    /// fallbacks (never enqueued).
+    pub dropped_msgs: u64,
+    /// Observation mass of the shed messages.
+    pub dropped_mass: u64,
+    /// Enqueued mass permanently lost during panic recovery (the gap
+    /// between the restored checkpoint and the crash, plus any
+    /// poison-pill chunk skipped on replay).
+    pub lost_mass: u64,
+    /// Worker panics caught (including replay panics).
+    pub panics: u64,
+    /// Successful checkpoint restarts.
+    pub restarts: u64,
+    /// Payload of the most recent panic (and/or restore failure).
+    pub last_panic: Option<String>,
+}
+
+/// A worker failure surfaced by [`ShardedAggregate::into_merged`].
+#[derive(Clone, Debug)]
+pub struct ShardError {
+    /// Which shard failed.
+    pub shard: usize,
+    /// The captured panic payload (or a description of the failure).
+    pub payload: String,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} failed: {}", self.shard, self.payload)
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Why [`ShardedAggregate::try_query`] could not produce an answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A shard neither caught up to the barrier nor quarantined before
+    /// the deadline — its worker is wedged (stuck inside the backend).
+    /// The shard index is reported so an operator can decide whether to
+    /// wait, restart the process, or route around it; the trait-level
+    /// [`StreamAggregate::query`] falls back to serving the wedged
+    /// shard from its checkpoint.
+    Wedged {
+        /// The shard that missed the deadline.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Wedged { shard } => {
+                write!(f, "shard {shard} missed the barrier deadline (wedged)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A query answer with its provenance: the estimate, the error envelope
+/// the engine certifies for it (widened if state was missing), and the
+/// shards that could not contribute live state.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// The decayed-sum estimate.
+    pub value: f64,
+    /// The envelope certified for `value` against the *full* stream's
+    /// truth — mass at risk from dead shards, shed load, and recovery
+    /// losses is already folded into the `lower` side.
+    pub bound: ErrorBound,
+    /// Shards whose live state was unavailable (quarantined or treated
+    /// as dead for this query). Empty for a fully healthy answer.
+    pub degraded: Vec<usize>,
+}
+
+/// Supervision knobs for [`ShardedAggregate::supervised`].
+#[derive(Clone, Debug)]
+pub struct SupervisorOptions {
+    /// How many checkpoint restarts a shard gets before quarantine.
+    pub max_restarts: u64,
+    /// Checkpoint after every N successfully applied chunks (min 1).
+    /// 1 (the default) makes restarts lossless for non-deterministic
+    /// panics: the checkpoint always covers everything before the
+    /// failed chunk, and the failed chunk itself is replayed.
+    pub checkpoint_every_batches: u64,
+    /// How long a query barrier waits for a shard before reporting it
+    /// [`QueryError::Wedged`].
+    pub barrier_deadline: Duration,
+    /// Ring-full behavior on ingest.
+    pub backpressure: BackpressurePolicy,
+    /// Per-shard ring capacity (rounded up to a power of two).
+    pub ring_capacity: usize,
+    /// Un-keyed ingest partitioning.
+    pub partitioner: Partitioner,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        SupervisorOptions {
+            max_restarts: 3,
+            checkpoint_every_batches: 1,
+            barrier_deadline: Duration::from_secs(1),
+            backpressure: BackpressurePolicy::Block,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            partitioner: Partitioner::RoundRobin,
+        }
+    }
+}
+
 /// The wire format between coordinator and workers. `Copy`, so the ring
 /// can move whole slices with one atomic release per chunk.
 #[derive(Clone, Copy, Debug)]
 enum Msg {
     Observe(Time, u64),
     Advance(Time),
+}
+
+fn msg_mass(m: &Msg) -> u64 {
+    match m {
+        Msg::Observe(_, f) => *f,
+        Msg::Advance(_) => 0,
+    }
+}
+
+fn slice_mass(msgs: &[Msg]) -> u64 {
+    msgs.iter().map(msg_mass).fold(0u64, u64::saturating_add)
+}
+
+/// Checkpoint capability as plain function pointers, so the engine can
+/// store it without a `B: Checkpoint` bound on the struct itself (and
+/// without boxing): the pointers are instantiated once in
+/// [`ShardedAggregate::supervised`].
+struct CkptFns<B> {
+    save: fn(&B) -> Vec<u8>,
+    restore: fn(&mut B, &[u8]) -> Result<(), RestoreError>,
+}
+
+impl<B> Clone for CkptFns<B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<B> Copy for CkptFns<B> {}
+
+fn save_ckpt<B: Checkpoint>(b: &B) -> Vec<u8> {
+    b.save_checkpoint()
+}
+fn restore_ckpt<B: Checkpoint>(b: &mut B, bytes: &[u8]) -> Result<(), RestoreError> {
+    b.restore_checkpoint(bytes)
+}
+
+/// A saved good state of one shard's backend.
+struct CkptRecord {
+    bytes: Vec<u8>,
+    /// Cumulative observation mass applied when the checkpoint was
+    /// taken. `submitted_mass − mass` is the shard's mass at risk if it
+    /// dies and must be served from this checkpoint.
+    mass: u64,
 }
 
 /// State shared between the coordinator and one worker.
@@ -104,6 +350,25 @@ struct ShardState<B> {
     /// Set (after the final message is pushed) to ask the worker to
     /// drain the ring completely and exit.
     shutdown: AtomicBool,
+    /// [`HEALTH_LIVE`] / [`HEALTH_FAILED`] / [`HEALTH_QUARANTINED`].
+    health: AtomicU8,
+    /// Panics caught in this worker (including replay panics).
+    panics: AtomicU64,
+    /// Successful checkpoint restarts.
+    restarts: AtomicU64,
+    /// Enqueued mass permanently lost during recovery.
+    lost_mass: AtomicU64,
+    /// Last good checkpoint (None in unsupervised engines).
+    ckpt: Mutex<Option<CkptRecord>>,
+    /// Most recent panic payload / failure description.
+    last_panic: Mutex<Option<String>>,
+}
+
+impl<B> ShardState<B> {
+    fn note_failure(&self, text: String) {
+        let mut slot = self.last_panic.lock().expect("panic-note mutex");
+        *slot = Some(text);
+    }
 }
 
 /// Coordinator-side handle to one shard.
@@ -113,6 +378,14 @@ struct Shard<B> {
     /// Messages pushed onto the ring. Written only by the coordinator
     /// (`&mut self` ingest), read by `&self` barriers — hence atomic.
     submitted: AtomicU64,
+    /// Observation mass pushed onto the ring.
+    submitted_mass: AtomicU64,
+    /// Ring-full stall events under the blocking policy.
+    blocked_pushes: AtomicU64,
+    /// Messages shed (never enqueued).
+    dropped_msgs: AtomicU64,
+    /// Observation mass of the shed messages.
+    dropped_mass: AtomicU64,
     worker: Option<JoinHandle<()>>,
     /// The worker's thread handle, for unparking it out of idle sleep.
     thread: Thread,
@@ -127,13 +400,19 @@ struct Cache<B> {
     hits: u64,
     /// Cache (re)builds: one snapshot+advance+merge sweep each.
     rebuilds: u64,
+    /// The envelope reported with the most recent answer — what
+    /// `error_bound()` falls back to when the engine is degraded and
+    /// has no live merged summary to read from.
+    last_bound: Option<ErrorBound>,
 }
 
 /// N worker-owned shards of backend `B` behind one `StreamAggregate`
-/// surface. See the crate docs for the architecture.
+/// surface. See the crate docs for the architecture and failure model.
 pub struct ShardedAggregate<B> {
     shards: Vec<Shard<B>>,
     partitioner: Partitioner,
+    backpressure: BackpressurePolicy,
+    barrier_deadline: Duration,
     /// Next round-robin target.
     rr_next: usize,
     /// Global clock high-water mark (max time ever submitted). Atomic
@@ -142,19 +421,136 @@ pub struct ShardedAggregate<B> {
     cache: Mutex<Cache<B>>,
     /// Reusable per-shard partition buffers for batched ingest.
     scratch: Vec<Vec<Msg>>,
+    /// A pristine backend from the same `make` closure as the shards:
+    /// the restore target for dead shards' checkpoints, the fold base
+    /// when nothing survives, and the probe for the `g(1)` envelope
+    /// widening.
+    template: B,
+    /// Checkpoint capability (Some only for supervised engines).
+    ckpt_ops: Option<CkptFns<B>>,
+    /// Mass at risk inherited from engines folded in by `merge_from`.
+    extra_risk: AtomicU64,
 }
 
-/// The worker: drain the ring in chunks, coalesce runs of observations
-/// into `observe_batch` calls (advances cut the run), publish progress
+/// Everything a worker needs beyond its ring consumer.
+struct WorkerCtx<B> {
+    state: Arc<ShardState<B>>,
+    ckpt_ops: Option<CkptFns<B>>,
+    max_restarts: u64,
+    checkpoint_every: u64,
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Applies one drained chunk: coalesce runs of observations into
+/// `observe_batch` calls (advances cut the run).
+fn apply_chunk<B: StreamAggregate>(backend: &mut B, buf: &[Msg], items: &mut Vec<(Time, u64)>) {
+    items.clear();
+    for &msg in buf {
+        match msg {
+            Msg::Observe(t, f) => items.push((t, f)),
+            Msg::Advance(t) => {
+                if !items.is_empty() {
+                    backend.observe_batch(items);
+                    items.clear();
+                }
+                backend.advance(t);
+            }
+        }
+    }
+    if !items.is_empty() {
+        backend.observe_batch(items);
+    }
+    items.clear();
+}
+
+/// Panic recovery: restore the last good checkpoint in place and replay
+/// the failed chunk. Returns `true` if the shard is healthy again.
+///
+/// `applied_mass` is the worker's running total of applied observation
+/// mass; on success it is rewound to the checkpoint and replayed
+/// forward, with any unreplayable difference added to `lost_mass`.
+fn try_recover<B: StreamAggregate>(
+    ctx: &WorkerCtx<B>,
+    backend: &mut B,
+    buf: &[Msg],
+    items: &mut Vec<(Time, u64)>,
+    batch_mass: u64,
+    applied_mass: &mut u64,
+) -> bool {
+    let Some(fns) = ctx.ckpt_ops else {
+        return false;
+    };
+    if ctx.state.restarts.load(Ordering::Relaxed) >= ctx.max_restarts {
+        ctx.state
+            .note_failure("restart budget exhausted".to_string());
+        return false;
+    }
+    let ckpt_guard = ctx.state.ckpt.lock().expect("checkpoint mutex");
+    let Some(rec) = ckpt_guard.as_ref() else {
+        return false;
+    };
+    if let Err(e) = (fns.restore)(backend, &rec.bytes) {
+        ctx.state
+            .note_failure(format!("checkpoint restore failed: {e}"));
+        return false;
+    }
+    // Mass applied after the checkpoint was taken is gone for good —
+    // the ring no longer holds those messages. (Zero at the default
+    // checkpoint-every-chunk cadence.)
+    let gap = applied_mass.saturating_sub(rec.mass);
+    ctx.state.lost_mass.fetch_add(gap, Ordering::Release);
+    *applied_mass = rec.mass;
+    // Replay the failed chunk against the restored state.
+    match catch_unwind(AssertUnwindSafe(|| apply_chunk(backend, buf, items))) {
+        Ok(()) => {
+            *applied_mass = applied_mass.saturating_add(batch_mass);
+            true
+        }
+        Err(payload) => {
+            // Deterministic poison pill: the chunk dies on clean state
+            // too. Skip it (with its mass accounted) rather than
+            // crash-looping.
+            ctx.state.panics.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = (fns.restore)(backend, &rec.bytes) {
+                ctx.state
+                    .note_failure(format!("checkpoint restore failed: {e}"));
+                return false;
+            }
+            ctx.state.note_failure(format!(
+                "poison chunk skipped after replay panic: {}",
+                panic_text(payload)
+            ));
+            ctx.state.lost_mass.fetch_add(batch_mass, Ordering::Release);
+            true
+        }
+    }
+}
+
+/// The worker: drain the ring in chunks, apply under `catch_unwind`,
+/// checkpoint on cadence, self-heal from panics, publish progress
 /// through `applied`. On shutdown it drains the ring to empty before
-/// exiting, so no submitted item is ever dropped.
-fn worker_loop<B: StreamAggregate>(state: Arc<ShardState<B>>, mut rx: spsc::Consumer<Msg>) {
+/// exiting, so no submitted item is ever dropped; on quarantine it
+/// exits immediately and the coordinator stops routing to it.
+fn worker_loop<B: StreamAggregate>(ctx: WorkerCtx<B>, mut rx: spsc::Consumer<Msg>) {
     let mut buf: Vec<Msg> = Vec::with_capacity(DRAIN_BATCH);
     let mut items: Vec<(Time, u64)> = Vec::with_capacity(DRAIN_BATCH);
+    // Cumulative observation mass applied to the backend. Worker-local:
+    // only recovery and checkpointing need it.
+    let mut applied_mass: u64 = 0;
+    let mut chunks_since_ckpt: u64 = 0;
     loop {
         buf.clear();
         if rx.pop_chunk(&mut buf, DRAIN_BATCH) == 0 {
-            if state.shutdown.load(Ordering::Acquire) {
+            if ctx.state.shutdown.load(Ordering::Acquire) {
                 // The shutdown flag is stored *after* the final push, so
                 // seeing it (Acquire) means every in-flight item is
                 // already visible through the ring: one more empty pop
@@ -167,48 +563,126 @@ fn worker_loop<B: StreamAggregate>(state: Arc<ShardState<B>>, mut rx: spsc::Cons
                 continue;
             }
         }
-        {
-            let mut backend = state.backend.lock().expect("shard backend poisoned");
-            items.clear();
-            for &msg in &buf {
-                match msg {
-                    Msg::Observe(t, f) => items.push((t, f)),
-                    Msg::Advance(t) => {
-                        if !items.is_empty() {
-                            backend.observe_batch(&items);
-                            items.clear();
+        let batch_mass = slice_mass(&buf);
+        let survived = {
+            // The panic is caught *inside* the guard scope, so the
+            // guard is always dropped on the normal path and the mutex
+            // is never poisoned.
+            let mut backend = ctx
+                .state
+                .backend
+                .lock()
+                .expect("backend mutex unpoisonable");
+            match catch_unwind(AssertUnwindSafe(|| {
+                apply_chunk(&mut *backend, &buf, &mut items)
+            })) {
+                Ok(()) => {
+                    applied_mass = applied_mass.saturating_add(batch_mass);
+                    if let Some(fns) = ctx.ckpt_ops {
+                        chunks_since_ckpt += 1;
+                        if chunks_since_ckpt >= ctx.checkpoint_every {
+                            let bytes = (fns.save)(&backend);
+                            *ctx.state.ckpt.lock().expect("checkpoint mutex") = Some(CkptRecord {
+                                bytes,
+                                mass: applied_mass,
+                            });
+                            chunks_since_ckpt = 0;
                         }
-                        backend.advance(t);
                     }
+                    true
+                }
+                Err(payload) => {
+                    ctx.state.panics.fetch_add(1, Ordering::Relaxed);
+                    ctx.state.note_failure(panic_text(payload));
+                    ctx.state.health.store(HEALTH_FAILED, Ordering::Release);
+                    let recovered = try_recover(
+                        &ctx,
+                        &mut backend,
+                        &buf,
+                        &mut items,
+                        batch_mass,
+                        &mut applied_mass,
+                    );
+                    if recovered {
+                        chunks_since_ckpt = 0;
+                        ctx.state.restarts.fetch_add(1, Ordering::Relaxed);
+                        ctx.state.health.store(HEALTH_LIVE, Ordering::Release);
+                    } else {
+                        ctx.state
+                            .health
+                            .store(HEALTH_QUARANTINED, Ordering::Release);
+                    }
+                    recovered
                 }
             }
-            if !items.is_empty() {
-                backend.observe_batch(&items);
-            }
+        };
+        if !survived {
+            // Quarantined: exit without publishing progress for the
+            // failed chunk. Dropping `rx` closes the ring, and the
+            // coordinator routes around this shard from now on.
+            break;
         }
-        // Release-publish progress only after the backend mutation is
-        // complete; the coordinator's Acquire read in `barrier` pairs
-        // with this.
-        state.applied.fetch_add(buf.len() as u64, Ordering::Release);
+        // Release-publish progress only after the backend mutation (or
+        // recovery) is complete; the coordinator's Acquire read in the
+        // barrier pairs with this.
+        ctx.state
+            .applied
+            .fetch_add(buf.len() as u64, Ordering::Release);
     }
 }
 
 impl<B> Shard<B> {
-    /// Pushes every message, spinning through ring-full backpressure
-    /// (unparking the worker so it drains), then publishes the new
-    /// submitted count.
-    fn push_all(&mut self, msgs: &[Msg]) {
-        let mut sent = 0;
-        while sent < msgs.len() {
-            let n = self.tx.push_slice(&msgs[sent..]);
-            if n == 0 {
-                self.thread.unpark();
-                thread::yield_now();
+    fn health(&self) -> u8 {
+        self.state.health.load(Ordering::Acquire)
+    }
+
+    /// Pushes messages subject to the backpressure policy, accounting
+    /// everything: enqueued messages/mass in `submitted*`, shed
+    /// messages/mass in `dropped*`. Never blocks on a quarantined
+    /// shard.
+    fn push_all(&mut self, msgs: &[Msg], policy: BackpressurePolicy) {
+        let mut sent = 0usize;
+        if self.health() != HEALTH_QUARANTINED {
+            let mut stalled = false;
+            while sent < msgs.len() {
+                let n = self.tx.push_slice(&msgs[sent..]);
+                sent += n;
+                if sent == msgs.len() {
+                    break;
+                }
+                if n > 0 {
+                    stalled = false;
+                    continue;
+                }
+                // Ring full. A quarantined worker will never drain it.
+                if self.health() == HEALTH_QUARANTINED {
+                    break;
+                }
+                match policy {
+                    BackpressurePolicy::Block => {
+                        if !stalled {
+                            self.blocked_pushes.fetch_add(1, Ordering::Relaxed);
+                            stalled = true;
+                        }
+                        self.thread.unpark();
+                        thread::yield_now();
+                    }
+                    BackpressurePolicy::DropNewest => break,
+                }
             }
-            sent += n;
         }
-        self.submitted
-            .fetch_add(msgs.len() as u64, Ordering::Release);
+        if sent > 0 {
+            self.submitted.fetch_add(sent as u64, Ordering::Release);
+            self.submitted_mass
+                .fetch_add(slice_mass(&msgs[..sent]), Ordering::Release);
+        }
+        let rest = &msgs[sent..];
+        if !rest.is_empty() {
+            self.dropped_msgs
+                .fetch_add(rest.len() as u64, Ordering::Relaxed);
+            self.dropped_mass
+                .fetch_add(slice_mass(rest), Ordering::Relaxed);
+        }
     }
 }
 
@@ -221,6 +695,20 @@ fn hash_key(key: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl<B: StreamAggregate + Checkpoint + Clone + Send + 'static> ShardedAggregate<B> {
+    /// Spawns a **supervised** engine: workers checkpoint their
+    /// backends on the configured cadence and self-heal from panics by
+    /// restoring the last good checkpoint and replaying the failed
+    /// chunk (see the crate docs for the full failure model).
+    pub fn supervised(shards: usize, opts: SupervisorOptions, make: impl Fn() -> B) -> Self {
+        let fns = CkptFns {
+            save: save_ckpt::<B>,
+            restore: restore_ckpt::<B>,
+        };
+        Self::build(shards, opts, Some(fns), &make)
+    }
+}
+
 impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
     /// Spawns `shards` workers, each owning one `make()` backend, with
     /// round-robin partitioning and the default ring capacity.
@@ -228,37 +716,80 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
     /// Every shard must be built from the *same* configuration (same
     /// decay, ε, caps): `merge_from` asserts compatibility when the
     /// serving summary is folded.
+    ///
+    /// Without the [`Checkpoint`] capability a worker panic quarantines
+    /// its shard immediately (no restart is possible); use
+    /// [`supervised`](Self::supervised) for self-healing workers.
     pub fn new(shards: usize, make: impl Fn() -> B) -> Self {
-        Self::with_options(shards, Partitioner::RoundRobin, DEFAULT_RING_CAPACITY, make)
+        Self::build(shards, SupervisorOptions::default(), None, &make)
     }
 
     /// Full-control constructor: shard count, partitioner, and per-shard
-    /// ring capacity (rounded up to a power of two).
+    /// ring capacity (rounded up to a power of two). Unsupervised; see
+    /// [`new`](Self::new).
     pub fn with_options(
         shards: usize,
         partitioner: Partitioner,
         ring_capacity: usize,
         make: impl Fn() -> B,
     ) -> Self {
+        let opts = SupervisorOptions {
+            partitioner,
+            ring_capacity,
+            ..SupervisorOptions::default()
+        };
+        Self::build(shards, opts, None, &make)
+    }
+
+    fn build(
+        shards: usize,
+        opts: SupervisorOptions,
+        ckpt_ops: Option<CkptFns<B>>,
+        make: &dyn Fn() -> B,
+    ) -> Self {
         assert!(shards >= 1, "need at least one shard");
+        let template = make();
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
-            let (tx, rx) = spsc::ring::<Msg>(ring_capacity);
+            let (tx, rx) = spsc::ring::<Msg>(opts.ring_capacity);
+            let backend = make();
+            // Seed the checkpoint with the pristine backend, so a shard
+            // that dies before its first save still restores to a valid
+            // (empty) state with its whole submitted mass at risk.
+            let initial = ckpt_ops.map(|fns| CkptRecord {
+                bytes: (fns.save)(&backend),
+                mass: 0,
+            });
             let state = Arc::new(ShardState {
-                backend: Mutex::new(make()),
+                backend: Mutex::new(backend),
                 applied: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
+                health: AtomicU8::new(HEALTH_LIVE),
+                panics: AtomicU64::new(0),
+                restarts: AtomicU64::new(0),
+                lost_mass: AtomicU64::new(0),
+                ckpt: Mutex::new(initial),
+                last_panic: Mutex::new(None),
             });
-            let worker_state = Arc::clone(&state);
+            let ctx = WorkerCtx {
+                state: Arc::clone(&state),
+                ckpt_ops,
+                max_restarts: opts.max_restarts,
+                checkpoint_every: opts.checkpoint_every_batches.max(1),
+            };
             let worker = thread::Builder::new()
                 .name(format!("td-shard-{i}"))
-                .spawn(move || worker_loop(worker_state, rx))
+                .spawn(move || worker_loop(ctx, rx))
                 .expect("spawn shard worker");
             let thread = worker.thread().clone();
             handles.push(Shard {
                 state,
                 tx,
                 submitted: AtomicU64::new(0),
+                submitted_mass: AtomicU64::new(0),
+                blocked_pushes: AtomicU64::new(0),
+                dropped_msgs: AtomicU64::new(0),
+                dropped_mass: AtomicU64::new(0),
                 worker: Some(worker),
                 thread,
             });
@@ -266,7 +797,9 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
         ShardedAggregate {
             scratch: (0..shards).map(|_| Vec::new()).collect(),
             shards: handles,
-            partitioner,
+            partitioner: opts.partitioner,
+            backpressure: opts.backpressure,
+            barrier_deadline: opts.barrier_deadline,
             rr_next: 0,
             last_t: AtomicU64::new(0),
             cache: Mutex::new(Cache {
@@ -274,7 +807,11 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
                 epochs: Vec::new(),
                 hits: 0,
                 rebuilds: 0,
+                last_bound: None,
             }),
+            template,
+            ckpt_ops,
+            extra_risk: AtomicU64::new(0),
         }
     }
 
@@ -289,28 +826,94 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
         (c.hits, c.rebuilds)
     }
 
+    /// Per-shard health and accounting counters. Cheap (atomic reads);
+    /// safe to poll from monitoring.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, sh)| ShardStats {
+                shard: i,
+                health: health_of(sh.health()),
+                submitted: sh.submitted.load(Ordering::Acquire),
+                applied: sh.state.applied.load(Ordering::Acquire),
+                blocked_pushes: sh.blocked_pushes.load(Ordering::Relaxed),
+                dropped_msgs: sh.dropped_msgs.load(Ordering::Relaxed),
+                dropped_mass: sh.dropped_mass.load(Ordering::Relaxed),
+                lost_mass: sh.state.lost_mass.load(Ordering::Acquire),
+                panics: sh.state.panics.load(Ordering::Relaxed),
+                restarts: sh.state.restarts.load(Ordering::Relaxed),
+                last_panic: sh
+                    .state
+                    .last_panic
+                    .lock()
+                    .expect("panic-note mutex")
+                    .clone(),
+            })
+            .collect()
+    }
+
     fn note_time(&mut self, t: Time) {
         let last = self.last_t.load(Ordering::Relaxed);
         assert!(t >= last, "time went backwards: {t} < {last}");
         self.last_t.store(t, Ordering::Release);
     }
 
-    /// Routes one item to the shard owning `key`'s substream.
-    pub fn observe_keyed(&mut self, key: u64, t: Time, f: u64) {
-        self.note_time(t);
-        let i = (hash_key(key) % self.shards.len() as u64) as usize;
-        self.shards[i].push_all(&[Msg::Observe(t, f)]);
+    /// The next ingest target: `preferred` if live, else the next live
+    /// shard after it (wrapping). Returns `preferred` itself when every
+    /// shard is quarantined — `push_all` then accounts the drop.
+    fn route(&self, preferred: usize) -> usize {
+        let n = self.shards.len();
+        for off in 0..n {
+            let i = (preferred + off) % n;
+            if self.shards[i].health() != HEALTH_QUARANTINED {
+                return i;
+            }
+        }
+        preferred
     }
 
-    /// Blocks until every submitted message has been applied to its
-    /// shard's backend — the rings are empty and the shards quiescent.
-    /// (Only this `&self` coordinator submits, so the condition is
-    /// stable once reached.)
-    fn barrier(&self) {
-        for sh in &self.shards {
+    /// Routes one item to the shard owning `key`'s substream. Under
+    /// failures the key's shard may be quarantined; the item is then
+    /// rerouted to the next live shard (key locality is best-effort
+    /// once shards start dying, mass accounting is not).
+    pub fn observe_keyed(&mut self, key: u64, t: Time, f: u64) {
+        self.note_time(t);
+        let i = self.route((hash_key(key) % self.shards.len() as u64) as usize);
+        let policy = self.backpressure;
+        self.shards[i].push_all(&[Msg::Observe(t, f)], policy);
+    }
+
+    /// Waits until every live shard has applied everything submitted to
+    /// it. Returns the indices of quarantined shards (which will never
+    /// catch up and are excluded from the wait). `Err(i)` means shard
+    /// `i` hit `deadline` while neither caught-up nor quarantined.
+    /// Shards in `skip` are not waited on.
+    fn barrier_check(
+        &self,
+        deadline: Option<Instant>,
+        skip: &[usize],
+    ) -> Result<Vec<usize>, usize> {
+        let mut dead = Vec::new();
+        for (i, sh) in self.shards.iter().enumerate() {
+            if skip.contains(&i) {
+                continue;
+            }
             let target = sh.submitted.load(Ordering::Acquire);
             let mut spins = 0u32;
-            while sh.state.applied.load(Ordering::Acquire) < target {
+            loop {
+                if sh.health() == HEALTH_QUARANTINED {
+                    dead.push(i);
+                    break;
+                }
+                if sh.state.applied.load(Ordering::Acquire) >= target {
+                    break;
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(i);
+                    }
+                }
                 sh.thread.unpark();
                 spins += 1;
                 if spins < 64 {
@@ -320,46 +923,142 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
                 }
             }
         }
+        Ok(dead)
     }
 
-    /// Snapshots every shard at the barrier, advances the clones to the
-    /// shared clock, and folds them into one serving summary.
-    ///
-    /// Advancing the *clones* (never the live shards) is what keeps two
-    /// conventions intact at once: backends like WBMH require equal
-    /// clocks before `merge_from`, and §2.1 at-tick invisibility
-    /// survives because `advance(t)` with `t` equal to a backend's
-    /// current tick never folds that tick's pending mass.
-    fn build_merged(&self) -> B {
+    /// Mass that no folded state can ever cover again: shed load
+    /// (DropNewest / all-dead rerouting), recovery losses, and risk
+    /// inherited from merged-in engines. Widens *every* answer.
+    fn widening_mass(&self) -> u64 {
+        let mut m = self.extra_risk.load(Ordering::Acquire);
+        for sh in &self.shards {
+            m = m
+                .saturating_add(sh.state.lost_mass.load(Ordering::Acquire))
+                .saturating_add(sh.dropped_mass.load(Ordering::Acquire));
+        }
+        m
+    }
+
+    /// Snapshots live shards (skipping `dead`, whose last checkpoints
+    /// are folded instead), advances everything to the shared clock,
+    /// and folds into one summary. Returns the summary and the total
+    /// mass at risk (uncovered dead-shard mass + global widening mass).
+    fn fold_parts(&self, dead: &[usize]) -> (B, u64) {
         let t_sync = self.last_t.load(Ordering::Acquire);
-        let mut snaps: Vec<B> = self
-            .shards
-            .iter()
-            .map(|sh| {
-                sh.state
-                    .backend
-                    .lock()
-                    .expect("shard backend poisoned")
-                    .snapshot()
-            })
-            .collect();
-        if t_sync > 0 {
-            for snap in &mut snaps {
-                snap.advance(t_sync);
+        let mut parts: Vec<B> = Vec::with_capacity(self.shards.len());
+        let mut risk = self.widening_mass();
+        for (i, sh) in self.shards.iter().enumerate() {
+            if dead.contains(&i) {
+                let submitted_mass = sh.submitted_mass.load(Ordering::Acquire);
+                let mut covered = 0u64;
+                if let Some(fns) = self.ckpt_ops {
+                    let rec_guard = sh.state.ckpt.lock().expect("checkpoint mutex");
+                    if let Some(rec) = rec_guard.as_ref() {
+                        let mut b = self.template.clone();
+                        if (fns.restore)(&mut b, &rec.bytes).is_ok() {
+                            covered = rec.mass;
+                            parts.push(b);
+                        }
+                        // A failed restore (corruption) is *detected*:
+                        // the checkpoint is discarded and the whole
+                        // submitted mass goes at risk instead of being
+                        // silently wrong.
+                    }
+                }
+                risk = risk.saturating_add(submitted_mass.saturating_sub(covered));
+            } else {
+                parts.push(
+                    sh.state
+                        .backend
+                        .lock()
+                        .expect("backend mutex unpoisonable")
+                        .snapshot(),
+                );
             }
         }
-        let mut it = snaps.into_iter();
-        let mut merged = it.next().expect("at least one shard");
-        for snap in it {
-            merged.merge_from(&snap);
+        if t_sync > 0 {
+            for p in &mut parts {
+                p.advance(t_sync);
+            }
         }
-        merged
+        let mut it = parts.into_iter();
+        let mut merged = match it.next() {
+            Some(first) => first,
+            None => {
+                let mut b = self.template.clone();
+                if t_sync > 0 {
+                    b.advance(t_sync);
+                }
+                b
+            }
+        };
+        for p in it {
+            merged.merge_from(&p);
+        }
+        (merged, risk)
     }
 
-    /// Barrier, then serve from the epoch cache — rebuilding only if
-    /// some shard's epoch moved since the cached summary was built.
-    fn merged_guard(&self) -> MutexGuard<'_, Cache<B>> {
-        self.barrier();
+    /// Widens `base` (the folded summary's own envelope for `value`)
+    /// to also cover `risk_mass` units of missing strictly-past mass.
+    ///
+    /// Every missing item weighs at most `g(1)` (weights are
+    /// non-increasing and at-tick mass is invisible), so the missing
+    /// contribution is at most `D = risk_mass · g(1)`. With
+    /// `truth ≤ value/(1−l) + D` the sound lower widening is
+    /// `L = 1 − value / (value/(1−l) + D)`; the upper side is
+    /// unchanged — missing mass only makes the answer an
+    /// *under*-estimate. `g(1)` is probed through a fresh template
+    /// backend (observe 1 unit at t=1, query at t=2), inflated by the
+    /// probe's own error bound.
+    fn widen_for_missing(&self, base: ErrorBound, value: f64, risk_mass: u64) -> ErrorBound {
+        if risk_mass == 0 {
+            return base;
+        }
+        let mut probe = self.template.clone();
+        probe.observe(1, 1);
+        let est = probe.query(2);
+        let l_probe = probe.error_bound().lower;
+        let g1 = if l_probe < 1.0 && est.is_finite() {
+            est / (1.0 - l_probe)
+        } else {
+            f64::INFINITY
+        };
+        let d_max = risk_mass as f64 * g1;
+        let lower = if base.lower < 1.0 && d_max.is_finite() {
+            let ceiling = value / (1.0 - base.lower) + d_max;
+            if ceiling > 0.0 {
+                1.0 - value / ceiling
+            } else {
+                // No mass anywhere: truth is 0 and so is the answer.
+                base.lower
+            }
+        } else {
+            // `lower = 1` admits any under-estimate (est ≥ truth·0),
+            // which is the only sound claim without a finite g(1).
+            1.0
+        };
+        ErrorBound {
+            lower,
+            upper: base.upper,
+        }
+    }
+
+    /// Serves the degraded answer: live snapshots + dead checkpoints,
+    /// envelope widened by the mass at risk. Bypasses the epoch cache.
+    fn degraded_answer(&self, t: Time, dead: &[usize]) -> Answer {
+        let (merged, risk) = self.fold_parts(dead);
+        let value = merged.query(t);
+        let bound = self.widen_for_missing(merged.error_bound(), value, risk);
+        Answer {
+            value,
+            bound,
+            degraded: dead.to_vec(),
+        }
+    }
+
+    /// Refreshes (or reuses) the epoch-cached merged summary. Callers
+    /// must have barriered and verified that no shard is quarantined.
+    fn refreshed_cache(&self) -> MutexGuard<'_, Cache<B>> {
         let mut cache = self.cache.lock().expect("cache poisoned");
         let fresh = self
             .shards
@@ -367,7 +1066,7 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
             .map(|sh| sh.state.applied.load(Ordering::Acquire))
             .collect::<Vec<u64>>();
         if cache.merged.is_none() || cache.epochs != fresh {
-            cache.merged = Some(self.build_merged());
+            cache.merged = Some(self.fold_parts(&[]).0);
             cache.epochs = fresh;
             cache.rebuilds += 1;
         } else {
@@ -376,31 +1075,116 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
         cache
     }
 
+    /// The full-fidelity query path: barrier with a deadline, then
+    /// either the healthy epoch-cached answer or a degraded answer
+    /// folded from live snapshots plus dead shards' checkpoints, with
+    /// the envelope widened by the mass at risk.
+    ///
+    /// `Err(QueryError::Wedged)` means some shard neither caught up nor
+    /// quarantined within
+    /// [`SupervisorOptions::barrier_deadline`] — the caller decides
+    /// whether to retry, give up, or accept a checkpoint-served answer
+    /// via the trait-level [`StreamAggregate::query`].
+    pub fn try_query(&self, t: Time) -> Result<Answer, QueryError> {
+        let deadline = Instant::now() + self.barrier_deadline;
+        let dead = self
+            .barrier_check(Some(deadline), &[])
+            .map_err(|shard| QueryError::Wedged { shard })?;
+        let answer = if dead.is_empty() && self.widening_mass() == 0 {
+            let mut cache = self.refreshed_cache();
+            let merged = cache.merged.as_ref().expect("refreshed_cache builds it");
+            let ans = Answer {
+                value: merged.query(t),
+                bound: merged.error_bound(),
+                degraded: Vec::new(),
+            };
+            cache.last_bound = Some(ans.bound);
+            return Ok(ans);
+        } else {
+            self.degraded_answer(t, &dead)
+        };
+        self.cache.lock().expect("cache poisoned").last_bound = Some(answer.bound);
+        Ok(answer)
+    }
+
     /// The query path with the epoch cache bypassed: barrier, snapshot,
     /// advance, and merge on *every* call. This is what every query
     /// would cost without the cache; the e13 experiment measures the
     /// two side by side.
     pub fn query_uncached(&self, t: Time) -> f64 {
-        self.barrier();
-        self.build_merged().query(t)
+        let dead = self
+            .barrier_check(None, &[])
+            .expect("no deadline, cannot wedge");
+        if dead.is_empty() && self.widening_mass() == 0 {
+            self.fold_parts(&[]).0.query(t)
+        } else {
+            self.degraded_answer(t, &dead).value
+        }
     }
 
     /// Shuts the workers down (each drains its ring to empty first),
     /// joins them, and folds the shard backends into one owned summary.
     /// Nothing submitted before the call is lost.
-    pub fn into_merged(mut self) -> B {
+    ///
+    /// A shard that panicked past recovery surfaces as
+    /// `Err(`[`ShardError`]`)` carrying the shard index and the
+    /// captured panic payload — never a coordinator-side panic. All
+    /// workers are joined before returning either way.
+    pub fn into_merged(mut self) -> Result<B, ShardError> {
         let t_sync = self.last_t.load(Ordering::Acquire);
         let shards = std::mem::take(&mut self.shards);
-        let mut backends: Vec<B> = Vec::with_capacity(shards.len());
-        for mut sh in shards {
+        // Signal everyone before joining anyone, so a failure in one
+        // shard cannot leave another's worker spinning forever.
+        for sh in &shards {
             sh.state.shutdown.store(true, Ordering::Release);
             sh.thread.unpark();
+        }
+        let mut first_err: Option<ShardError> = None;
+        let mut backends: Vec<B> = Vec::with_capacity(shards.len());
+        for (i, mut sh) in shards.into_iter().enumerate() {
             if let Some(h) = sh.worker.take() {
-                h.join().expect("shard worker panicked");
+                if h.join().is_err() && first_err.is_none() {
+                    // Workers catch panics internally; an unwinding
+                    // join means the supervisor machinery itself died.
+                    first_err = Some(ShardError {
+                        shard: i,
+                        payload: "worker thread panicked outside the supervised region".into(),
+                    });
+                    continue;
+                }
             }
-            let state = Arc::try_unwrap(sh.state)
-                .unwrap_or_else(|_| panic!("worker exited but still holds shard state"));
-            backends.push(state.backend.into_inner().expect("shard backend poisoned"));
+            if sh.health() == HEALTH_QUARANTINED {
+                if first_err.is_none() {
+                    let payload = sh
+                        .state
+                        .last_panic
+                        .lock()
+                        .expect("panic-note mutex")
+                        .clone()
+                        .unwrap_or_else(|| "quarantined".into());
+                    first_err = Some(ShardError { shard: i, payload });
+                }
+                continue;
+            }
+            match Arc::try_unwrap(sh.state) {
+                Ok(state) => backends.push(
+                    state
+                        .backend
+                        .into_inner()
+                        .expect("backend mutex unpoisonable"),
+                ),
+                Err(_) => {
+                    if first_err.is_none() {
+                        first_err = Some(ShardError {
+                            shard: i,
+                            payload: "worker exited but still holds shard state".into(),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         if t_sync > 0 {
             for b in &mut backends {
@@ -412,7 +1196,7 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
         for b in it {
             merged.merge_from(&b);
         }
-        merged
+        Ok(merged)
     }
 }
 
@@ -423,10 +1207,11 @@ impl<B: StreamAggregate + Clone + Send + 'static> StreamAggregate for ShardedAgg
             Partitioner::RoundRobin | Partitioner::HashByKey => {
                 let i = self.rr_next;
                 self.rr_next = (self.rr_next + 1) % self.shards.len();
-                i
+                self.route(i)
             }
         };
-        self.shards[i].push_all(&[Msg::Observe(t, f)]);
+        let policy = self.backpressure;
+        self.shards[i].push_all(&[Msg::Observe(t, f)], policy);
     }
 
     fn observe_batch(&mut self, items: &[(Time, u64)]) {
@@ -449,90 +1234,148 @@ impl<B: StreamAggregate + Clone + Send + 'static> StreamAggregate for ShardedAgg
         }
         let n = self.shards.len();
         for &(t, f) in items {
-            self.scratch[self.rr_next].push(Msg::Observe(t, f));
+            let i = self.route(self.rr_next);
+            self.scratch[i].push(Msg::Observe(t, f));
             self.rr_next = (self.rr_next + 1) % n;
         }
+        let policy = self.backpressure;
         for (sh, buf) in self.shards.iter_mut().zip(&self.scratch) {
             if !buf.is_empty() {
-                sh.push_all(buf);
+                sh.push_all(buf, policy);
             }
         }
     }
 
     fn advance(&mut self, t: Time) {
         self.note_time(t);
+        let policy = self.backpressure;
         for sh in &mut self.shards {
-            sh.push_all(&[Msg::Advance(t)]);
+            sh.push_all(&[Msg::Advance(t)], policy);
         }
     }
 
+    /// Never hangs and never panics on shard failure: healthy engines
+    /// serve the epoch-cached merged summary; degraded engines fold
+    /// live snapshots plus dead shards' checkpoints; a shard that
+    /// misses the barrier deadline is treated as dead *for this query*
+    /// and served from its checkpoint too. Use
+    /// [`try_query`](ShardedAggregate::try_query) to receive the
+    /// envelope and the degraded-shard list alongside the value.
     fn query(&self, t: Time) -> f64 {
-        self.merged_guard()
-            .merged
-            .as_ref()
-            .expect("merged_guard builds the summary")
-            .query(t)
+        let mut wedged: Vec<usize> = Vec::new();
+        loop {
+            let deadline = Instant::now() + self.barrier_deadline;
+            match self.barrier_check(Some(deadline), &wedged) {
+                Ok(mut dead) => {
+                    if dead.is_empty() && wedged.is_empty() && self.widening_mass() == 0 {
+                        let mut cache = self.refreshed_cache();
+                        let merged = cache.merged.as_ref().expect("refreshed_cache builds it");
+                        let value = merged.query(t);
+                        let bound = merged.error_bound();
+                        cache.last_bound = Some(bound);
+                        return value;
+                    }
+                    dead.extend_from_slice(&wedged);
+                    dead.sort_unstable();
+                    dead.dedup();
+                    let ans = self.degraded_answer(t, &dead);
+                    self.cache.lock().expect("cache poisoned").last_bound = Some(ans.bound);
+                    return ans.value;
+                }
+                Err(shard) => wedged.push(shard),
+            }
+        }
     }
 
-    /// Folds another sharded engine's merged summary into shard 0 of
-    /// this one. Both engines are quiesced at their barriers; both
+    /// Folds another sharded engine's summary into the first live shard
+    /// of this one. Both engines are quiesced at their barriers; both
     /// sides are advanced to the later of the two clocks first (the
     /// folded-in mass is strictly past by then, so visibility is
-    /// unchanged).
+    /// unchanged). Mass at risk in `other` (dead shards, shed load)
+    /// carries over into this engine's widening mass.
     fn merge_from(&mut self, other: &Self) {
-        self.barrier();
-        other.barrier();
+        let self_dead = self
+            .barrier_check(None, &[])
+            .expect("no deadline, cannot wedge");
+        let other_dead = other
+            .barrier_check(None, &[])
+            .expect("no deadline, cannot wedge");
         let t_common = self
             .last_t
             .load(Ordering::Acquire)
             .max(other.last_t.load(Ordering::Acquire));
-        let mut theirs = other.build_merged();
+        let (mut theirs, their_risk) = other.fold_parts(&other_dead);
         if t_common > 0 {
             theirs.advance(t_common);
         }
+        let target = (0..self.shards.len())
+            .find(|i| !self_dead.contains(i))
+            .expect("no live shard left to merge into");
         {
-            let mut backend = self.shards[0]
+            let mut backend = self.shards[target]
                 .state
                 .backend
                 .lock()
-                .expect("shard backend poisoned");
+                .expect("backend mutex unpoisonable");
             if t_common > 0 {
                 backend.advance(t_common);
             }
             backend.merge_from(&theirs);
         }
+        self.extra_risk.fetch_add(their_risk, Ordering::Release);
         self.last_t.store(t_common, Ordering::Release);
-        // The fold changed shard 0 without moving its applied counter:
-        // drop the cached summary explicitly.
+        // The fold changed the target shard without moving its applied
+        // counter: drop the cached summary explicitly.
         let cache = self.cache.get_mut().expect("cache poisoned");
         cache.merged = None;
         cache.epochs.clear();
+        cache.last_bound = None;
     }
 
-    /// The merged serving summary's own envelope — merge fan-in
-    /// widening (k·ε for the EH family) is already folded into the
-    /// cached summary's state.
+    /// The serving envelope. Healthy engines read it from the merged
+    /// summary (merge fan-in widening, k·ε for the EH family, is
+    /// already folded into its state). Degraded engines report the
+    /// widened envelope of the most recent answer — issue a query
+    /// first; with no answer to stand on the envelope is unbounded.
     fn error_bound(&self) -> ErrorBound {
-        self.merged_guard()
-            .merged
-            .as_ref()
-            .expect("merged_guard builds the summary")
-            .error_bound()
+        let deadline = Instant::now() + self.barrier_deadline;
+        if let Ok(dead) = self.barrier_check(Some(deadline), &[]) {
+            if dead.is_empty() && self.widening_mass() == 0 {
+                let mut cache = self.refreshed_cache();
+                let bound = cache
+                    .merged
+                    .as_ref()
+                    .expect("refreshed_cache builds it")
+                    .error_bound();
+                cache.last_bound = Some(bound);
+                return bound;
+            }
+        }
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .last_bound
+            .unwrap_or_else(ErrorBound::unbounded)
     }
 }
 
 impl<B: StreamAggregate + Clone + Send + 'static> StorageAccounting for ShardedAggregate<B> {
     /// Total bits across the live shards (the cache is serving state,
-    /// not summary state, and is excluded — it duplicates the shards).
+    /// not summary state, and is excluded — it duplicates the shards;
+    /// quarantined shards' torn state is excluded too).
     fn storage_bits(&self) -> u64 {
-        self.barrier();
+        let dead = self
+            .barrier_check(None, &[])
+            .expect("no deadline, cannot wedge");
         self.shards
             .iter()
-            .map(|sh| {
+            .enumerate()
+            .filter(|(i, _)| !dead.contains(i))
+            .map(|(_, sh)| {
                 sh.state
                     .backend
                     .lock()
-                    .expect("shard backend poisoned")
+                    .expect("backend mutex unpoisonable")
                     .storage_bits()
             })
             .sum()
@@ -571,6 +1414,64 @@ mod tests {
             out.push((t, 1 + x % 7));
         }
         out
+    }
+
+    /// A backend wrapper that panics once, on the Nth `observe_batch`
+    /// call across all clones sharing the trigger.
+    #[derive(Clone, Debug)]
+    struct PanicOnNth<B> {
+        inner: B,
+        calls: Arc<AtomicU64>,
+        fire_at: u64,
+    }
+
+    impl<B> PanicOnNth<B> {
+        fn wrap(inner: B, calls: Arc<AtomicU64>, fire_at: u64) -> Self {
+            PanicOnNth {
+                inner,
+                calls,
+                fire_at,
+            }
+        }
+    }
+
+    impl<B: StorageAccounting> StorageAccounting for PanicOnNth<B> {
+        fn storage_bits(&self) -> u64 {
+            self.inner.storage_bits()
+        }
+    }
+
+    impl<B: StreamAggregate + Clone> StreamAggregate for PanicOnNth<B> {
+        fn observe(&mut self, t: Time, f: u64) {
+            self.inner.observe(t, f)
+        }
+        fn observe_batch(&mut self, items: &[(Time, u64)]) {
+            if self.calls.fetch_add(1, Ordering::SeqCst) + 1 == self.fire_at {
+                panic!("injected fault");
+            }
+            self.inner.observe_batch(items)
+        }
+        fn advance(&mut self, t: Time) {
+            self.inner.advance(t)
+        }
+        fn query(&self, t: Time) -> f64 {
+            self.inner.query(t)
+        }
+        fn merge_from(&mut self, other: &Self) {
+            self.inner.merge_from(&other.inner)
+        }
+        fn error_bound(&self) -> ErrorBound {
+            self.inner.error_bound()
+        }
+    }
+
+    impl<B: StreamAggregate + Checkpoint + Clone> Checkpoint for PanicOnNth<B> {
+        fn save_checkpoint(&self) -> Vec<u8> {
+            self.inner.save_checkpoint()
+        }
+        fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+            self.inner.restore_checkpoint(bytes)
+        }
     }
 
     #[test]
@@ -661,7 +1562,7 @@ mod tests {
             ExactDecayedSum::new(Constant)
         });
         s.observe_batch(&items);
-        let merged = s.into_merged();
+        let merged = s.into_merged().expect("no shard failed");
         let probe = items.last().unwrap().0 + 1;
         assert_eq!(merged.query(probe), total as f64, "items were dropped");
     }
@@ -701,5 +1602,220 @@ mod tests {
         s.advance(1000);
         assert_eq!(s.query(1001), 0.0, "window-expired mass must be gone");
         assert!(s.storage_bits() == 0, "expired state must be reclaimed");
+    }
+
+    #[test]
+    fn supervised_restart_recovers_losslessly() {
+        // A one-shot panic on some worker's 5th chunk. With the
+        // checkpoint-every-chunk default the restore covers everything
+        // before the failed chunk, and the replay (which no longer
+        // fires) reapplies the chunk itself: zero mass lost.
+        let items = stream(8_000);
+        let calls = Arc::new(AtomicU64::new(0));
+        let trigger = Arc::clone(&calls);
+        let mut s = ShardedAggregate::supervised(4, SupervisorOptions::default(), move || {
+            PanicOnNth::wrap(ExactDecayedSum::new(Constant), Arc::clone(&trigger), 5)
+        });
+        let mut single = ExactDecayedSum::new(Constant);
+        single.observe_batch(&items);
+        // Small pushes so workers drain many chunks (the panic needs a
+        // chunk boundary to fire between checkpoints).
+        for chunk in items.chunks(64) {
+            s.observe_batch(chunk);
+        }
+        let probe = items.last().unwrap().0 + 1;
+        let ans = s.try_query(probe).expect("barrier must not wedge");
+        assert_eq!(ans.value, single.query(probe), "restart lost mass");
+        assert!(ans.degraded.is_empty(), "recovered shard is not degraded");
+        let stats = s.shard_stats();
+        let restarts: u64 = stats.iter().map(|st| st.restarts).sum();
+        let panics: u64 = stats.iter().map(|st| st.panics).sum();
+        assert_eq!(restarts, 1, "exactly one restart: {stats:?}");
+        assert!(panics >= 1);
+        assert!(stats.iter().all(|st| st.health == ShardHealth::Live));
+        assert!(stats.iter().all(|st| st.lost_mass == 0));
+        assert!(
+            stats.iter().any(|st| st
+                .last_panic
+                .as_deref()
+                .is_some_and(|p| p.contains("injected fault"))),
+            "panic payload must be captured"
+        );
+    }
+
+    #[test]
+    fn unsupervised_panic_quarantines_and_widens() {
+        let items = stream(4_000);
+        let calls = Arc::new(AtomicU64::new(0));
+        let trigger = Arc::clone(&calls);
+        let mut s = ShardedAggregate::new(4, move || {
+            PanicOnNth::wrap(ExactDecayedSum::new(Constant), Arc::clone(&trigger), 4)
+        });
+        let mut single = ExactDecayedSum::new(Constant);
+        single.observe_batch(&items);
+        for chunk in items.chunks(64) {
+            s.observe_batch(chunk);
+        }
+        let probe = items.last().unwrap().0 + 1;
+        let ans = s.try_query(probe).expect("barrier must not wedge");
+        assert_eq!(ans.degraded.len(), 1, "one shard must be quarantined");
+        let truth = single.query(probe);
+        assert!(
+            ans.bound.admits(ans.value, truth, 1e-9),
+            "degraded answer {} with bound {:?} must cover truth {}",
+            ans.value,
+            ans.bound,
+            truth
+        );
+        assert!(
+            ans.value <= truth,
+            "a degraded exact counter can only under-count"
+        );
+        let stats = s.shard_stats();
+        assert_eq!(
+            stats
+                .iter()
+                .filter(|st| st.health == ShardHealth::Quarantined)
+                .count(),
+            1
+        );
+        // The engine keeps serving through the trait path too.
+        assert_eq!(s.query(probe + 1), ans.value);
+    }
+
+    #[test]
+    fn default_policy_never_drops() {
+        // Tiny rings + a burst far larger than their capacity: the
+        // blocking policy must stall (counted) rather than shed.
+        let items = stream(30_000);
+        let total: u64 = items.iter().map(|&(_, f)| f).sum();
+        let opts = SupervisorOptions {
+            ring_capacity: 16,
+            ..SupervisorOptions::default()
+        };
+        let mut s = ShardedAggregate::supervised(3, opts, || ExactDecayedSum::new(Constant));
+        s.observe_batch(&items);
+        let stats = s.shard_stats();
+        assert!(
+            stats
+                .iter()
+                .all(|st| st.dropped_msgs == 0 && st.dropped_mass == 0),
+            "Block policy must never drop: {stats:?}"
+        );
+        assert!(
+            stats.iter().map(|st| st.blocked_pushes).sum::<u64>() > 0,
+            "a 16-slot ring under a 30k burst must have stalled"
+        );
+        let probe = items.last().unwrap().0 + 1;
+        let merged = s.into_merged().expect("no shard failed");
+        assert_eq!(merged.query(probe), total as f64);
+    }
+
+    #[test]
+    fn drop_newest_accounts_and_widens() {
+        let items = stream(10_000);
+        let opts = SupervisorOptions {
+            ring_capacity: 16,
+            backpressure: BackpressurePolicy::DropNewest,
+            ..SupervisorOptions::default()
+        };
+        let mut s = ShardedAggregate::supervised(2, opts, || ExactDecayedSum::new(Constant));
+        s.observe_batch(&items);
+        let stats = s.shard_stats();
+        let dropped_mass: u64 = stats.iter().map(|st| st.dropped_mass).sum();
+        assert!(dropped_mass > 0, "a 16-slot ring must have shed load");
+        let probe = items.last().unwrap().0 + 1;
+        let ans = s.try_query(probe).expect("no wedge");
+        let truth: u64 = items.iter().map(|&(_, f)| f).sum();
+        assert!(
+            ans.bound.lower > 0.0,
+            "shed load must widen the envelope: {:?}",
+            ans.bound
+        );
+        assert!(
+            ans.bound.admits(ans.value, truth as f64, 1e-9),
+            "widened bound {:?} must cover truth {} (got {})",
+            ans.bound,
+            truth,
+            ans.value
+        );
+    }
+
+    /// A backend whose `observe_batch` blocks until released — wedges
+    /// its worker without panicking.
+    #[derive(Clone)]
+    struct Wedgeable {
+        inner: ExactDecayedSum<Constant>,
+        release: Arc<AtomicBool>,
+    }
+
+    impl StorageAccounting for Wedgeable {
+        fn storage_bits(&self) -> u64 {
+            self.inner.storage_bits()
+        }
+    }
+
+    impl StreamAggregate for Wedgeable {
+        fn observe(&mut self, t: Time, f: u64) {
+            self.inner.observe(t, f)
+        }
+        fn observe_batch(&mut self, items: &[(Time, u64)]) {
+            while !self.release.load(Ordering::Acquire) {
+                thread::sleep(Duration::from_millis(1));
+            }
+            self.inner.observe_batch(items)
+        }
+        fn advance(&mut self, t: Time) {
+            self.inner.advance(t)
+        }
+        fn query(&self, t: Time) -> f64 {
+            self.inner.query(t)
+        }
+        fn merge_from(&mut self, other: &Self) {
+            self.inner.merge_from(&other.inner)
+        }
+    }
+
+    #[test]
+    fn wedged_barrier_is_a_typed_error_not_a_hang() {
+        let release = Arc::new(AtomicBool::new(false));
+        let r = Arc::clone(&release);
+        let opts = SupervisorOptions {
+            barrier_deadline: Duration::from_millis(25),
+            ..SupervisorOptions::default()
+        };
+        let mut s = ShardedAggregate::build(2, opts, None, &move || Wedgeable {
+            inner: ExactDecayedSum::new(Constant),
+            release: Arc::clone(&r),
+        });
+        s.observe(5, 3);
+        s.observe(5, 4);
+        let err = s.try_query(6).expect_err("a wedged shard must surface");
+        let QueryError::Wedged { shard } = err;
+        assert!(shard < 2);
+        // Unwedge so teardown joins cleanly.
+        release.store(true, Ordering::Release);
+        let merged = s.into_merged().expect("released workers finish");
+        assert_eq!(merged.query(6), 7.0);
+    }
+
+    #[test]
+    fn into_merged_surfaces_worker_failure_as_typed_error() {
+        let items = stream(2_000);
+        let calls = Arc::new(AtomicU64::new(0));
+        let trigger = Arc::clone(&calls);
+        let mut s = ShardedAggregate::new(3, move || {
+            PanicOnNth::wrap(ExactDecayedSum::new(Constant), Arc::clone(&trigger), 3)
+        });
+        for chunk in items.chunks(64) {
+            s.observe_batch(chunk);
+        }
+        let err = s.into_merged().expect_err("quarantine must surface");
+        assert!(err.shard < 3);
+        assert!(
+            err.payload.contains("injected fault"),
+            "payload must carry the panic message, got: {}",
+            err.payload
+        );
     }
 }

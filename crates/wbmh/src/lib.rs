@@ -950,6 +950,191 @@ impl<G: DecayFunction> Wbmh<G> {
     }
 }
 
+/// Checkpoint tag for [`Wbmh`].
+const TAG_WBMH: u8 = 8;
+
+impl<G: DecayFunction> td_decay::checkpoint::Checkpoint for Wbmh<G> {
+    fn save_checkpoint(&self) -> Vec<u8> {
+        use td_decay::checkpoint::{fingerprint, CheckpointWriter};
+        let mut w = CheckpointWriter::new(TAG_WBMH);
+        // Configuration pins: the schedule is derived from (g, ε,
+        // max_age), so pinning ε, the decay description, the seal
+        // period, and the schedule extent catches any mismatch that
+        // would silently reinterpret bucket spans.
+        w.put_u64(self.epsilon.to_bits());
+        match self.count_epsilon {
+            None => w.put_bool(false),
+            Some(ce) => {
+                w.put_bool(true);
+                w.put_u64(ce.to_bits());
+            }
+        }
+        w.put_u64(fingerprint(&self.decay.describe()));
+        w.put_u64(self.seal_period);
+        w.put_u64(self.schedule.num_regions() as u64);
+        w.put_u64(self.schedule.boundary(self.schedule.num_regions() - 1));
+        // Per-stream state.
+        w.put_u64(self.last_t);
+        w.put_bool(self.started);
+        w.put_u64(self.seals_since_pass as u64);
+        match self.pending {
+            None => w.put_bool(false),
+            Some((t, f)) => {
+                w.put_bool(true);
+                w.put_u64(t);
+                w.put_u64(f);
+            }
+        }
+        let encode = |w: &mut CheckpointWriter, b: &WbmhBucket| {
+            w.put_u64(b.start);
+            w.put_u64(b.end);
+            w.put_u64(b.first_item);
+            w.put_u64(b.last_item);
+            match &b.count {
+                BucketCount::Exact(c) => w.put_u64(*c),
+                BucketCount::Approx(a) => {
+                    w.put_u64(a.value().to_bits());
+                    w.put_u32(a.depth());
+                }
+            }
+        };
+        w.put_u64(self.buckets.len() as u64);
+        for b in &self.buckets {
+            encode(&mut w, b);
+        }
+        match &self.open {
+            None => w.put_bool(false),
+            Some(b) => {
+                w.put_bool(true);
+                encode(&mut w, b);
+            }
+        }
+        w.seal()
+    }
+
+    fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), td_decay::RestoreError> {
+        use td_decay::checkpoint::{fingerprint, CheckpointReader, RestoreError};
+        let mut r = CheckpointReader::open(bytes, TAG_WBMH)?;
+        if r.get_u64()? != self.epsilon.to_bits() {
+            return Err(RestoreError::Invariant(format!(
+                "epsilon mismatch: receiver has {}",
+                self.epsilon
+            )));
+        }
+        let has_ce = r.get_bool()?;
+        let ce_bits = if has_ce { Some(r.get_u64()?) } else { None };
+        if ce_bits != self.count_epsilon.map(f64::to_bits) {
+            return Err(RestoreError::Invariant("count mode mismatch".into()));
+        }
+        if r.get_u64()? != fingerprint(&self.decay.describe()) {
+            return Err(RestoreError::Invariant(format!(
+                "decay mismatch: receiver is {}",
+                self.decay.describe()
+            )));
+        }
+        if r.get_u64()? != self.seal_period
+            || r.get_u64()? != self.schedule.num_regions() as u64
+            || r.get_u64()? != self.schedule.boundary(self.schedule.num_regions() - 1)
+        {
+            return Err(RestoreError::Invariant(
+                "region schedule mismatch (different max_age?)".into(),
+            ));
+        }
+        let last_t = r.get_u64()?;
+        let started = r.get_bool()?;
+        let seals_since_pass = r.get_u64()? as usize;
+        let pending = if r.get_bool()? {
+            let t = r.get_u64()?;
+            let f = r.get_u64()?;
+            if t > last_t {
+                return Err(RestoreError::Invariant(format!(
+                    "pending tick {t} newer than checkpoint clock {last_t}"
+                )));
+            }
+            Some((t, f))
+        } else {
+            None
+        };
+        let count_epsilon = self.count_epsilon;
+        let decode = |r: &mut CheckpointReader| -> Result<WbmhBucket, RestoreError> {
+            let start = r.get_u64()?;
+            let end = r.get_u64()?;
+            let first_item = r.get_u64()?;
+            let last_item = r.get_u64()?;
+            let count = match count_epsilon {
+                None => BucketCount::Exact(r.get_u64()?),
+                Some(ce) => {
+                    let value = f64::from_bits(r.get_u64()?);
+                    let depth = r.get_u32()?;
+                    if !value.is_finite() || value < 0.0 {
+                        return Err(RestoreError::Invariant(format!(
+                            "invalid count value {value}"
+                        )));
+                    }
+                    BucketCount::Approx(ApproxCount::from_parts(value, depth, ce))
+                }
+            };
+            if start > end || first_item < start || last_item > end || first_item > last_item {
+                return Err(RestoreError::Invariant(format!(
+                    "bucket items [{first_item}, {last_item}] escape cell [{start}, {end}]"
+                )));
+            }
+            Ok(WbmhBucket {
+                start,
+                end,
+                first_item,
+                last_item,
+                count,
+            })
+        };
+        let n = r.get_u64()?;
+        let mut buckets = VecDeque::with_capacity(n as usize);
+        let mut prev_end: Option<Time> = None;
+        for i in 0..n {
+            let b = decode(&mut r)?;
+            if let Some(pe) = prev_end {
+                if b.start <= pe {
+                    return Err(RestoreError::Invariant(format!(
+                        "buckets {} and {i} overlap or run backwards",
+                        i.saturating_sub(1)
+                    )));
+                }
+            }
+            prev_end = Some(b.end);
+            buckets.push_back(b);
+        }
+        let open = if r.get_bool()? {
+            let b = decode(&mut r)?;
+            if let Some(pe) = prev_end {
+                if b.start <= pe {
+                    return Err(RestoreError::Invariant(
+                        "open bucket overlaps sealed buckets".into(),
+                    ));
+                }
+            }
+            Some(b)
+        } else {
+            None
+        };
+        r.finish()?;
+        if !started && (last_t != 0 || !buckets.is_empty() || open.is_some() || pending.is_some()) {
+            return Err(RestoreError::Invariant(
+                "unstarted histogram carries state".into(),
+            ));
+        }
+        self.buckets = buckets;
+        self.open = open;
+        self.pending = pending;
+        self.seals_since_pass = seals_since_pass;
+        // 0 = "unknown — recompute at the next merge pass"; skipping is
+        // only an optimization, so this keeps structure bit-identical.
+        self.next_merge_at = 0;
+        self.last_t = last_t;
+        self.started = started;
+        Ok(())
+    }
+}
+
 impl<G: DecayFunction> td_decay::StreamAggregate for Wbmh<G> {
     fn observe(&mut self, t: Time, f: u64) {
         Wbmh::observe(self, t, f)

@@ -22,7 +22,7 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Pads and aligns a value to a cache line to prevent false sharing.
@@ -36,6 +36,14 @@ struct Ring<T> {
     head: CachePadded<AtomicUsize>,
     /// Next slot the producer will write. Written by producer only.
     tail: CachePadded<AtomicUsize>,
+    /// Set when either half is dropped or explicitly closed — a
+    /// level-triggered signal the surviving half can poll without
+    /// relying on `Arc::strong_count` (which a supervisor holding a
+    /// spare handle would inflate).
+    closed: AtomicBool,
+    /// Set when a half was dropped *during a panic* — distinguishes an
+    /// orderly shutdown from a peer that died mid-operation.
+    poisoned: AtomicBool,
 }
 
 // The ring hands `&UnsafeCell` slots to exactly one producer and one
@@ -91,6 +99,8 @@ pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         mask: cap - 1,
         head: CachePadded(AtomicUsize::new(0)),
         tail: CachePadded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+        poisoned: AtomicBool::new(false),
     });
     (
         Producer {
@@ -140,6 +150,32 @@ impl<T> Producer<T> {
     /// True when the consumer half has been dropped.
     pub fn is_disconnected(&self) -> bool {
         Arc::strong_count(&self.ring) == 1
+    }
+
+    /// Marks the channel closed without dropping this half. The consumer
+    /// sees it via [`Consumer::is_closed`]; items already in the ring
+    /// remain poppable.
+    pub fn close(&self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+
+    /// True once either half has been dropped or explicitly closed.
+    pub fn is_closed(&self) -> bool {
+        self.ring.closed.load(Ordering::Acquire)
+    }
+
+    /// True when a half was dropped while its thread was panicking.
+    pub fn is_poisoned(&self) -> bool {
+        self.ring.poisoned.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.ring.poisoned.store(true, Ordering::Release);
+        }
+        self.ring.closed.store(true, Ordering::Release);
     }
 }
 
@@ -193,6 +229,31 @@ impl<T> Consumer<T> {
     /// True when the producer half has been dropped.
     pub fn is_disconnected(&self) -> bool {
         Arc::strong_count(&self.ring) == 1
+    }
+
+    /// Marks the channel closed without dropping this half. The producer
+    /// sees it via [`Producer::is_closed`] and can stop pushing.
+    pub fn close(&self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+
+    /// True once either half has been dropped or explicitly closed.
+    pub fn is_closed(&self) -> bool {
+        self.ring.closed.load(Ordering::Acquire)
+    }
+
+    /// True when a half was dropped while its thread was panicking.
+    pub fn is_poisoned(&self) -> bool {
+        self.ring.poisoned.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.ring.poisoned.store(true, Ordering::Release);
+        }
+        self.ring.closed.store(true, Ordering::Release);
     }
 }
 
@@ -296,6 +357,39 @@ mod tests {
         drop(tx);
         drop(rx);
         assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn drop_signals_closed_not_poisoned() {
+        let (tx, rx) = ring::<u8>(4);
+        assert!(!tx.is_closed());
+        assert!(!rx.is_closed());
+        drop(rx);
+        assert!(tx.is_closed());
+        assert!(!tx.is_poisoned());
+    }
+
+    #[test]
+    fn explicit_close_leaves_items_poppable() {
+        let (mut tx, mut rx) = ring::<u8>(4);
+        tx.push(7).unwrap();
+        rx.close();
+        assert!(tx.is_closed());
+        assert!(rx.is_closed());
+        assert_eq!(rx.pop(), Some(7));
+        assert!(!tx.is_poisoned());
+    }
+
+    #[test]
+    fn panicking_drop_poisons() {
+        let (tx, rx) = ring::<u8>(4);
+        let h = std::thread::spawn(move || {
+            let _rx = rx;
+            panic!("worker died");
+        });
+        assert!(h.join().is_err());
+        assert!(tx.is_closed());
+        assert!(tx.is_poisoned());
     }
 
     /// Threaded stress: every pushed value arrives exactly once, in order,
