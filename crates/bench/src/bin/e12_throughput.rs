@@ -9,7 +9,7 @@ use std::time::Instant;
 use td_bench::Table;
 use td_ceh::CascadedEh;
 use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCounter};
-use td_decay::{Exponential, Polynomial, StreamAggregate};
+use td_decay::{DecayFunction, Exponential, PolyExponential, Polynomial, StreamAggregate};
 use td_stream::BernoulliStream;
 use td_wbmh::Wbmh;
 
@@ -118,7 +118,93 @@ fn main() {
          query scans every live item — the cost the summaries exist to avoid)"
     );
 
-    batched_vs_single();
+    let kernel_rows = kernel_speedups();
+    batched_vs_single(&kernel_rows);
+}
+
+/// Measures the chunked `weight_batch` kernels against the per-item
+/// scalar `weight` loop they replace (DESIGN.md §12), over an age
+/// distribution shaped like a live bucket column. The exp/poly closed
+/// forms must clear 1.5× — that is the point of carrying hand-rolled
+/// `exp`/`ln` chunk primitives instead of calling libm per bucket.
+fn kernel_speedups() -> Vec<(String, f64, f64)> {
+    const AGES: usize = 4096;
+    const REPS: usize = 400;
+    let ages: Vec<u64> = (0..AGES as u64).map(|i| 1 + (i * 37) % 100_000).collect();
+    let mut out = vec![0.0f64; AGES];
+
+    let mut measure = |name: &str, g: &dyn DecayFunction| -> (String, f64, f64) {
+        let mut scalar_ns = f64::INFINITY;
+        let mut batch_ns = f64::INFINITY;
+        for _ in 0..7 {
+            let t0 = Instant::now();
+            for _ in 0..REPS {
+                for (o, &a) in out.iter_mut().zip(&ages) {
+                    *o = g.weight(a);
+                }
+                std::hint::black_box(&mut out);
+            }
+            scalar_ns = scalar_ns.min(t0.elapsed().as_nanos() as f64 / (AGES * REPS) as f64);
+        }
+        for _ in 0..7 {
+            let t0 = Instant::now();
+            for _ in 0..REPS {
+                g.weight_batch(&ages, &mut out);
+                std::hint::black_box(&mut out);
+            }
+            batch_ns = batch_ns.min(t0.elapsed().as_nanos() as f64 / (AGES * REPS) as f64);
+        }
+        (name.to_string(), scalar_ns, batch_ns)
+    };
+
+    let rows = vec![
+        measure("expd", &Exponential::new(0.001)),
+        measure("poly1", &Polynomial::new(1.0)),
+        measure("poly2", &Polynomial::new(2.0)),
+        measure("polyexp-k2", &PolyExponential::new(2, 0.001)),
+    ];
+
+    println!("\nDecay-kernel dispatch: scalar `weight` loop vs chunked `weight_batch`\n");
+    let mut table = Table::new(&["kernel", "scalar ns/item", "batch ns/item", "speedup"]);
+    for (name, scalar_ns, batch_ns) in &rows {
+        table.row(&[
+            name.clone(),
+            format!("{scalar_ns:.2}"),
+            format!("{batch_ns:.2}"),
+            format!("{:.2}x", scalar_ns / batch_ns),
+        ]);
+    }
+    table.print();
+
+    for (name, scalar_ns, batch_ns) in &rows {
+        if name == "expd" || name == "poly1" {
+            assert!(
+                scalar_ns / batch_ns >= 1.5,
+                "{name} weight_batch speedup {:.2}x below the 1.5x floor \
+                 ({scalar_ns:.2} vs {batch_ns:.2} ns/item)",
+                scalar_ns / batch_ns
+            );
+        }
+    }
+    rows
+}
+
+/// Reads the committed `BENCH_throughput.json` (if any) and returns the
+/// baseline batched ns/item for `backend`. Substring parsing on
+/// purpose: the repo vendors no JSON library, and the format is our
+/// own writer's.
+fn baseline_batched_ns(baseline: &str, backend: &str) -> Option<f64> {
+    let tag = format!("\"backend\": \"{backend}\"");
+    let row_start = baseline.find(&tag)?;
+    let rest = &baseline[row_start..];
+    let row_end = rest.find('}').unwrap_or(rest.len());
+    let row = &rest[..row_end];
+    let field = "\"batched_ns_per_item\": ";
+    let v = &row[row.find(field)? + field.len()..];
+    let end = v
+        .find(|c: char| c != '.' && !c.is_ascii_digit())
+        .unwrap_or(v.len());
+    v[..end].parse().ok()
 }
 
 /// A bursty multi-arrival stream: ~1e6 items over ~1e5 ticks, where
@@ -196,7 +282,7 @@ fn measure<A: StreamAggregate>(
     (name.to_string(), single_ns, batched_ns)
 }
 
-fn batched_vs_single() {
+fn batched_vs_single(kernel_rows: &[(String, f64, f64)]) {
     println!("\nSingle-item vs batched ingest, 1e6-item bursty stream (same-tick bursts)\n");
     let items = bursty_items(1_000_000);
     let exp = Exponential::new(0.001);
@@ -219,8 +305,9 @@ fn batched_vs_single() {
         }),
     ];
 
+    let host = td_bench::hostinfo::json_fragment();
     let mut table = Table::new(&["backend", "single ns/item", "batched ns/item", "speedup"]);
-    let mut json = String::from("[\n");
+    let mut json = String::from("{\n  \"ingest\": [\n");
     for (i, (name, single_ns, batched_ns)) in rows.iter().enumerate() {
         let speedup = single_ns / batched_ns;
         table.row(&[
@@ -230,12 +317,21 @@ fn batched_vs_single() {
             format!("{speedup:.2}x"),
         ]);
         json.push_str(&format!(
-            "  {{\"backend\": \"{name}\", \"single_ns_per_item\": {single_ns:.2}, \
-             \"batched_ns_per_item\": {batched_ns:.2}, \"speedup\": {speedup:.3}}}{}\n",
+            "    {{\"backend\": \"{name}\", \"single_ns_per_item\": {single_ns:.2}, \
+             \"batched_ns_per_item\": {batched_ns:.2}, \"speedup\": {speedup:.3}, {host}}}{}\n",
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
-    json.push_str("]\n");
+    json.push_str("  ],\n  \"kernels\": [\n");
+    for (i, (name, scalar_ns, batch_ns)) in kernel_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{name}\", \"scalar_ns_per_item\": {scalar_ns:.2}, \
+             \"batch_ns_per_item\": {batch_ns:.2}, \"speedup\": {:.3}, {host}}}{}\n",
+            scalar_ns / batch_ns,
+            if i + 1 == kernel_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
     table.print();
 
     // The oracle's batch path is a reserve-once append — if it ever
@@ -249,7 +345,32 @@ fn batched_vs_single() {
          single-item ({oracle_single:.1} ns/item)"
     );
 
+    // Regression gate against the committed baseline: batched ingest
+    // must not be >10% worse than the numbers in the repo's
+    // BENCH_throughput.json (the file this run is about to replace).
+    // CI sets TD_BENCH_BASELINE_SLACK to loosen the gate on shared
+    // runners; the committed-baseline refresh is deliberate (rerun and
+    // commit the new file), never silent.
     let path = "BENCH_throughput.json";
+    let slack: f64 = std::env::var("TD_BENCH_BASELINE_SLACK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.10);
+    if let Ok(baseline) = std::fs::read_to_string(path) {
+        for (name, _, batched_ns) in &rows {
+            if let Some(base) = baseline_batched_ns(&baseline, name) {
+                assert!(
+                    *batched_ns <= base * slack,
+                    "{name} batched ingest regressed: {batched_ns:.2} ns/item vs committed \
+                     baseline {base:.2} (slack {slack:.2}; set TD_BENCH_BASELINE_SLACK to widen)"
+                );
+            }
+        }
+        println!("\nbaseline check passed (slack {slack:.2})");
+    } else {
+        println!("\nno committed baseline found; skipping regression gate");
+    }
+
     std::fs::write(path, &json).expect("write BENCH_throughput.json");
-    println!("\nwrote {path}");
+    println!("wrote {path}");
 }

@@ -157,11 +157,11 @@ fn bench_backend<B>(
 }
 
 fn main() {
-    let host_parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_parallelism = td_bench::host_parallelism();
+    let cpu = td_bench::cpu_model();
     println!(
-        "E13b: td-shard scaling, 1e6-item bursty stream, host_parallelism={host_parallelism}\n"
+        "E13b: td-shard scaling, 1e6-item bursty stream, \
+         host_parallelism={host_parallelism}, cpu={cpu}\n"
     );
 
     let items = bursty_items(N_ITEMS);
@@ -219,13 +219,16 @@ fn main() {
     println!("\n90/10 read-heavy workload, epoch cache vs merge-per-query:\n");
     qtable.print();
 
+    // Every row carries the host identity (see `td_bench::hostinfo`):
+    // scaling rows copied out of context are otherwise uninterpretable.
+    let host = td_bench::hostinfo::json_fragment();
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"host_parallelism\": {host_parallelism},\n  \"ingest\": [\n"
+        "  \"host_parallelism\": {host_parallelism},\n  \"cpu\": \"{cpu}\",\n  \"ingest\": [\n"
     ));
     for (i, r) in ingest_rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"shards\": {}, \"items_per_sec\": {:.0}}}{}\n",
+            "    {{\"backend\": \"{}\", \"shards\": {}, \"items_per_sec\": {:.0}, {host}}}{}\n",
             r.backend,
             r.shards,
             r.items_per_sec,
@@ -236,7 +239,7 @@ fn main() {
     for (i, r) in query_rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"backend\": \"{}\", \"shards\": {}, \"mode\": \"{}\", \
-             \"p50_ns\": {:.0}, \"p99_ns\": {:.0}}}{}\n",
+             \"p50_ns\": {:.0}, \"p99_ns\": {:.0}, {host}}}{}\n",
             r.backend,
             r.shards,
             r.mode,

@@ -5,7 +5,9 @@
 #![warn(missing_docs)]
 
 pub mod fit;
+pub mod hostinfo;
 pub mod table;
 
 pub use fit::{fit_linear, fit_loglog, fit_vs_log_n, Fit};
+pub use hostinfo::{cpu_model, host_parallelism};
 pub use table::Table;

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use td_decay::soa::{dot_counts, dot_counts_midpoint};
 use td_decay::storage::StorageAccounting;
 use td_decay::{DecayFunction, Time};
 use td_eh::{DominationEh, WindowSketch};
@@ -163,27 +164,19 @@ impl<G: DecayFunction, S: WindowSketch> CascadedEh<G, S> {
         self.sketch.advance(t);
     }
 
-    /// Gathers the live buckets with `end < t` into parallel
-    /// `(end-age, start-age, count)` columns — the query kernels below
-    /// run one [`DecayFunction::weight_batch`] call per column instead
-    /// of one virtual `weight` call per bucket.
-    fn gather_ages(&self, t: Time) -> (Vec<Time>, Vec<Time>, Vec<f64>) {
-        let buckets = self.sketch.buckets();
-        let mut end_ages = Vec::with_capacity(buckets.len());
-        let mut start_ages = Vec::with_capacity(buckets.len());
-        let mut counts = Vec::with_capacity(buckets.len());
-        for b in buckets {
-            if b.end >= t {
-                // Items at or after the query time are excluded (§2.1).
-                // A bucket can only reach here if it is the newest and
-                // ends at exactly t (ends never exceed observed time).
-                continue;
-            }
-            end_ages.push(t - b.end);
-            start_ages.push(t - b.start);
-            counts.push(b.count as f64);
+    /// The live prefix of the sketch's bucket columns with `end < t`:
+    /// items at or after the query time are excluded (§2.1). Ends are
+    /// non-decreasing, so the prefix boundary is a binary search — the
+    /// query kernels then stream the borrowed columns directly into
+    /// [`DecayFunction::weight_batch`] with zero gather or copy.
+    fn live_prefix(&self, t: Time) -> td_decay::ColumnsView<'_> {
+        let cols = self.sketch.columns();
+        let live = cols.ends.partition_point(|&e| e < t);
+        td_decay::ColumnsView {
+            starts: &cols.starts[..live],
+            ends: &cols.ends[..live],
+            counts: &cols.counts[..live],
         }
-        (end_ages, start_ages, counts)
     }
 
     /// The decaying-sum estimate `S'_g(T)` of Eq. (4), with the default
@@ -194,17 +187,13 @@ impl<G: DecayFunction, S: WindowSketch> CascadedEh<G, S> {
 
     /// The decaying-sum estimate with an explicit bucket-weighting rule.
     pub fn query_with(&self, t: Time, estimator: CehEstimator) -> f64 {
-        let (end_ages, start_ages, counts) = self.gather_ages(t);
-        let mut weights = vec![0.0; end_ages.len()];
-        self.decay.weight_batch(&end_ages, &mut weights);
-        if estimator == CehEstimator::Midpoint {
-            let mut w_start = vec![0.0; start_ages.len()];
-            self.decay.weight_batch(&start_ages, &mut w_start);
-            for (w, ws) in weights.iter_mut().zip(&w_start) {
-                *w = (*w + ws) / 2.0;
+        let live = self.live_prefix(t);
+        match estimator {
+            CehEstimator::Paper => dot_counts(&self.decay, t, live.ends, live.counts),
+            CehEstimator::Midpoint => {
+                dot_counts_midpoint(&self.decay, t, live.starts, live.ends, live.counts)
             }
         }
-        counts.iter().zip(&weights).map(|(c, w)| c * w).sum()
     }
 
     /// Evaluates the same bucket snapshot under several decay functions
@@ -213,20 +202,16 @@ impl<G: DecayFunction, S: WindowSketch> CascadedEh<G, S> {
     /// of Theorem 1). One `weight_batch` call per decay over the shared
     /// age column.
     pub fn query_many(&self, t: Time, decays: &[&dyn DecayFunction]) -> Vec<f64> {
-        let (end_ages, _, counts) = self.gather_ages(t);
-        let mut weights = vec![0.0; end_ages.len()];
+        let live = self.live_prefix(t);
         decays
             .iter()
-            .map(|g| {
-                g.weight_batch(&end_ages, &mut weights);
-                counts.iter().zip(&weights).map(|(c, w)| c * w).sum()
-            })
+            .map(|g| dot_counts(*g, t, live.ends, live.counts))
             .collect()
     }
 
     /// Number of live buckets in the sketch.
     pub fn num_buckets(&self) -> usize {
-        self.sketch.buckets().len()
+        self.sketch.columns().ends.len()
     }
 
     /// The decaying-sum estimate with bucket **ages quantized** to the
@@ -248,15 +233,13 @@ impl<G: DecayFunction, S: WindowSketch> CascadedEh<G, S> {
         );
         let base = (1.0 + delta).ln();
         let mut total = 0.0;
-        for b in self.sketch.buckets() {
-            if b.end >= t {
-                continue;
-            }
-            let age = (t - b.end) as f64;
+        let live = self.live_prefix(t);
+        for (&e, &c) in live.ends.iter().zip(live.counts) {
+            let age = (t - e) as f64;
             // Round the age down to the (1+δ) grid (grid index 0 = age 1).
             let idx = (age.ln() / base).floor().max(0.0);
             let q_age = (base * idx).exp().round().max(1.0) as Time;
-            total += b.count as f64 * self.decay.weight(q_age.min(t - b.end));
+            total += c as f64 * self.decay.weight(q_age.min(t - e));
         }
         total
     }
@@ -270,9 +253,10 @@ impl<G: DecayFunction, S: WindowSketch> CascadedEh<G, S> {
         let grid_points = ((max_age.max(2) as f64).ln() / (1.0 + delta).ln()).ceil();
         let idx_bits = td_decay::storage::bits_for_count(grid_points as u64);
         self.sketch
-            .buckets()
+            .columns()
+            .counts
             .iter()
-            .map(|b| idx_bits + td_decay::storage::bits_for_count(b.count))
+            .map(|&c| idx_bits + td_decay::storage::bits_for_count(c))
             .sum()
     }
 }
@@ -330,8 +314,16 @@ impl<G: DecayFunction> td_decay::StreamAggregate for CascadedEh<G, DominationEh>
     fn error_bound(&self) -> td_decay::ErrorBound {
         // Theorem 1's one-sided [S, (1+ε)S] envelope; a k-site union
         // widens the over-count side to k·ε (the under side stays 0:
-        // every item is represented by a bucket at least as old).
-        td_decay::ErrorBound::one_sided(self.sketch.sites() as f64 * self.sketch.epsilon())
+        // every item is represented by a bucket at least as old). The
+        // chunked weight kernel perturbs each bucket weight by at most
+        // its documented relative error κ (DESIGN.md §12), so both
+        // sides widen by κ — ten-plus decimal orders below any ε.
+        let kappa = self.decay.kernel_relative_error();
+        let eps = self.sketch.sites() as f64 * self.sketch.epsilon();
+        td_decay::ErrorBound {
+            lower: kappa,
+            upper: eps + kappa,
+        }
     }
 }
 

@@ -1,0 +1,254 @@
+//! Golden `TDCP` checkpoint fixtures: envelope bytes captured from a
+//! known-good build are committed under `tests/golden/` and every later
+//! build must either restore them **exactly** (re-save reproduces the
+//! same bytes, queries answer with the same f64 bits) or reject them
+//! with the *typed* version error `RestoreError::Version(_)` — never a
+//! silent mis-restore.
+//!
+//! This pins the on-disk format across representation refactors: a
+//! build is free to change its in-memory layout (e.g. AoS → SoA bucket
+//! columns) only if it keeps serializing the same field order, and is
+//! free to bump the envelope version only if old envelopes fail typed.
+//!
+//! Regenerate fixtures (only when intentionally re-baselining, from a
+//! build whose format is the one being pinned):
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p td-conformance --test golden_checkpoints
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use td_ceh::CascadedEh;
+use td_conformance::{catalogue, Op, Scenario};
+use td_core::{BackendChoice, DecayedSum};
+use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCounter};
+use td_decay::checkpoint::{Checkpoint, RestoreError};
+use td_decay::{DecayFunction, Exponential, Polynomial, SlidingWindow, Time};
+use td_eh::{ClassicEh, DominationEh};
+use td_wbmh::Wbmh;
+
+const WBMH_MAX_AGE: Time = 1 << 41;
+
+/// Query times are `scenario.max_time() + dt` for these offsets; the
+/// manifest records the answer bits for each.
+const QUERY_OFFSETS: [u64; 3] = [1, 5, 1000];
+
+struct GoldenCase {
+    name: &'static str,
+    value_cap: Option<u64>,
+    max_time: Option<Time>,
+    make: Box<dyn Fn() -> Box<dyn Checkpoint>>,
+}
+
+fn gc(name: &'static str, make: impl Fn() -> Box<dyn Checkpoint> + 'static) -> GoldenCase {
+    GoldenCase {
+        name,
+        value_cap: None,
+        max_time: None,
+        make: Box::new(make),
+    }
+}
+
+fn boxed<G: DecayFunction + 'static>(g: G) -> Box<dyn DecayFunction> {
+    Box::new(g)
+}
+
+/// Mirror of the `checkpoint_roundtrip` case list: every checkpointable
+/// backend in the workspace, identically configured.
+fn cases() -> Vec<GoldenCase> {
+    vec![
+        gc("exp-counter", || {
+            Box::new(ExpCounter::new(Exponential::new(0.01)))
+        }),
+        gc("quantized-exp/m20", || {
+            Box::new(QuantizedExpCounter::new(Exponential::new(0.01), 20))
+        }),
+        gc("polyexp-pipeline/k2", || {
+            Box::new(PolyExpCounter::new(2, 0.03))
+        }),
+        gc("exact/exp", || {
+            Box::new(ExactDecayedSum::new(boxed(Exponential::new(0.01))))
+        }),
+        gc("exact/sliding256", || {
+            Box::new(ExactDecayedSum::new(boxed(SlidingWindow::new(256))))
+        }),
+        gc("domination-eh", || Box::new(DominationEh::new(0.1, None))),
+        GoldenCase {
+            value_cap: Some(1),
+            ..gc("classic-eh", || Box::new(ClassicEh::new(0.1, None)))
+        },
+        gc("ceh/exp", || {
+            Box::new(CascadedEh::new(boxed(Exponential::new(0.01)), 0.1))
+        }),
+        GoldenCase {
+            max_time: Some(WBMH_MAX_AGE / 2),
+            ..gc("wbmh/poly1", || {
+                Box::new(Wbmh::new(boxed(Polynomial::new(1.0)), 0.1, WBMH_MAX_AGE))
+            })
+        },
+        gc("core-auto/exp", || {
+            Box::new(
+                DecayedSum::builder(Exponential::new(0.01))
+                    .epsilon(0.1)
+                    .backend(BackendChoice::Auto)
+                    .build(),
+            )
+        }),
+        gc("core-auto/poly1", || {
+            Box::new(
+                DecayedSum::builder(Polynomial::new(1.0))
+                    .epsilon(0.1)
+                    .backend(BackendChoice::Auto)
+                    .build(),
+            )
+        }),
+    ]
+}
+
+fn replay(b: &mut dyn Checkpoint, scenario: &Scenario, cap: Option<u64>) {
+    let cap = cap.unwrap_or(u64::MAX);
+    for op in &scenario.ops {
+        match op {
+            Op::Observe(t, f) => b.observe(*t, (*f).min(cap)),
+            Op::ObserveBatch(items) => {
+                let capped: Vec<(Time, u64)> =
+                    items.iter().map(|&(t, f)| (t, f.min(cap))).collect();
+                b.observe_batch(&capped);
+            }
+            Op::Advance(t) => b.advance(*t),
+            Op::Query(_) => {}
+        }
+    }
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+}
+
+fn fixture_stem(case_name: &str, scenario: &Scenario) -> String {
+    format!("{}__{}", case_name.replace('/', "_"), scenario.name)
+}
+
+/// The scenarios each fixture replays: two structurally distinct
+/// families from the deterministic catalogue (index 1 is the bursty
+/// family — real bucket structure, multiple classes — index 3 exercises
+/// boundary alignment), filtered by the backend's horizon.
+fn fixture_scenarios(case: &GoldenCase) -> Vec<Scenario> {
+    catalogue(5, 160)
+        .into_iter()
+        .filter(|s| case.max_time.is_none_or(|limit| s.max_time() <= limit))
+        .enumerate()
+        .filter(|(i, _)| *i == 1 || *i == 3)
+        .map(|(_, s)| s)
+        .collect()
+}
+
+/// Manifest: line 1 `storage_bits=<u64>`, then one `q <t> <bits>` line
+/// per query offset. Plain text so diffs are reviewable.
+fn manifest_for(b: &mut dyn Checkpoint, scenario: &Scenario) -> String {
+    let mut out = format!("storage_bits={}\n", b.storage_bits());
+    for dt in QUERY_OFFSETS {
+        let t = scenario.max_time() + dt;
+        out.push_str(&format!("q {} {}\n", t, b.query(t).to_bits()));
+    }
+    out
+}
+
+#[test]
+fn golden_fixtures_restore_exactly_or_fail_typed() {
+    let dir = golden_dir();
+    let regen = std::env::var_os("GOLDEN_REGEN").is_some();
+    if regen {
+        fs::create_dir_all(&dir).expect("create golden dir");
+    }
+
+    for case in cases() {
+        for scenario in fixture_scenarios(&case) {
+            let stem = fixture_stem(case.name, &scenario);
+            let env_path = dir.join(format!("{stem}.tdcp"));
+            let man_path = dir.join(format!("{stem}.manifest"));
+
+            if regen {
+                let mut b = (case.make)();
+                replay(&mut *b, &scenario, case.value_cap);
+                fs::write(&env_path, b.save_checkpoint()).expect("write fixture envelope");
+                fs::write(&man_path, manifest_for(&mut *b, &scenario)).expect("write manifest");
+                continue;
+            }
+
+            let bytes = fs::read(&env_path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden fixture {} ({e}); regenerate with GOLDEN_REGEN=1 \
+                     only from a build whose checkpoint format is the pinned one",
+                    env_path.display()
+                )
+            });
+            let manifest = fs::read_to_string(&man_path)
+                .unwrap_or_else(|e| panic!("missing manifest {} ({e})", man_path.display()));
+
+            let mut restored = (case.make)();
+            match restored.restore_checkpoint(&bytes) {
+                Ok(()) => {
+                    // Accepted ⇒ must round-trip bit-exactly.
+                    assert_eq!(
+                        restored.save_checkpoint(),
+                        bytes,
+                        "{}: golden envelope `{}` restored but re-saves to \
+                         different bytes — silent format drift",
+                        case.name,
+                        stem
+                    );
+                    let mut lines = manifest.lines();
+                    let sb_line = lines.next().expect("manifest storage_bits line");
+                    let storage_bits: u64 = sb_line
+                        .strip_prefix("storage_bits=")
+                        .expect("manifest header")
+                        .parse()
+                        .expect("storage_bits u64");
+                    assert_eq!(
+                        restored.storage_bits(),
+                        storage_bits,
+                        "{}: storage accounting diverged from golden `{}`",
+                        case.name,
+                        stem
+                    );
+                    for line in lines {
+                        let mut parts = line.split_whitespace();
+                        assert_eq!(parts.next(), Some("q"), "manifest query line");
+                        let t: u64 = parts.next().unwrap().parse().unwrap();
+                        let want = f64::from_bits(parts.next().unwrap().parse().unwrap());
+                        let got = restored.query(t);
+                        // State (envelope bytes, storage_bits) must match
+                        // exactly; query *answers* are additionally allowed
+                        // the documented batch-kernel drift (the chunked
+                        // exp/poly kernels are within a few ULP of the
+                        // scalar closed forms the fixtures were recorded
+                        // with — see `td_decay::soa::KERNEL_REL_ERROR` and
+                        // DESIGN.md §12). 1e-12 relative is ~4 decimal
+                        // orders above that bound and ~3 below any ε.
+                        let ok = got.to_bits() == want.to_bits()
+                            || (got - want).abs() <= 1e-12 * want.abs();
+                        assert!(
+                            ok,
+                            "{}: query answer at t={t} diverged from golden `{}` \
+                             (got {got}, want {want})",
+                            case.name, stem
+                        );
+                    }
+                }
+                // The only acceptable rejection of a well-formed golden
+                // envelope is the typed version error (deliberate
+                // format bump). Checksum/Truncated/Invariant here would
+                // mean the reader broke on valid bytes.
+                Err(RestoreError::Version(_)) => {}
+                Err(e) => panic!(
+                    "{}: golden envelope `{}` rejected with non-version error {e:?} — \
+                     a valid committed checkpoint must restore or fail Version",
+                    case.name, stem
+                ),
+            }
+        }
+    }
+}

@@ -200,7 +200,7 @@ enum Backend {
     /// Cascaded EH (Theorem 1).
     Ceh(CascadedEh<AnyDecay>),
     /// Weight-based merging histogram (§5) with approximate counters.
-    Wbmh(Wbmh<AnyDecay>),
+    Wbmh(Box<Wbmh<AnyDecay>>),
     /// Exact baseline.
     Exact(td_counters::ExactDecayedSum<AnyDecay>),
 }
@@ -262,12 +262,12 @@ impl DecayedSumBuilder {
                 AnyDecay::from_box(self.decay),
                 self.epsilon,
             )),
-            (BackendChoice::ForceWbmh, _) => Backend::Wbmh(Wbmh::with_approx_counts(
+            (BackendChoice::ForceWbmh, _) => Backend::Wbmh(Box::new(Wbmh::with_approx_counts(
                 AnyDecay::from_box(self.decay),
                 self.epsilon,
                 self.max_age,
                 self.epsilon,
-            )),
+            ))),
             (BackendChoice::Auto, DecayClass::Constant) => Backend::Plain {
                 total: 0,
                 last_t: 0,
@@ -280,12 +280,12 @@ impl DecayedSumBuilder {
                 Backend::Exp(QuantizedExpCounter::new(Exponential::new(lambda), mantissa))
             }
             (BackendChoice::Auto, DecayClass::RatioMonotone) => {
-                Backend::Wbmh(Wbmh::with_approx_counts(
+                Backend::Wbmh(Box::new(Wbmh::with_approx_counts(
                     AnyDecay::from_box(self.decay),
                     self.epsilon,
                     self.max_age,
                     self.epsilon,
-                ))
+                )))
             }
             (BackendChoice::Auto, DecayClass::PolyExponential { degree, lambda }) => {
                 Backend::PolyExp(PolyExpCounter::new(degree, lambda))
@@ -550,7 +550,7 @@ impl StreamAggregate for DecayedSum {
             Backend::Exp(c) => StreamAggregate::error_bound(c),
             Backend::PolyExp(c) => StreamAggregate::error_bound(c),
             Backend::Ceh(c) => StreamAggregate::error_bound(c),
-            Backend::Wbmh(w) => StreamAggregate::error_bound(w),
+            Backend::Wbmh(w) => StreamAggregate::error_bound(&**w),
             Backend::Exact(e) => StreamAggregate::error_bound(e),
         }
     }
@@ -572,7 +572,7 @@ impl StorageAccounting for DecayedSum {
             Backend::Exp(c) => StorageAccounting::storage_bits(c),
             Backend::PolyExp(c) => StorageAccounting::storage_bits(c),
             Backend::Ceh(c) => StorageAccounting::storage_bits(c),
-            Backend::Wbmh(w) => StorageAccounting::storage_bits(w),
+            Backend::Wbmh(w) => StorageAccounting::storage_bits(&**w),
             Backend::Exact(e) => StorageAccounting::storage_bits(e),
         }
     }

@@ -91,6 +91,54 @@ pub trait DecayFunction {
         }
     }
 
+    /// Evaluates `g(t − end)` over a bucket-boundary column in one call:
+    /// `out[i] = weight(t − ends[i])` — the zero-gather query kernel.
+    ///
+    /// Histogram queries hand the structure-of-arrays `end` column (see
+    /// [`crate::soa`]) straight to this method instead of materializing
+    /// an age `Vec` first; the default converts fixed-width chunks into
+    /// a stack buffer and feeds [`DecayFunction::weight_batch`], so the
+    /// closed-form families' chunked kernels apply with no per-query
+    /// heap traffic and one virtual dispatch per chunk.
+    ///
+    /// Caller contract: `ends[i] <= t`. Violations clamp the age at 0
+    /// (the saturating difference) rather than wrapping; query paths
+    /// slice off at-tick buckets before calling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ends.len() != out.len()`.
+    fn weight_from_ends(&self, t: Time, ends: &[Time], out: &mut [f64]) {
+        assert_eq!(ends.len(), out.len(), "end/weight buffer length mismatch");
+        let mut ages = [0u64; 64];
+        let mut i = 0;
+        while i < ends.len() {
+            let n = (ends.len() - i).min(64);
+            for (a, &e) in ages[..n].iter_mut().zip(&ends[i..i + n]) {
+                *a = t.saturating_sub(e);
+            }
+            self.weight_batch(&ages[..n], &mut out[i..i + n]);
+            i += n;
+        }
+    }
+
+    /// The documented relative divergence bound between the chunked
+    /// batch kernels ([`DecayFunction::weight_batch`] /
+    /// [`DecayFunction::weight_from_ends`]) and the scalar
+    /// [`DecayFunction::weight`] closed form.
+    ///
+    /// `0.0` (the default) means the batch path is exactly pointwise
+    /// identical to `weight`. Families whose batch kernels use the
+    /// fast chunked transcendentals (see [`crate::soa`]) return their
+    /// measured ULP bound here, and backends fold it into the
+    /// `error_bound` they report, so a certified envelope remains
+    /// truthful under kernel drift. Weights below
+    /// [`crate::soa::NEGLIGIBLE_WEIGHT`] are exempt (both sides are
+    /// treated as zero there).
+    fn kernel_relative_error(&self) -> f64 {
+        0.0
+    }
+
     /// The horizon `N(g) = argmax_x g(x) > 0` (§2.3): the largest age that
     /// still carries positive weight, or `None` when the support is
     /// infinite (as for exponential and polynomial decay).
@@ -123,6 +171,12 @@ impl<G: DecayFunction + ?Sized> DecayFunction for &G {
     fn weight_batch(&self, ages: &[Time], out: &mut [f64]) {
         (**self).weight_batch(ages, out)
     }
+    fn weight_from_ends(&self, t: Time, ends: &[Time], out: &mut [f64]) {
+        (**self).weight_from_ends(t, ends, out)
+    }
+    fn kernel_relative_error(&self) -> f64 {
+        (**self).kernel_relative_error()
+    }
     fn horizon(&self) -> Option<Time> {
         (**self).horizon()
     }
@@ -140,6 +194,12 @@ impl<G: DecayFunction + ?Sized> DecayFunction for Box<G> {
     }
     fn weight_batch(&self, ages: &[Time], out: &mut [f64]) {
         (**self).weight_batch(ages, out)
+    }
+    fn weight_from_ends(&self, t: Time, ends: &[Time], out: &mut [f64]) {
+        (**self).weight_from_ends(t, ends, out)
+    }
+    fn kernel_relative_error(&self) -> f64 {
+        (**self).kernel_relative_error()
     }
     fn horizon(&self) -> Option<Time> {
         (**self).horizon()

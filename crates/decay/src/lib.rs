@@ -44,6 +44,7 @@ pub mod polynomial;
 pub mod properties;
 pub mod regions;
 pub mod sliding;
+pub mod soa;
 pub mod storage;
 pub mod table;
 
@@ -56,5 +57,6 @@ pub use polyexp::PolyExponential;
 pub use polynomial::{LogDecay, Polynomial, ShiftedPolynomial};
 pub use regions::RegionSchedule;
 pub use sliding::SlidingWindow;
+pub use soa::{BucketColumns, ColumnsView};
 pub use storage::StorageAccounting;
 pub use table::{ClosureDecay, Constant, TableDecay};

@@ -121,6 +121,80 @@ pub fn estimate_strict_past(
     (estimate_window(&past, t, t, estimator) - mixed as f64).max(0.0)
 }
 
+/// [`estimate_window`] over structure-of-arrays columns (oldest first,
+/// sorted by end time) — the zero-copy form the SoA histograms use.
+/// Loop structure and floating-point accumulation order are identical
+/// to the AoS version, so the two are bit-equal on the same buckets.
+pub fn estimate_window_cols(
+    starts: &[Time],
+    ends: &[Time],
+    counts: &[u64],
+    t: Time,
+    w: Time,
+    estimator: Estimator,
+) -> f64 {
+    let cutoff = t.saturating_sub(w);
+    let mut total = 0.0;
+    for i in (0..ends.len()).rev() {
+        if ends[i] < cutoff {
+            break; // sorted by end: everything older is fully outside
+        }
+        if starts[i] >= cutoff {
+            total += counts[i] as f64;
+        } else {
+            total += match estimator {
+                Estimator::Paper => counts[i] as f64,
+                Estimator::Halved => counts[i] as f64 / 2.0,
+            };
+        }
+    }
+    total
+}
+
+/// [`estimate_strict_past`] over structure-of-arrays columns — same
+/// partition/subtraction semantics, but the "past" sub-list is never
+/// materialized: at-tick buckets (`start >= t`) are skipped in place
+/// during the reverse sweep, preserving the AoS accumulation order
+/// bit-for-bit while doing zero allocation.
+pub fn estimate_strict_past_cols(
+    starts: &[Time],
+    ends: &[Time],
+    counts: &[u64],
+    t: Time,
+    at_tick: u64,
+    estimator: Estimator,
+) -> f64 {
+    let mut pure_at_tick = 0u64;
+    for i in 0..starts.len() {
+        if starts[i] >= t {
+            pure_at_tick = pure_at_tick.saturating_add(counts[i]);
+        }
+    }
+    let mixed = at_tick.saturating_sub(pure_at_tick);
+    // estimate_window over the past subsequence with w = t: cutoff is
+    // t − t = 0, matching the AoS path exactly (the break below is
+    // unreachable at cutoff 0 but kept so the two loops stay twins).
+    let cutoff = 0u64;
+    let mut total = 0.0;
+    for i in (0..ends.len()).rev() {
+        if starts[i] >= t {
+            continue; // at-tick bucket: excluded whole, invisible to the sweep
+        }
+        if ends[i] < cutoff {
+            break;
+        }
+        if starts[i] >= cutoff {
+            total += counts[i] as f64;
+        } else {
+            total += match estimator {
+                Estimator::Paper => counts[i] as f64,
+                Estimator::Halved => counts[i] as f64 / 2.0,
+            };
+        }
+    }
+    (total - mixed as f64).max(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +266,30 @@ mod tests {
         let buckets = [b(1, 4, 8), b(5, 6, 4)];
         let est = estimate_strict_past(&buckets, 9, 0, Estimator::Halved);
         assert_eq!(est, estimate_window(&buckets, 9, 9, Estimator::Halved));
+    }
+
+    /// The SoA estimators are bit-identical twins of the AoS ones on
+    /// every (window, estimator) combination over a merged-looking
+    /// bucket list (nested intervals included).
+    #[test]
+    fn column_estimators_match_aos_bitwise() {
+        let buckets = [b(1, 4, 8), b(2, 6, 3), b(5, 6, 4), b(7, 8, 2), b(9, 9, 70)];
+        let starts: Vec<Time> = buckets.iter().map(|b| b.start).collect();
+        let ends: Vec<Time> = buckets.iter().map(|b| b.end).collect();
+        let counts: Vec<u64> = buckets.iter().map(|b| b.count).collect();
+        for est in [Estimator::Paper, Estimator::Halved] {
+            for t in 5..=12u64 {
+                for w in 1..=t {
+                    let aos = estimate_window(&buckets, t, w, est);
+                    let soa = estimate_window_cols(&starts, &ends, &counts, t, w, est);
+                    assert_eq!(aos.to_bits(), soa.to_bits(), "t={t} w={w} {est:?}");
+                }
+                for at_tick in [0u64, 5, 70, 100] {
+                    let aos = estimate_strict_past(&buckets, t, at_tick, est);
+                    let soa = estimate_strict_past_cols(&starts, &ends, &counts, t, at_tick, est);
+                    assert_eq!(aos.to_bits(), soa.to_bits(), "t={t} at={at_tick} {est:?}");
+                }
+            }
+        }
     }
 }

@@ -1,11 +1,9 @@
 //! The literal Datar et al. Exponential Histogram for 0/1 streams.
 
-use std::collections::VecDeque;
-
 use td_decay::storage::{bits_for_count, bits_for_timestamp, StorageAccounting};
-use td_decay::Time;
+use td_decay::{BucketColumns, ColumnsView, Time};
 
-use crate::bucket::{estimate_window, Bucket, Estimator};
+use crate::bucket::{estimate_strict_past_cols, estimate_window_cols, Bucket, Estimator};
 use crate::WindowSketch;
 
 /// The classic Exponential Histogram of Datar, Gionis, Indyk & Motwani
@@ -45,8 +43,9 @@ pub struct ClassicEh {
     window: Option<Time>,
     /// Max buckets per size class before the two oldest merge.
     cap_per_class: usize,
-    /// Buckets, oldest first. Counts are powers of two.
-    buckets: VecDeque<Bucket>,
+    /// Buckets, oldest first, in structure-of-arrays columns (see
+    /// `td_decay::soa`). Counts are powers of two.
+    buckets: BucketColumns,
     live_total: u64,
     last_t: Time,
     started: bool,
@@ -73,7 +72,7 @@ impl ClassicEh {
             epsilon,
             window,
             cap_per_class,
-            buckets: VecDeque::new(),
+            buckets: BucketColumns::new(),
             live_total: 0,
             last_t: 0,
             started: false,
@@ -99,7 +98,10 @@ impl ClassicEh {
     /// The live bucket list, oldest first (inspection and equivalence
     /// testing).
     pub fn buckets(&self) -> Vec<Bucket> {
-        self.buckets.iter().copied().collect()
+        self.buckets
+            .iter()
+            .map(|(start, end, count)| Bucket { start, end, count })
+            .collect()
     }
 
     /// The time of the most recent observation.
@@ -111,9 +113,9 @@ impl ClassicEh {
     fn expire(&mut self, now: Time) {
         if let Some(w) = self.window {
             let cutoff = now.saturating_sub(w);
-            while let Some(front) = self.buckets.front() {
-                if front.end < cutoff {
-                    self.live_total -= front.count;
+            while let Some((_, end, count)) = self.buckets.front() {
+                if end < cutoff {
+                    self.live_total -= count;
                     self.buckets.pop_front();
                 } else {
                     break;
@@ -132,8 +134,9 @@ impl ClassicEh {
             let mut class_size = 0u64;
             let mut run = 0usize;
             let mut overfull_at: Option<usize> = None;
-            for idx in (0..self.buckets.len()).rev() {
-                let c = self.buckets[idx].count;
+            let counts = self.buckets.counts();
+            for idx in (0..counts.len()).rev() {
+                let c = counts[idx];
                 if c != class_size {
                     debug_assert!(
                         c > class_size,
@@ -153,10 +156,15 @@ impl ClassicEh {
                     // idx is the oldest member of the overfull class
                     // (the run has exactly cap+1 members right after an
                     // insert); merge it with its newer neighbour.
-                    let older = self.buckets[idx];
-                    let newer = self.buckets[idx + 1];
-                    debug_assert_eq!(older.count, newer.count);
-                    self.buckets[idx + 1] = older.merge_with(&newer);
+                    let (o_start, o_end, o_count) = self.buckets.get(idx);
+                    let (n_start, n_end, n_count) = self.buckets.get(idx + 1);
+                    debug_assert_eq!(o_count, n_count);
+                    self.buckets.set(
+                        idx + 1,
+                        o_start.min(n_start),
+                        o_end.max(n_end),
+                        o_count.saturating_add(n_count),
+                    );
                     self.buckets.remove(idx);
                 }
                 None => break,
@@ -164,15 +172,17 @@ impl ClassicEh {
         }
     }
 
-    /// Estimates a window count with an explicit straddler rule.
+    /// Estimates a window count with an explicit straddler rule,
+    /// streaming the columns directly — no copy on any path.
     pub fn query_window_with(&self, t: Time, w: Time, estimator: Estimator) -> f64 {
-        let (a, b) = self.buckets.as_slices();
-        if b.is_empty() {
-            estimate_window(a, t, w, estimator)
-        } else {
-            let all: Vec<Bucket> = self.buckets.iter().copied().collect();
-            estimate_window(&all, t, w, estimator)
-        }
+        estimate_window_cols(
+            self.buckets.starts(),
+            self.buckets.ends(),
+            self.buckets.counts(),
+            t,
+            w,
+            estimator,
+        )
     }
 }
 
@@ -189,7 +199,7 @@ impl WindowSketch for ClassicEh {
         if f == 0 {
             return;
         }
-        self.buckets.push_back(Bucket::unit(t, 1));
+        self.buckets.push_back(t, t, 1);
         self.live_total += 1;
         self.at_last += 1;
         self.canonicalize();
@@ -214,7 +224,7 @@ impl WindowSketch for ClassicEh {
                 let f = items[i].1;
                 assert!(f <= 1, "ClassicEh is for 0/1 streams; got value {f}");
                 if f == 1 {
-                    self.buckets.push_back(Bucket::unit(t, 1));
+                    self.buckets.push_back(t, t, 1);
                     self.live_total += 1;
                     self.at_last += 1;
                     self.canonicalize();
@@ -249,7 +259,11 @@ impl WindowSketch for ClassicEh {
     }
 
     fn buckets(&self) -> Vec<Bucket> {
-        self.buckets.iter().copied().collect()
+        ClassicEh::buckets(self)
+    }
+
+    fn columns(&self) -> ColumnsView<'_> {
+        ColumnsView::from(&self.buckets)
     }
 
     fn epsilon(&self) -> f64 {
@@ -276,8 +290,14 @@ impl td_decay::StreamAggregate for ClassicEh {
     /// mass with a subtraction on top.
     fn query(&self, t: Time) -> f64 {
         if t == self.last_t && self.at_last > 0 {
-            let all: Vec<Bucket> = self.buckets.iter().copied().collect();
-            crate::bucket::estimate_strict_past(&all, t, self.at_last, Estimator::Halved)
+            estimate_strict_past_cols(
+                self.buckets.starts(),
+                self.buckets.ends(),
+                self.buckets.counts(),
+                t,
+                self.at_last,
+                Estimator::Halved,
+            )
         } else {
             self.query_window(t, t)
         }
@@ -301,9 +321,10 @@ impl StorageAccounting for ClassicEh {
         // stored).
         let span = self.last_t;
         self.buckets
+            .counts()
             .iter()
-            .map(|b| {
-                let class = 63 - b.count.leading_zeros() as u64;
+            .map(|&c| {
+                let class = 63 - c.leading_zeros() as u64;
                 bits_for_timestamp(span) + bits_for_count(class)
             })
             .sum()
@@ -329,11 +350,13 @@ impl td_decay::checkpoint::Checkpoint for ClassicEh {
         w.put_u64(self.last_t);
         w.put_bool(self.started);
         w.put_u64(self.at_last);
+        // Columns serialized in the original AoS field order (start,
+        // end, count per bucket): byte-stable across the SoA refactor.
         w.put_u64(self.buckets.len() as u64);
-        for b in &self.buckets {
-            w.put_u64(b.start);
-            w.put_u64(b.end);
-            w.put_u64(b.count);
+        for (start, end, count) in self.buckets.iter() {
+            w.put_u64(start);
+            w.put_u64(end);
+            w.put_u64(count);
         }
         w.seal()
     }
@@ -359,14 +382,13 @@ impl td_decay::checkpoint::Checkpoint for ClassicEh {
         let started = r.get_bool()?;
         let at_last = r.get_u64()?;
         let n = r.get_u64()?;
-        let mut buckets = VecDeque::with_capacity(n as usize);
+        let mut buckets = BucketColumns::with_capacity(n as usize);
         let mut sum = 0u64;
         let mut run = 0usize;
         for i in 0..n {
             let start = r.get_u64()?;
             let end = r.get_u64()?;
             let count = r.get_u64()?;
-            let b = Bucket { start, end, count };
             if start > end || end > last_t {
                 return Err(RestoreError::Invariant(format!(
                     "bucket {i} spans [{start}, {end}] beyond clock {last_t}"
@@ -377,20 +399,19 @@ impl td_decay::checkpoint::Checkpoint for ClassicEh {
                     "bucket {i} count {count} is not a power of two"
                 )));
             }
-            if let Some(prev) = buckets.back() {
-                let prev: &Bucket = prev;
-                if prev.end > start {
+            if let Some((_, prev_end, prev_count)) = buckets.back() {
+                if prev_end > start {
                     return Err(RestoreError::Invariant(format!(
                         "buckets {} and {i} overlap or run backwards",
                         i - 1
                     )));
                 }
-                if prev.count < count {
+                if prev_count < count {
                     return Err(RestoreError::Invariant(
                         "bucket sizes decrease toward the past".into(),
                     ));
                 }
-                run = if prev.count == count { run + 1 } else { 1 };
+                run = if prev_count == count { run + 1 } else { 1 };
             } else {
                 run = 1;
             }
@@ -401,7 +422,7 @@ impl td_decay::checkpoint::Checkpoint for ClassicEh {
                 )));
             }
             sum = sum.saturating_add(count);
-            buckets.push_back(b);
+            buckets.push_back(start, end, count);
         }
         r.finish()?;
         if sum != live_total {
@@ -425,7 +446,7 @@ mod tests {
     /// Sizes are powers of two, non-decreasing toward the past, and no
     /// class exceeds the cap.
     fn assert_invariants(eh: &ClassicEh) {
-        let counts: Vec<u64> = eh.buckets.iter().map(|b| b.count).collect();
+        let counts: Vec<u64> = eh.buckets.counts().to_vec();
         for &c in &counts {
             assert!(c.is_power_of_two(), "count {c} not a power of 2");
         }
@@ -447,7 +468,7 @@ mod tests {
             );
         }
         // Bucket intervals are disjoint and ordered.
-        for pair in eh.buckets.iter().collect::<Vec<_>>().windows(2) {
+        for pair in eh.buckets().windows(2) {
             assert!(pair[0].end <= pair[1].start);
             assert!(pair[0].start <= pair[0].end);
         }

@@ -1,11 +1,9 @@
 //! The domination-based Exponential Histogram for general values.
 
-use std::collections::VecDeque;
-
 use td_decay::storage::{bits_for_count, bits_for_timestamp, StorageAccounting};
-use td_decay::Time;
+use td_decay::{BucketColumns, ColumnsView, Time};
 
-use crate::bucket::{estimate_window, Bucket, Estimator};
+use crate::bucket::{estimate_strict_past_cols, estimate_window_cols, Bucket, Estimator};
 use crate::WindowSketch;
 
 /// An Exponential Histogram driven by the merge rule exactly as
@@ -45,8 +43,11 @@ use crate::WindowSketch;
 pub struct DominationEh {
     epsilon: f64,
     window: Option<Time>,
-    /// Buckets, oldest first.
-    buckets: VecDeque<Bucket>,
+    /// Buckets, oldest first, as structure-of-arrays columns (see
+    /// `td_decay::soa`): queries stream the boundary columns straight
+    /// into the decay kernels, and front expiry is an amortized head-
+    /// offset bump instead of a deque rotation.
+    buckets: BucketColumns,
     live_total: u64,
     last_t: Time,
     started: bool,
@@ -80,7 +81,7 @@ impl DominationEh {
         Self {
             epsilon,
             window,
-            buckets: VecDeque::new(),
+            buckets: BucketColumns::new(),
             live_total: 0,
             last_t: 0,
             started: false,
@@ -117,7 +118,10 @@ impl DominationEh {
     /// The live bucket list, oldest first (inspection and equivalence
     /// testing).
     pub fn buckets(&self) -> Vec<Bucket> {
-        self.buckets.iter().copied().collect()
+        self.buckets
+            .iter()
+            .map(|(start, end, count)| Bucket { start, end, count })
+            .collect()
     }
 
     /// The time of the most recent observation.
@@ -128,9 +132,9 @@ impl DominationEh {
     fn expire(&mut self, now: Time) {
         if let Some(w) = self.window {
             let cutoff = now.saturating_sub(w);
-            while let Some(front) = self.buckets.front() {
-                if front.end < cutoff {
-                    self.live_total -= front.count;
+            while let Some((_, end, count)) = self.buckets.front() {
+                if end < cutoff {
+                    self.live_total -= count;
                     self.buckets.pop_front();
                 } else {
                     break;
@@ -151,9 +155,9 @@ impl DominationEh {
         // suffix = total count of buckets strictly newer than `idx`.
         let mut suffix: f64 = 0.0;
         while idx > 0 {
-            let newer = self.buckets[idx];
-            let older = self.buckets[idx - 1];
-            let combined = older.count + newer.count;
+            let (n_start, n_end, n_count) = self.buckets.get(idx);
+            let (o_start, o_end, o_count) = self.buckets.get(idx - 1);
+            let combined = o_count + n_count;
             // Never fold at-tick mass (end == last_t) into a bucket
             // spanning earlier ticks: `query` excludes the §2.1 at-tick
             // mass exactly by skipping whole buckets, which requires
@@ -161,15 +165,20 @@ impl DominationEh {
             // after a cross-site merge interleaves bucket lists — within
             // one site the sole at-tick bucket is the newest and its
             // zero suffix already blocks the merge.
-            let mixes_at_tick = newer.end == self.last_t && older.end < newer.end;
+            let mixes_at_tick = n_end == self.last_t && o_end < n_end;
             if !mixes_at_tick && (combined as f64) <= self.epsilon * suffix {
-                self.buckets[idx - 1] = older.merge_with(&newer);
+                self.buckets.set(
+                    idx - 1,
+                    o_start.min(n_start),
+                    o_end.max(n_end),
+                    o_count.saturating_add(n_count),
+                );
                 self.buckets.remove(idx);
                 // The merged bucket sits at idx − 1; re-examine it
                 // against its next-older neighbour with the same suffix.
                 idx -= 1;
             } else {
-                suffix += newer.count as f64;
+                suffix += n_count as f64;
                 idx -= 1;
             }
         }
@@ -200,32 +209,38 @@ impl DominationEh {
         if other.buckets.is_empty() {
             return;
         }
-        let mut merged: Vec<Bucket> = Vec::with_capacity(self.buckets.len() + other.buckets.len());
-        let mut a = self.buckets.iter().copied().peekable();
-        let mut b = other.buckets.iter().copied().peekable();
+        let mut merged = BucketColumns::with_capacity(self.buckets.len() + other.buckets.len());
+        let mut a = self.buckets.iter().peekable();
+        let mut b = other.buckets.iter().peekable();
         loop {
             match (a.peek(), b.peek()) {
-                (Some(x), Some(y)) => {
-                    if x.end <= y.end {
-                        merged.push(*x);
+                (Some(&x), Some(&y)) => {
+                    if x.1 <= y.1 {
+                        merged.push_back(x.0, x.1, x.2);
                         a.next();
                     } else {
-                        merged.push(*y);
+                        merged.push_back(y.0, y.1, y.2);
                         b.next();
                     }
                 }
                 (Some(_), None) => {
-                    merged.extend(a.by_ref());
+                    for (s, e, c) in a.by_ref() {
+                        merged.push_back(s, e, c);
+                    }
                     break;
                 }
                 (None, Some(_)) => {
-                    merged.extend(b.by_ref());
+                    for (s, e, c) in b.by_ref() {
+                        merged.push_back(s, e, c);
+                    }
                     break;
                 }
                 (None, None) => break,
             }
         }
-        self.buckets = merged.into();
+        drop(a);
+        drop(b);
+        self.buckets = merged;
         self.live_total = self.live_total.saturating_add(other.live_total);
         // Compare against the PRE-merge tick: after taking the max,
         // `other.last_t > self.last_t` is unsatisfiable and a strictly
@@ -244,15 +259,18 @@ impl DominationEh {
         self.inserts_since_merge = 0;
     }
 
-    /// Estimates a window count with an explicit straddler rule.
+    /// Estimates a window count with an explicit straddler rule,
+    /// streaming the columns directly — the SoA layout never wraps, so
+    /// there is no copy on any path.
     pub fn query_window_with(&self, t: Time, w: Time, estimator: Estimator) -> f64 {
-        let (a, b) = self.buckets.as_slices();
-        if b.is_empty() {
-            estimate_window(a, t, w, estimator)
-        } else {
-            let all: Vec<Bucket> = self.buckets.iter().copied().collect();
-            estimate_window(&all, t, w, estimator)
-        }
+        estimate_window_cols(
+            self.buckets.starts(),
+            self.buckets.ends(),
+            self.buckets.counts(),
+            t,
+            w,
+            estimator,
+        )
     }
 
     /// Adds `mass > 0` at the (already advanced-to) tick `t`: coalesce
@@ -262,12 +280,13 @@ impl DominationEh {
     /// The merge counter ticks per *new bucket*, not per item, so
     /// same-tick coalescing never re-triggers the pass.
     fn add_mass(&mut self, t: Time, f: u64) {
-        match self.buckets.back_mut() {
-            Some(b) if b.start == t && b.end == t => {
-                b.count = b.count.saturating_add(f);
+        match self.buckets.back() {
+            Some((start, end, count)) if start == t && end == t => {
+                self.buckets
+                    .set_count(self.buckets.len() - 1, count.saturating_add(f));
             }
             _ => {
-                self.buckets.push_back(Bucket::unit(t, f));
+                self.buckets.push_back(t, t, f);
                 self.inserts_since_merge += 1;
                 if self.inserts_since_merge >= (self.buckets.len() / 4).max(8) {
                     self.canonicalize();
@@ -328,8 +347,9 @@ impl WindowSketch for DominationEh {
                 i += 1;
             }
             if rest > 0 {
-                if let Some(b) = self.buckets.back_mut() {
-                    b.count = b.count.saturating_add(rest);
+                if let Some((_, _, count)) = self.buckets.back() {
+                    self.buckets
+                        .set_count(self.buckets.len() - 1, count.saturating_add(rest));
                 }
                 self.live_total = self.live_total.saturating_add(rest);
                 self.at_last = self.at_last.saturating_add(rest);
@@ -362,7 +382,11 @@ impl WindowSketch for DominationEh {
     }
 
     fn buckets(&self) -> Vec<Bucket> {
-        self.buckets.iter().copied().collect()
+        DominationEh::buckets(self)
+    }
+
+    fn columns(&self) -> ColumnsView<'_> {
+        ColumnsView::from(&self.buckets)
     }
 
     fn epsilon(&self) -> f64 {
@@ -389,8 +413,14 @@ impl td_decay::StreamAggregate for DominationEh {
     /// not to past-plus-burst mass with a subtraction on top.
     fn query(&self, t: Time) -> f64 {
         if t == self.last_t && self.at_last > 0 {
-            let all: Vec<Bucket> = self.buckets.iter().copied().collect();
-            crate::bucket::estimate_strict_past(&all, t, self.at_last, Estimator::Halved)
+            estimate_strict_past_cols(
+                self.buckets.starts(),
+                self.buckets.ends(),
+                self.buckets.counts(),
+                t,
+                self.at_last,
+                Estimator::Halved,
+            )
         } else {
             self.query_window(t, t)
         }
@@ -411,8 +441,9 @@ impl StorageAccounting for DominationEh {
         // Per bucket: one timestamp plus an exact count.
         let span = self.last_t;
         self.buckets
+            .counts()
             .iter()
-            .map(|b| bits_for_timestamp(span) + bits_for_count(b.count))
+            .map(|&c| bits_for_timestamp(span) + bits_for_count(c))
             .sum()
     }
 }
@@ -438,11 +469,14 @@ impl td_decay::checkpoint::Checkpoint for DominationEh {
         w.put_u64(self.inserts_since_merge as u64);
         w.put_u32(self.sites);
         w.put_u64(self.at_last);
+        // Serialized from the columns in the original AoS field order
+        // (start, end, count per bucket): byte-stable across the SoA
+        // refactor, pinned by the golden-checkpoint fixtures.
         w.put_u64(self.buckets.len() as u64);
-        for b in &self.buckets {
-            w.put_u64(b.start);
-            w.put_u64(b.end);
-            w.put_u64(b.count);
+        for (start, end, count) in self.buckets.iter() {
+            w.put_u64(start);
+            w.put_u64(end);
+            w.put_u64(count);
         }
         w.seal()
     }
@@ -473,7 +507,7 @@ impl td_decay::checkpoint::Checkpoint for DominationEh {
             return Err(RestoreError::Invariant("zero sites".into()));
         }
         let n = r.get_u64()?;
-        let mut buckets = VecDeque::with_capacity(n as usize);
+        let mut buckets = BucketColumns::with_capacity(n as usize);
         let mut sum = 0u64;
         for i in 0..n {
             let start = r.get_u64()?;
@@ -487,11 +521,10 @@ impl td_decay::checkpoint::Checkpoint for DominationEh {
             if count == 0 {
                 return Err(RestoreError::Invariant(format!("bucket {i} is empty")));
             }
-            if let Some(prev) = buckets.back() {
+            if let Some((_, prev_end, _)) = buckets.back() {
                 // Cross-site merges interleave by end time and may nest
                 // intervals, so only end-ordering is invariant.
-                let prev: &Bucket = prev;
-                if prev.end > end {
+                if prev_end > end {
                     return Err(RestoreError::Invariant(format!(
                         "bucket {i} ends before bucket {}",
                         i - 1
@@ -499,7 +532,7 @@ impl td_decay::checkpoint::Checkpoint for DominationEh {
                 }
             }
             sum = sum.saturating_add(count);
-            buckets.push_back(Bucket { start, end, count });
+            buckets.push_back(start, end, count);
         }
         r.finish()?;
         if sum != live_total {
@@ -526,7 +559,7 @@ mod tests {
     /// most ε × the total count of strictly newer buckets, measured NOW
     /// (dominance only strengthens as newer items arrive).
     fn assert_dominance(eh: &DominationEh) {
-        let buckets: Vec<Bucket> = eh.buckets.iter().copied().collect();
+        let buckets = eh.buckets();
         let mut suffix = 0u64;
         for i in (0..buckets.len()).rev() {
             let b = buckets[i];

@@ -70,7 +70,16 @@ pub trait WindowSketch {
     fn live_total(&self) -> u64;
 
     /// A snapshot of the live buckets, oldest first.
+    ///
+    /// This *copies*; query paths should prefer
+    /// [`columns`](Self::columns), which borrows the live
+    /// structure-of-arrays columns directly.
     fn buckets(&self) -> Vec<Bucket>;
+
+    /// Borrowed view of the live bucket columns (oldest first, sorted
+    /// by end time) — the zero-gather interface cascaded queries stream
+    /// their decay kernels over.
+    fn columns(&self) -> td_decay::ColumnsView<'_>;
 
     /// The configured accuracy target ε.
     fn epsilon(&self) -> f64;

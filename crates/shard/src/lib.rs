@@ -99,6 +99,30 @@ const DEFAULT_RING_CAPACITY: usize = 4096;
 /// latency a barrier can observe when it races a worker going idle.
 const IDLE_PARK: Duration = Duration::from_micros(100);
 
+/// Pads (and aligns) its contents to a 64-byte cache line, so two
+/// logically independent hot counters never share a line. The per-shard
+/// epoch counters are the motivating case: each worker Release-stores
+/// its own `applied` epoch on every drained chunk while the coordinator
+/// Acquire-polls all of them in barrier loops — without padding,
+/// neighbouring shards' epochs (or the epoch and the fields packed next
+/// to it) land on one line and every store invalidates every poller.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
 /// Shard health as stored in the shared atomic.
 const HEALTH_LIVE: u8 = 0;
 const HEALTH_FAILED: u8 = 1;
@@ -346,7 +370,9 @@ struct ShardState<B> {
     /// Messages fully applied to `backend`. This is the shard's
     /// *epoch*: any state change moves it, so cache validity is "the
     /// epoch vector I built from is the epoch vector I see now".
-    applied: AtomicU64,
+    /// Cache-line-padded: the worker stores it per drained chunk while
+    /// the coordinator polls every shard's copy in barrier loops.
+    applied: CachePadded<AtomicU64>,
     /// Set (after the final message is pushed) to ask the worker to
     /// drain the ring completely and exit.
     shutdown: AtomicBool,
@@ -377,9 +403,12 @@ struct Shard<B> {
     tx: spsc::Producer<Msg>,
     /// Messages pushed onto the ring. Written only by the coordinator
     /// (`&mut self` ingest), read by `&self` barriers — hence atomic.
-    submitted: AtomicU64,
-    /// Observation mass pushed onto the ring.
-    submitted_mass: AtomicU64,
+    /// Padded to its own line so barrier polls of one shard's progress
+    /// never contend with ingest stores into a neighbour's counters.
+    submitted: CachePadded<AtomicU64>,
+    /// Observation mass pushed onto the ring. Same single-writer
+    /// pattern as `submitted`, padded for the same reason.
+    submitted_mass: CachePadded<AtomicU64>,
     /// Ring-full stall events under the blocking policy.
     blocked_pushes: AtomicU64,
     /// Messages shed (never enqueued).
@@ -395,7 +424,9 @@ struct Shard<B> {
 struct Cache<B> {
     merged: Option<B>,
     /// Per-shard `applied` counters the cached summary was built from.
-    epochs: Vec<u64>,
+    /// Entries are cache-line-padded like the live epoch counters they
+    /// mirror, so validity re-checks walk one line per shard.
+    epochs: Vec<CachePadded<u64>>,
     /// Queries served straight from the cache.
     hits: u64,
     /// Cache (re)builds: one snapshot+advance+merge sweep each.
@@ -762,7 +793,7 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
             });
             let state = Arc::new(ShardState {
                 backend: Mutex::new(backend),
-                applied: AtomicU64::new(0),
+                applied: CachePadded::new(AtomicU64::new(0)),
                 shutdown: AtomicBool::new(false),
                 health: AtomicU8::new(HEALTH_LIVE),
                 panics: AtomicU64::new(0),
@@ -785,8 +816,8 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
             handles.push(Shard {
                 state,
                 tx,
-                submitted: AtomicU64::new(0),
-                submitted_mass: AtomicU64::new(0),
+                submitted: CachePadded::new(AtomicU64::new(0)),
+                submitted_mass: CachePadded::new(AtomicU64::new(0)),
                 blocked_pushes: AtomicU64::new(0),
                 dropped_msgs: AtomicU64::new(0),
                 dropped_mass: AtomicU64::new(0),
@@ -1063,8 +1094,8 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
         let fresh = self
             .shards
             .iter()
-            .map(|sh| sh.state.applied.load(Ordering::Acquire))
-            .collect::<Vec<u64>>();
+            .map(|sh| CachePadded::new(sh.state.applied.load(Ordering::Acquire)))
+            .collect::<Vec<_>>();
         if cache.merged.is_none() || cache.epochs != fresh {
             cache.merged = Some(self.fold_parts(&[]).0);
             cache.epochs = fresh;

@@ -31,10 +31,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
-
 use td_counters::approx::ApproxCount;
 use td_decay::properties::check_ratio_monotone;
+use td_decay::soa::{dot_counts, dot_mass, CHUNK};
 use td_decay::storage::{bits_for_count, StorageAccounting};
 use td_decay::{DecayFunction, RegionSchedule, Time};
 
@@ -106,6 +105,190 @@ struct WbmhBucket {
     first_item: Time,
     last_item: Time,
     count: BucketCount,
+}
+
+/// Column storage for the two [`BucketCount`] modes. The mode is fixed
+/// at construction (histograms never mix count modes), so queries can
+/// match on it once and stream the matching column.
+#[derive(Debug, Clone)]
+enum CountCols {
+    Exact(Vec<u64>),
+    Approx {
+        epsilon: f64,
+        value: Vec<f64>,
+        depth: Vec<u32>,
+    },
+}
+
+/// Structure-of-arrays storage for the sealed bucket list, oldest
+/// first: each [`WbmhBucket`] field lives in its own contiguous column
+/// (see `td_decay::soa` for the layout rationale). Queries stream the
+/// item-extent columns straight into the decay kernels with zero
+/// gather, and the merge pass compacts in place with two cursors
+/// instead of rebuilding a deque. WBMH never expires buckets — they
+/// only merge — so unlike `BucketColumns` no head offset is needed: the
+/// merge sweep *is* the compaction.
+#[derive(Debug, Clone)]
+struct WbmhColumns {
+    start: Vec<Time>,
+    end: Vec<Time>,
+    first_item: Vec<Time>,
+    last_item: Vec<Time>,
+    counts: CountCols,
+}
+
+impl WbmhColumns {
+    fn new(count_epsilon: Option<f64>) -> Self {
+        let counts = match count_epsilon {
+            None => CountCols::Exact(Vec::new()),
+            Some(epsilon) => CountCols::Approx {
+                epsilon,
+                value: Vec::new(),
+                depth: Vec::new(),
+            },
+        };
+        Self {
+            start: Vec::new(),
+            end: Vec::new(),
+            first_item: Vec::new(),
+            last_item: Vec::new(),
+            counts,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.start.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.start.is_empty()
+    }
+
+    /// Oldest-item arrival times, oldest bucket first.
+    fn first_items(&self) -> &[Time] {
+        &self.first_item
+    }
+
+    /// Newest-item arrival times — non-decreasing (buckets are ordered
+    /// and item extents disjoint), so query prefixes binary-search it.
+    fn last_items(&self) -> &[Time] {
+        &self.last_item
+    }
+
+    /// The (start, end) partition-cell span of bucket `i` — all the
+    /// merge rule ever looks at.
+    fn span(&self, i: usize) -> (Time, Time) {
+        (self.start[i], self.end[i])
+    }
+
+    fn count_value(&self, i: usize) -> f64 {
+        match &self.counts {
+            CountCols::Exact(c) => c[i] as f64,
+            CountCols::Approx { value, .. } => value[i],
+        }
+    }
+
+    fn count_storage_bits(&self, i: usize) -> u64 {
+        match &self.counts {
+            CountCols::Exact(c) => bits_for_count(c[i]),
+            CountCols::Approx {
+                epsilon,
+                value,
+                depth,
+            } => ApproxCount::from_parts(value[i], depth[i], *epsilon).storage_bits(),
+        }
+    }
+
+    /// Reconstructs bucket `i` in AoS form (cold paths only:
+    /// checkpointing, snapshots, cross-histogram merges).
+    fn get(&self, i: usize) -> WbmhBucket {
+        let count = match &self.counts {
+            CountCols::Exact(c) => BucketCount::Exact(c[i]),
+            CountCols::Approx {
+                epsilon,
+                value,
+                depth,
+            } => BucketCount::Approx(ApproxCount::from_parts(value[i], depth[i], *epsilon)),
+        };
+        WbmhBucket {
+            start: self.start[i],
+            end: self.end[i],
+            first_item: self.first_item[i],
+            last_item: self.last_item[i],
+            count,
+        }
+    }
+
+    fn push_back(&mut self, b: WbmhBucket) {
+        self.start.push(b.start);
+        self.end.push(b.end);
+        self.first_item.push(b.first_item);
+        self.last_item.push(b.last_item);
+        match (&mut self.counts, b.count) {
+            (CountCols::Exact(c), BucketCount::Exact(n)) => c.push(n),
+            (CountCols::Approx { value, depth, .. }, BucketCount::Approx(a)) => {
+                value.push(a.value());
+                depth.push(a.depth());
+            }
+            _ => unreachable!("count modes never mix within one histogram"),
+        }
+    }
+
+    /// Folds bucket `src` into bucket `dst` — the same min/max-span and
+    /// [`BucketCount::merge`] rule as the AoS pair merge.
+    fn fold(&mut self, dst: usize, src: usize) {
+        self.start[dst] = self.start[dst].min(self.start[src]);
+        self.end[dst] = self.end[dst].max(self.end[src]);
+        self.first_item[dst] = self.first_item[dst].min(self.first_item[src]);
+        self.last_item[dst] = self.last_item[dst].max(self.last_item[src]);
+        match &mut self.counts {
+            CountCols::Exact(c) => c[dst] = c[dst].saturating_add(c[src]),
+            CountCols::Approx {
+                epsilon,
+                value,
+                depth,
+            } => {
+                let a = ApproxCount::from_parts(value[dst], depth[dst], *epsilon);
+                let b = ApproxCount::from_parts(value[src], depth[src], *epsilon);
+                let m = ApproxCount::merge(&a, &b);
+                value[dst] = m.value();
+                depth[dst] = m.depth();
+            }
+        }
+    }
+
+    /// Moves bucket `src` into slot `dst` (the compaction shift of the
+    /// in-place merge sweep). No-op when the cursors coincide.
+    fn shift(&mut self, dst: usize, src: usize) {
+        if dst == src {
+            return;
+        }
+        self.start[dst] = self.start[src];
+        self.end[dst] = self.end[src];
+        self.first_item[dst] = self.first_item[src];
+        self.last_item[dst] = self.last_item[src];
+        match &mut self.counts {
+            CountCols::Exact(c) => c[dst] = c[src],
+            CountCols::Approx { value, depth, .. } => {
+                value[dst] = value[src];
+                depth[dst] = depth[src];
+            }
+        }
+    }
+
+    fn truncate(&mut self, len: usize) {
+        self.start.truncate(len);
+        self.end.truncate(len);
+        self.first_item.truncate(len);
+        self.last_item.truncate(len);
+        match &mut self.counts {
+            CountCols::Exact(c) => c.truncate(len),
+            CountCols::Approx { value, depth, .. } => {
+                value.truncate(len);
+                depth.truncate(len);
+            }
+        }
+    }
 }
 
 /// A precomputed lookup table over the (stream-independent) region
@@ -197,8 +380,8 @@ pub struct Wbmh<G> {
     merge_beyond_schedule: bool,
     /// Approximation parameter for approximate bucket counts, if any.
     count_epsilon: Option<f64>,
-    /// Sealed buckets, oldest first.
-    buckets: VecDeque<WbmhBucket>,
+    /// Sealed buckets, oldest first, in structure-of-arrays columns.
+    buckets: WbmhColumns,
     /// The open (unsealed) bucket, if any.
     open: Option<WbmhBucket>,
     /// Items at the most recent tick, kept outside the histogram so a
@@ -277,7 +460,7 @@ impl<G: DecayFunction> Wbmh<G> {
             seal_period,
             merge_beyond_schedule,
             count_epsilon,
-            buckets: VecDeque::new(),
+            buckets: WbmhColumns::new(count_epsilon),
             open: None,
             pending: None,
             seals_since_pass: 0,
@@ -330,9 +513,13 @@ impl<G: DecayFunction> Wbmh<G> {
         let Some((t, f)) = self.pending.take() else {
             return;
         };
-        let cell = t / self.seal_period;
         match &mut self.open {
-            Some(open) if open.start / self.seal_period == cell => {
+            // `t` lies in the open cell iff `t <= open.end`: times are
+            // monotone, so `t >= open.start` always holds, and the
+            // single comparison replaces two divisions on the per-tick
+            // hot path (the quotient is only needed when a new cell
+            // actually opens, below).
+            Some(open) if t <= open.end => {
                 open.last_item = t;
                 open.count.absorb(f);
             }
@@ -342,6 +529,7 @@ impl<G: DecayFunction> Wbmh<G> {
                     self.seals_since_pass += 1;
                     self.note_sealed_pair();
                 }
+                let cell = t / self.seal_period;
                 self.open = Some(WbmhBucket {
                     start: cell * self.seal_period,
                     end: cell * self.seal_period + self.seal_period - 1,
@@ -362,9 +550,9 @@ impl<G: DecayFunction> Wbmh<G> {
     /// brute-force ground truth for the `pair_next_merge` exactness
     /// test.
     #[cfg_attr(not(test), allow(dead_code))]
-    fn may_merge(&self, a: &WbmhBucket, c: &WbmhBucket, now: Time) -> bool {
-        let union_end = a.end.max(c.end);
-        let union_start = a.start.min(c.start);
+    fn may_merge(&self, a: (Time, Time), c: (Time, Time), now: Time) -> bool {
+        let union_end = a.1.max(c.1);
+        let union_start = a.0.min(c.0);
         if union_end >= now {
             return false;
         }
@@ -384,13 +572,13 @@ impl<G: DecayFunction> Wbmh<G> {
     /// and the verdict is identical (`region_of_near` is exact).
     fn may_merge_hinted(
         &self,
-        a: &WbmhBucket,
-        c: &WbmhBucket,
+        a: (Time, Time),
+        c: (Time, Time),
         now: Time,
         hint: usize,
     ) -> (bool, usize) {
-        let union_end = a.end.max(c.end);
-        let union_start = a.start.min(c.start);
+        let union_end = a.1.max(c.1);
+        let union_start = a.0.min(c.0);
         if union_end >= now {
             return (false, hint);
         }
@@ -408,9 +596,9 @@ impl<G: DecayFunction> Wbmh<G> {
     /// The smallest time strictly after `now` at which the pair
     /// (older `a`, newer `c`) may merge, or `Time::MAX` if it never
     /// can. Exact with respect to [`Self::may_merge`].
-    fn pair_next_merge(&self, a: &WbmhBucket, c: &WbmhBucket, now: Time) -> Time {
-        let e = a.end.max(c.end);
-        let s = a.start.min(c.start);
+    fn pair_next_merge(&self, a: (Time, Time), c: (Time, Time), now: Time) -> Time {
+        let e = a.1.max(c.1);
+        let s = a.0.min(c.0);
         let len = e - s + 1;
         match self.ladder.first_boundary_fitting(len) {
             Some(b) => {
@@ -466,7 +654,7 @@ impl<G: DecayFunction> Wbmh<G> {
     fn recompute_next_merge(&mut self, now: Time) {
         let mut next = Time::MAX;
         for i in 0..self.buckets.len().saturating_sub(1) {
-            let t = self.pair_next_merge(&self.buckets[i], &self.buckets[i + 1], now);
+            let t = self.pair_next_merge(self.buckets.span(i), self.buckets.span(i + 1), now);
             next = next.min(t);
         }
         self.next_merge_at = next;
@@ -485,7 +673,7 @@ impl<G: DecayFunction> Wbmh<G> {
         if n < 2 {
             return;
         }
-        let t = self.pair_next_merge(&self.buckets[n - 2], &self.buckets[n - 1], 0);
+        let t = self.pair_next_merge(self.buckets.span(n - 2), self.buckets.span(n - 1), 0);
         self.next_merge_at = self.next_merge_at.min(t);
     }
 
@@ -509,38 +697,37 @@ impl<G: DecayFunction> Wbmh<G> {
     /// loosens as `now` advances) is picked up by a later pass.
     /// [`Wbmh::merge_from`], whose transient overlapping unions break
     /// the monotonicity argument, loops this to fixpoint explicitly.
+    ///
+    /// The sweep runs in place over the columns with two cursors: the
+    /// accumulator lives in slot `write`, unmergeable buckets shift
+    /// down to close the gaps, and one `truncate` drops the tail — no
+    /// allocation, no deque rebuild ("merge at `i` and re-check `i`" is
+    /// exactly this fold, see above).
     fn merge_pass(&mut self, now: Time) -> bool {
-        let mut merged_any = false;
-        let buckets = std::mem::take(&mut self.buckets);
-        let mut out: VecDeque<WbmhBucket> = VecDeque::with_capacity(buckets.len());
-        let mut iter = buckets.into_iter();
-        let Some(mut acc) = iter.next() else {
+        let n = self.buckets.len();
+        if n == 0 {
             return false;
-        };
+        }
+        let mut merged_any = false;
+        let mut write = 0usize;
         // Oldest buckets first: ages only fall along the sweep, so
         // thread the region hint through it.
         let mut hint = self.schedule.num_regions() - 1;
-        for c in iter {
-            let (ok, region) = self.may_merge_hinted(&acc, &c, now, hint);
+        for read in 1..n {
+            let (ok, region) =
+                self.may_merge_hinted(self.buckets.span(write), self.buckets.span(read), now, hint);
             hint = region;
             if ok {
                 // min/max span handles nested/overlapping pairs that
                 // arise transiently after `merge_from`.
-                acc = WbmhBucket {
-                    start: acc.start.min(c.start),
-                    end: acc.end.max(c.end),
-                    first_item: acc.first_item.min(c.first_item),
-                    last_item: acc.last_item.max(c.last_item),
-                    count: acc.count.merge(&c.count),
-                };
+                self.buckets.fold(write, read);
                 merged_any = true;
             } else {
-                out.push_back(acc);
-                acc = c;
+                write += 1;
+                self.buckets.shift(write, read);
             }
         }
-        out.push_back(acc);
-        self.buckets = out;
+        self.buckets.truncate(write + 1);
         merged_any
     }
 
@@ -695,14 +882,16 @@ impl<G: DecayFunction> Wbmh<G> {
             self.last_t, other.last_t,
             "advance both histograms to the same tick before merging"
         );
-        let mut all: Vec<WbmhBucket> = self
-            .buckets
-            .iter()
-            .chain(other.buckets.iter())
-            .cloned()
+        let mut all: Vec<WbmhBucket> = (0..self.buckets.len())
+            .map(|i| self.buckets.get(i))
+            .chain((0..other.buckets.len()).map(|i| other.buckets.get(i)))
             .collect();
         all.sort_by_key(|b| (b.start, b.end));
-        self.buckets = all.into();
+        let mut cols = WbmhColumns::new(self.count_epsilon);
+        for b in all {
+            cols.push_back(b);
+        }
+        self.buckets = cols;
         // Open buckets, if both exist, are in the same (current) cell.
         self.open = match (self.open.take(), &other.open) {
             (Some(mut a), Some(b)) => {
@@ -747,50 +936,67 @@ impl<G: DecayFunction> Wbmh<G> {
             "query time {t} precedes last observation {}",
             self.last_t
         );
-        // Sealed buckets are weighted at their deterministic cell end;
-        // the open bucket (whose cell may extend past `t`) at its newest
-        // item. Both stay within the region's (1+ε) band. Ages are
-        // gathered into columns so the decay runs as one `weight_batch`
-        // kernel call per column instead of a virtual call per bucket.
-        let cap = self.buckets.len() + 1;
-        let mut end_ages: Vec<Time> = Vec::with_capacity(cap);
-        let mut start_ages: Vec<Time> = Vec::with_capacity(cap);
-        let mut counts: Vec<f64> = Vec::with_capacity(cap);
-        {
-            let mut gather = |b: &WbmhBucket| {
-                let eff_end = b.end.min(b.last_item);
-                if eff_end >= t {
-                    return; // §2.1: items at/after the query time
-                }
-                end_ages.push(t - eff_end);
-                start_ages.push(t - b.start.max(b.first_item));
-                counts.push(b.count.value());
-            };
-            for b in &self.buckets {
-                gather(b);
+        // Sealed buckets are weighted at their newest item (which is
+        // their effective end: items never escape the cell, so
+        // `last_item <= end` always); the open bucket likewise. Both
+        // stay within the region's (1+ε) band. The decay kernel
+        // consumes the `last_item` column directly — it is
+        // non-decreasing, so the §2.1 exclusion of items at/after `t`
+        // is one binary search for the live prefix, with zero gather
+        // or copy.
+        let lasts = self.buckets.last_items();
+        let live = lasts.partition_point(|&l| l < t);
+        let mut total: f64 = match (estimator, &self.buckets.counts) {
+            (WbmhEstimator::Paper, CountCols::Exact(c)) => {
+                dot_counts(&self.decay, t, &lasts[..live], &c[..live])
             }
-            if let Some(open) = &self.open {
-                gather(open);
+            (WbmhEstimator::Paper, CountCols::Approx { value, .. }) => {
+                dot_mass(&self.decay, t, &lasts[..live], &value[..live])
+            }
+            (WbmhEstimator::Geometric, _) => self.dot_geometric(t, live),
+        };
+        // The open bucket is a single scalar term.
+        if let Some(open) = &self.open {
+            if open.last_item < t {
+                let we = self.decay.weight(t - open.last_item);
+                total += match estimator {
+                    WbmhEstimator::Paper => open.count.value() * we,
+                    WbmhEstimator::Geometric => {
+                        let ws = self.decay.weight(t - open.first_item);
+                        open.count.value() * (we * ws).sqrt()
+                    }
+                };
             }
         }
-        let mut w_end = vec![0.0; end_ages.len()];
-        self.decay.weight_batch(&end_ages, &mut w_end);
-        let mut total: f64 = match estimator {
-            WbmhEstimator::Paper => counts.iter().zip(&w_end).map(|(c, w)| c * w).sum(),
-            WbmhEstimator::Geometric => {
-                let mut w_start = vec![0.0; start_ages.len()];
-                self.decay.weight_batch(&start_ages, &mut w_start);
-                counts
-                    .iter()
-                    .zip(w_end.iter().zip(&w_start))
-                    .map(|(c, (we, ws))| c * (we * ws).sqrt())
-                    .sum()
-            }
-        };
         if let Some((pt, pf)) = self.pending {
             if pt < t {
                 total += pf as f64 * self.decay.weight(t - pt);
             }
+        }
+        total
+    }
+
+    /// The geometric-mean dot product over the live sealed prefix:
+    /// end- and start-age weights evaluated chunk-by-chunk through
+    /// [`DecayFunction::weight_from_ends`] into stack scratch, then
+    /// combined as `count · sqrt(w_end · w_start)`.
+    fn dot_geometric(&self, t: Time, live: usize) -> f64 {
+        let lasts = &self.buckets.last_items()[..live];
+        let firsts = &self.buckets.first_items()[..live];
+        let mut w_end = [0.0f64; CHUNK];
+        let mut w_start = [0.0f64; CHUNK];
+        let mut total = 0.0;
+        let mut i = 0;
+        while i < live {
+            let n = CHUNK.min(live - i);
+            self.decay
+                .weight_from_ends(t, &lasts[i..i + n], &mut w_end[..n]);
+            self.decay
+                .weight_from_ends(t, &firsts[i..i + n], &mut w_start[..n]);
+            for j in 0..n {
+                total += self.buckets.count_value(i + j) * (w_end[j] * w_start[j]).sqrt();
+            }
+            i += n;
         }
         total
     }
@@ -800,13 +1006,11 @@ impl<G: DecayFunction> Wbmh<G> {
     /// groups the §5 trace quotes. Structural (cell) boundaries are the
     /// deterministic partition and are not exposed per bucket.
     pub fn bucket_spans(&self) -> Vec<BucketView> {
-        let mut v: Vec<BucketView> = self
-            .buckets
-            .iter()
-            .map(|b| BucketView {
-                start: b.first_item,
-                end: b.last_item,
-                count: b.count.value(),
+        let mut v: Vec<BucketView> = (0..self.buckets.len())
+            .map(|i| BucketView {
+                start: self.buckets.first_items()[i],
+                end: self.buckets.last_items()[i],
+                count: self.buckets.count_value(i),
             })
             .collect();
         if let Some(open) = &self.open {
@@ -871,7 +1075,9 @@ impl<G: DecayFunction> Wbmh<G> {
             };
             (b.start, b.end, b.first_item, b.last_item, value, depth)
         };
-        let mut buckets: Vec<_> = self.buckets.iter().map(encode).collect();
+        let mut buckets: Vec<_> = (0..self.buckets.len())
+            .map(|i| encode(&self.buckets.get(i)))
+            .collect();
         let has_open = self.open.is_some();
         if let Some(open) = &self.open {
             buckets.push(encode(open));
@@ -938,7 +1144,9 @@ impl<G: DecayFunction> Wbmh<G> {
         for pair in snap.buckets.windows(2) {
             assert!(pair[0].0 <= pair[1].0, "snapshot buckets out of order");
         }
-        h.buckets = snap.buckets[..n_sealed].iter().map(decode).collect();
+        for b in &snap.buckets[..n_sealed] {
+            h.buckets.push_back(decode(b));
+        }
         h.open = snap
             .has_open
             .then(|| decode(snap.buckets.last().expect("has_open")));
@@ -999,8 +1207,8 @@ impl<G: DecayFunction> td_decay::checkpoint::Checkpoint for Wbmh<G> {
             }
         };
         w.put_u64(self.buckets.len() as u64);
-        for b in &self.buckets {
-            encode(&mut w, b);
+        for i in 0..self.buckets.len() {
+            encode(&mut w, &self.buckets.get(i));
         }
         match &self.open {
             None => w.put_bool(false),
@@ -1088,7 +1296,7 @@ impl<G: DecayFunction> td_decay::checkpoint::Checkpoint for Wbmh<G> {
             })
         };
         let n = r.get_u64()?;
-        let mut buckets = VecDeque::with_capacity(n as usize);
+        let mut buckets = WbmhColumns::new(count_epsilon);
         let mut prev_end: Option<Time> = None;
         for i in 0..n {
             let b = decode(&mut r)?;
@@ -1157,11 +1365,19 @@ impl<G: DecayFunction> td_decay::StreamAggregate for Wbmh<G> {
         // With exact bucket counts the Paper estimator weights every
         // item at its bucket's newest age, so the answer is one-sided
         // high within the region band. Approximate counts can round in
-        // either direction, making the envelope symmetric.
+        // either direction, making the envelope symmetric. The chunked
+        // weight kernel perturbs each bucket weight by at most its
+        // documented relative error κ (DESIGN.md §12), widening both
+        // sides by κ — ten-plus decimal orders below any ε.
+        let kappa = self.decay.kernel_relative_error();
+        let bound = Wbmh::error_bound(self);
         if self.count_epsilon.is_none() {
-            td_decay::ErrorBound::one_sided(Wbmh::error_bound(self))
+            td_decay::ErrorBound {
+                lower: kappa,
+                upper: bound + kappa,
+            }
         } else {
-            td_decay::ErrorBound::symmetric(Wbmh::error_bound(self))
+            td_decay::ErrorBound::symmetric(bound + kappa)
         }
     }
 }
@@ -1173,10 +1389,8 @@ impl<G: DecayFunction> StorageAccounting for Wbmh<G> {
         // are functions of (g, ε, T) shared across all streams and are
         // not charged (§2.3, §5).
         let per_bucket_overhead = 2;
-        let mut bits: u64 = self
-            .buckets
-            .iter()
-            .map(|b| b.count.storage_bits() + per_bucket_overhead)
+        let mut bits: u64 = (0..self.buckets.len())
+            .map(|i| self.buckets.count_storage_bits(i) + per_bucket_overhead)
             .sum();
         if let Some(open) = &self.open {
             bits += open.count.storage_bits() + per_bucket_overhead;
@@ -1298,7 +1512,7 @@ mod tests {
         let horizon = now + 4_000;
         let mut checked = 0;
         for i in 0..h.buckets.len() - 1 {
-            let (a, c) = (&h.buckets[i], &h.buckets[i + 1]);
+            let (a, c) = (h.buckets.span(i), h.buckets.span(i + 1));
             let got = h.pair_next_merge(a, c, now);
             let brute = ((now + 1)..=horizon).find(|&t| h.may_merge(a, c, t));
             match brute {
