@@ -129,6 +129,11 @@ impl<B: td_decay::StreamAggregate> td_decay::StreamAggregate for DecayedAverage<
         let unit: Vec<(Time, u64)> = items.iter().map(|&(t, _)| (t, 1)).collect();
         self.weights.observe_batch(&unit);
     }
+    fn batched_ingest_amortizes(&self) -> bool {
+        // The mapped scratch vector only pays off when the component
+        // backends amortize; otherwise per-item fan-out is cheaper.
+        self.values.batched_ingest_amortizes()
+    }
     fn advance(&mut self, t: Time) {
         self.values.advance(t);
         self.weights.advance(t);

@@ -165,6 +165,11 @@ impl<B: td_decay::StreamAggregate> td_decay::StreamAggregate for DecayedVariance
         self.sums.observe_batch(items);
         self.squares.observe_batch(&sq);
     }
+    fn batched_ingest_amortizes(&self) -> bool {
+        // The mapped scratch vectors only pay off when the component
+        // backends amortize; otherwise per-item fan-out is cheaper.
+        self.sums.batched_ingest_amortizes()
+    }
     fn advance(&mut self, t: Time) {
         self.weights.advance(t);
         self.sums.advance(t);

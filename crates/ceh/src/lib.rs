@@ -302,6 +302,9 @@ impl<G: DecayFunction> td_decay::StreamAggregate for CascadedEh<G, DominationEh>
     fn observe_batch(&mut self, items: &[(Time, u64)]) {
         CascadedEh::observe_batch(self, items)
     }
+    fn batched_ingest_amortizes(&self) -> bool {
+        true // per-level clock advance shared per distinct tick
+    }
     fn advance(&mut self, t: Time) {
         CascadedEh::advance(self, t)
     }

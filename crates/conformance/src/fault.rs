@@ -34,6 +34,7 @@ use td_decay::checkpoint::{Checkpoint, RestoreError};
 use td_decay::{DecayFunction, ErrorBound, StorageAccounting, StreamAggregate, Time};
 use td_shard::{ShardHealth, ShardedAggregate, SupervisorOptions};
 
+use crate::lateness::LateStream;
 use crate::oracle::Oracle;
 use crate::scenario::{Op, Scenario};
 
@@ -191,6 +192,10 @@ impl<B: StreamAggregate + Clone> StreamAggregate for FaultyBackend<B> {
             }
         }
         self.inner.observe_batch(items)
+    }
+
+    fn batched_ingest_amortizes(&self) -> bool {
+        self.inner.batched_ingest_amortizes()
     }
 
     fn advance(&mut self, t: Time) {
@@ -456,6 +461,321 @@ where
             }
         }
     }
+    Ok(report)
+}
+
+/// The reorder-stage extension of [`certify_faulted`] (ISSUE 7,
+/// satellite): the shard panic fires **while items are still buffered
+/// in the bounded-lateness stage** in front of the engine — the
+/// deployment shape where a worker dies mid-stream with in-flight
+/// out-of-order mass that has not yet been released downstream.
+///
+/// Replays a [`LateStream`] (arrival order, `Reject` policy) through
+/// `Reorderer<ShardedAggregate<FaultyBackend<B>>>` with `plan` armed,
+/// lock-step against an independent watermark simulation and exact
+/// truth, and proves:
+///
+/// 1. **Every answer is certified** — healthy, mid-failure, degraded —
+///    inside the envelope the engine itself reports, against the truth
+///    of the *accepted* substream (rejected mass is lost by contract,
+///    never silently).
+/// 2. **The fault fires with the stage non-empty**: at the first
+///    barrier after the panic, the reorder buffers still hold items —
+///    otherwise the run proves nothing about the buffered-mass path
+///    and is rejected as vacuous.
+/// 3. **Completeness tracks the published watermark**: every answer's
+///    `complete_up_to` equals the stage's watermark at the barrier,
+///    including after the failure.
+/// 4. **The terminal state matches the mode**: a restart heals with
+///    zero lost mass and un-degraded terminal answers (the buffered
+///    items replayed losslessly through the recovered shard); a
+///    quarantine lists the victim as degraded, prices the victim's
+///    uncovered mass into a widened lower envelope, and serves
+///    post-quarantine releases (including the mass that was buffered at
+///    panic time) from the surviving shards.
+///
+/// `CorruptCheckpoint` plans are not meaningful here (the corruption
+/// path is checkpoint-level, not stage-level) and are rejected.
+pub fn certify_faulted_reordered<B, F>(
+    plan: FaultPlan,
+    stream: &LateStream,
+    shards: usize,
+    make_decay: fn() -> Box<dyn DecayFunction>,
+    backend_name: &str,
+    make: F,
+) -> Result<FaultReport, String>
+where
+    B: StreamAggregate + Checkpoint + Clone + Send + 'static,
+    F: Fn() -> B,
+{
+    assert!(plan.victim < shards, "victim must be a real shard");
+    assert!(
+        !matches!(plan.mode, FaultMode::CorruptCheckpoint { .. }),
+        "corruption plans are certified by certify_faulted, not the reordered path"
+    );
+    let opts = SupervisorOptions {
+        max_restarts: match plan.mode {
+            FaultMode::Quarantine => 0,
+            _ => SupervisorOptions::default().max_restarts,
+        },
+        ..SupervisorOptions::default()
+    };
+    let injector = FaultInjector::new(plan);
+    let engine = ShardedAggregate::supervised(shards, opts, injector.factory(make));
+    let mut r = engine.reordered(
+        make_decay(),
+        stream.bound,
+        td_reorder::LatenessPolicy::Reject,
+        stream.sources,
+    );
+    let truth_decay = make_decay();
+
+    let scn = Scenario {
+        name: stream.name.clone(),
+        seed: stream.seed,
+        ops: Vec::new(),
+    };
+    let mut report = FaultReport {
+        queries: 0,
+        degraded_queries: 0,
+        max_rel_err: 0.0,
+        final_bound: ErrorBound::unbounded(),
+    };
+
+    // Independent simulation: prefix-max watermark + accepted item set.
+    let mut max_seen: Time = 0;
+    let mut wm: Time = 0;
+    let mut truth_items: Vec<(Time, u64)> = Vec::new();
+    let mut buffered_at_fire: Option<u64> = None;
+
+    let truth_at = |items: &[(Time, u64)], t: Time| -> f64 {
+        items
+            .iter()
+            .filter(|&&(ti, _)| ti < t)
+            .map(|&(ti, f)| f as f64 * truth_decay.weight(t - ti))
+            .sum()
+    };
+
+    for (i, a) in stream.arrivals.iter().enumerate() {
+        let predicted_late = a.t < wm;
+        let res = r.push(a.source, a.t, a.f);
+        if predicted_late {
+            if res.is_ok() {
+                return Err(fail(
+                    &plan,
+                    &scn,
+                    backend_name,
+                    a.t,
+                    format!("beyond-bound arrival #{i} accepted under Reject"),
+                ));
+            }
+        } else {
+            if res.is_err() {
+                return Err(fail(
+                    &plan,
+                    &scn,
+                    backend_name,
+                    a.t,
+                    format!("on-time arrival #{i} refused: {res:?}"),
+                ));
+            }
+            truth_items.push((a.t, a.f));
+            max_seen = max_seen.max(a.t);
+            wm = max_seen.saturating_sub(stream.bound);
+        }
+
+        if (i + 1) % stream.checkpoint_every == 0 && wm > 0 {
+            // try_query barriers: the workers have drained everything
+            // released so far before the answer is built.
+            let q = wm + 1;
+            let ans = r
+                .inner()
+                .try_query(q)
+                .map_err(|e| fail(&plan, &scn, backend_name, q, format!("{e}")))?;
+            let truth = truth_at(&truth_items, q);
+            if !ans.bound.admits(ans.value, truth, slop(truth)) {
+                return Err(fail(
+                    &plan,
+                    &scn,
+                    backend_name,
+                    q,
+                    format!(
+                        "answer {} outside its self-reported envelope {:?} around \
+                         accepted-substream truth {} (degraded: {:?})",
+                        ans.value, ans.bound, truth, ans.degraded
+                    ),
+                ));
+            }
+            if ans.complete_up_to != r.watermark() {
+                return Err(fail(
+                    &plan,
+                    &scn,
+                    backend_name,
+                    q,
+                    format!(
+                        "completeness {} diverged from the published watermark {}",
+                        ans.complete_up_to,
+                        r.watermark()
+                    ),
+                ));
+            }
+            report.queries += 1;
+            if ans.degraded.contains(&plan.victim) {
+                report.degraded_queries += 1;
+            }
+            if truth.abs() > 1e-9 {
+                report.max_rel_err = report
+                    .max_rel_err
+                    .max((ans.value - truth).abs() / truth.abs());
+            }
+            // The barrier synchronized us with the workers: if the
+            // panic has fired, record how much the stage was holding.
+            if injector.fired() && buffered_at_fire.is_none() {
+                buffered_at_fire = Some(r.stats().buffered_items);
+            }
+        }
+    }
+
+    if !injector.fired() {
+        return Err(fail(
+            &plan,
+            &scn,
+            backend_name,
+            max_seen,
+            "the armed fault never fired before the stream ended — trigger past the \
+             victim's share, run certified nothing"
+                .to_string(),
+        ));
+    }
+    let buffered = match buffered_at_fire {
+        // Observed at a barrier before the flush: the heaps still held
+        // at least the frontier item, or the run is vacuous.
+        Some(n) if n > 0 => n,
+        _ => {
+            return Err(fail(
+                &plan,
+                &scn,
+                backend_name,
+                max_seen,
+                "the fault fired with the reorder stage empty — this run never \
+                 exercised the buffered-mass path; retune panic_after_items"
+                    .to_string(),
+            ));
+        }
+    };
+
+    // Drain the stage into the (restarted or degraded) engine and probe
+    // strictly after everything.
+    r.flush();
+    let t_end = stream.max_time() + 7;
+    let ans = r
+        .inner()
+        .try_query(t_end)
+        .map_err(|e| fail(&plan, &scn, backend_name, t_end, format!("{e}")))?;
+    let truth = truth_at(&truth_items, t_end);
+    if !ans.bound.admits(ans.value, truth, slop(truth)) {
+        return Err(fail(
+            &plan,
+            &scn,
+            backend_name,
+            t_end,
+            format!(
+                "terminal answer {} outside envelope {:?} around truth {} \
+                 ({} items were buffered at panic time)",
+                ans.value, ans.bound, truth, buffered
+            ),
+        ));
+    }
+    if ans.complete_up_to != max_seen {
+        return Err(fail(
+            &plan,
+            &scn,
+            backend_name,
+            t_end,
+            format!(
+                "after flush, completeness {} must equal the global max {}",
+                ans.complete_up_to, max_seen
+            ),
+        ));
+    }
+    report.queries += 1;
+    report.final_bound = ans.bound;
+    if truth.abs() > 1e-9 {
+        report.max_rel_err = report
+            .max_rel_err
+            .max((ans.value - truth).abs() / truth.abs());
+    }
+
+    let stats = r.inner().shard_stats();
+    let victim = &stats[plan.victim];
+    match plan.mode {
+        FaultMode::Restart => {
+            if victim.restarts < 1 || victim.health != ShardHealth::Live {
+                return Err(fail(
+                    &plan,
+                    &scn,
+                    backend_name,
+                    t_end,
+                    format!("expected a healed restart, got {victim:?}"),
+                ));
+            }
+            if !ans.degraded.is_empty() || victim.lost_mass != 0 {
+                return Err(fail(
+                    &plan,
+                    &scn,
+                    backend_name,
+                    t_end,
+                    format!(
+                        "restart with buffered reorder mass must replay lossless: \
+                         degraded {:?}, lost_mass {}",
+                        ans.degraded, victim.lost_mass
+                    ),
+                ));
+            }
+        }
+        FaultMode::Quarantine => {
+            if victim.health != ShardHealth::Quarantined {
+                return Err(fail(
+                    &plan,
+                    &scn,
+                    backend_name,
+                    t_end,
+                    format!("expected quarantine, got {victim:?}"),
+                ));
+            }
+            if !ans.degraded.contains(&plan.victim) {
+                return Err(fail(
+                    &plan,
+                    &scn,
+                    backend_name,
+                    t_end,
+                    format!(
+                        "quarantined victim missing from degraded {:?}",
+                        ans.degraded
+                    ),
+                ));
+            }
+            // The victim's uncovered mass (the chunk that panicked, at
+            // minimum) is at risk: the answer must say so by widening
+            // its lower side — an exact envelope over a degraded
+            // answer would be a silent lie.
+            if ans.bound.lower <= 0.0 {
+                return Err(fail(
+                    &plan,
+                    &scn,
+                    backend_name,
+                    t_end,
+                    format!(
+                        "quarantine must widen the envelope for the at-risk mass, \
+                         got {:?}",
+                        ans.bound
+                    ),
+                ));
+            }
+        }
+        FaultMode::CorruptCheckpoint { .. } => unreachable!("rejected above"),
+    }
+    report.degraded_queries += usize::from(ans.degraded.contains(&plan.victim));
     Ok(report)
 }
 

@@ -1,0 +1,664 @@
+//! Lateness as a first-class conformance dimension (ISSUE 7): seeded
+//! out-of-**arrival**-order stream families and a certifier that runs
+//! them through a [`Reorderer`]-fronted backend in lock-step with an
+//! independently simulated watermark and an exact truth computation.
+//!
+//! The existing scenario families ([`crate::scenario`]) stress
+//! *generation-time* skew but always ingest sorted ops, as the
+//! [`StreamAggregate`] contract demands. The families here are arrival
+//! sequences: items carry their true timestamps but show up out of
+//! order, and only the bounded-lateness stage (`td-reorder`) stands
+//! between them and the backend. The certifier verifies, per arrival
+//! and per query:
+//!
+//! * the stage's watermark tracks an independent prefix-max simulation
+//!   (`W = max_seen − allowed_lateness`) exactly;
+//! * every arrival's fate (on-time / rejected / folded) matches what
+//!   the simulation predicts — beyond-bound items never silently alter
+//!   an answer;
+//! * under [`LatenessPolicy::Reject`], answers equal the oracle of the
+//!   accepted substream inside the backend's own envelope ("loses
+//!   exactly the rejected mass"), and the rejected mass is accounted
+//!   to the item in [`td_reorder::ReorderStats::rejected_mass`];
+//! * under [`LatenessPolicy::Fold`], answers are checked against the
+//!   truth of **all** items at their *true* timestamps, and must sit
+//!   inside the *widened* envelope the stage itself certifies.
+//!
+//! Violations surface as the same replayable [`Failure`] the in-order
+//! certifier uses: family name, seed, and first failing query tick.
+
+use td_decay::{DecayFunction, ErrorBound, StorageAccounting, StreamAggregate, Time};
+use td_reorder::{LatenessPolicy, Reorderer};
+
+use crate::certify::{DynAggregate, Failure, RunStats};
+use crate::scenario::Rng;
+
+/// One out-of-order arrival: an item with true timestamp `t` and value
+/// `f` showing up on ingest source `source` at this position of the
+/// arrival sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// The ingest source (per-source reorder buffer) the item arrives
+    /// on.
+    pub source: usize,
+    /// The item's true timestamp.
+    pub t: Time,
+    /// The item's value.
+    pub f: u64,
+}
+
+/// A seeded out-of-arrival-order stream: the lateness counterpart of
+/// [`crate::Scenario`]. Regenerating the named family at `seed` always
+/// reproduces the same arrival sequence.
+#[derive(Debug, Clone)]
+pub struct LateStream {
+    /// Family name (goes into [`Failure`] repros).
+    pub name: String,
+    /// The seed the family was generated from.
+    pub seed: u64,
+    /// How many ingest sources the arrivals are spread over.
+    pub sources: usize,
+    /// The `allowed_lateness` this family is tuned against: the
+    /// within-bound family never crosses it, the knife-edge families
+    /// sit exactly on either side of it.
+    pub bound: u64,
+    /// Mid-stream queries fire after every this-many arrivals.
+    pub checkpoint_every: usize,
+    /// The arrival sequence.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl LateStream {
+    /// Largest true timestamp in the stream (0 when empty).
+    pub fn max_time(&self) -> Time {
+        self.arrivals.iter().map(|a| a.t).max().unwrap_or(0)
+    }
+}
+
+/// Tail-free skew: every item's arrival delay is at most `bound`, so
+/// (provably) no arrival is ever late — the watermark when an item
+/// arrives is at most its own timestamp. The family certifies that
+/// in-bound reordering is *exact*: same released stream as a stable
+/// sort, no widening, no rejections.
+pub fn late_uniform_within(seed: u64, n: usize, bound: u64) -> LateStream {
+    let mut rng = Rng::new(seed ^ 0x7);
+    let sources = 3usize;
+    let mut items: Vec<(Time, u64, u64)> = Vec::with_capacity(n); // (t, delay, f)
+    let mut t: Time = 1;
+    for _ in 0..n {
+        t += rng.range(1, 3);
+        items.push((t, rng.below(bound + 1), 1 + rng.below(6)));
+    }
+    // Arrival order: stable sort by (t + delay). An item arriving at
+    // key `t + d ≤ t + bound` can only see max_seen ≤ its own key, so
+    // W ≤ t: never late.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| items[i].0 + items[i].1);
+    let arrivals = order
+        .into_iter()
+        .map(|i| Arrival {
+            source: rng.below(sources as u64) as usize,
+            t: items[i].0,
+            f: items[i].2,
+        })
+        .collect();
+    LateStream {
+        name: "late-uniform-within".into(),
+        seed,
+        sources,
+        bound,
+        checkpoint_every: 16,
+        arrivals,
+    }
+}
+
+/// Heavy-tail delay distribution: most items trail the frontier by a
+/// small skew, but a geometric tail throws some far beyond the bound —
+/// the family that actually exercises the Reject/Fold policies on
+/// genuinely late mass.
+pub fn late_heavy_tail(seed: u64, n: usize, bound: u64) -> LateStream {
+    let mut rng = Rng::new(seed ^ 0x8);
+    let sources = 3usize;
+    let mut items: Vec<(Time, u64, u64)> = Vec::with_capacity(n);
+    let mut t: Time = 1;
+    for _ in 0..n {
+        t += rng.range(1, 3);
+        // ~1 in 6 items draws from the tail: delay in
+        // (bound, 3·bound + 1] — far enough past the watermark to be
+        // late with near-certainty under the dense frontier.
+        let delay = if rng.below(6) == 0 {
+            bound + 1 + rng.below(2 * bound + 1)
+        } else {
+            rng.below(bound / 2 + 1)
+        };
+        items.push((t, delay, 1 + rng.below(6)));
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| items[i].0 + items[i].1);
+    let arrivals = order
+        .into_iter()
+        .map(|i| Arrival {
+            source: rng.below(sources as u64) as usize,
+            t: items[i].0,
+            f: items[i].2,
+        })
+        .collect();
+    LateStream {
+        name: "late-heavy-tail".into(),
+        seed,
+        sources,
+        bound,
+        checkpoint_every: 16,
+        arrivals,
+    }
+}
+
+/// Knife-edge adversarial, inside: after each frontier advance, echo an
+/// item at **exactly** the watermark (`t = max_seen − bound`). The `t
+/// == W` edge is on-time by contract; one off-by-one in the stage's
+/// comparison and this family rejects half its mass.
+pub fn late_just_inside(seed: u64, n: usize, bound: u64) -> LateStream {
+    knife_edge(seed ^ 0x9, n, bound, 0, "late-just-inside")
+}
+
+/// Knife-edge adversarial, outside: the echo sits at `W − 1`, one tick
+/// below the watermark — late by the narrowest possible margin, every
+/// time. Under `Reject` all echoes bounce; under `Fold` each is folded
+/// with the smallest nonzero weight gap.
+pub fn late_just_outside(seed: u64, n: usize, bound: u64) -> LateStream {
+    knife_edge(seed ^ 0xA, n, bound, 1, "late-just-outside")
+}
+
+fn knife_edge(rng_seed: u64, n: usize, bound: u64, below_w: u64, name: &str) -> LateStream {
+    let mut rng = Rng::new(rng_seed);
+    let sources = 2usize;
+    let mut arrivals = Vec::with_capacity(n);
+    // Start the frontier far enough out that W − below_w never
+    // underflows.
+    let mut frontier: Time = bound + below_w + 2;
+    while arrivals.len() < n {
+        frontier += rng.range(1, 4);
+        arrivals.push(Arrival {
+            source: 0,
+            t: frontier,
+            f: 1 + rng.below(6),
+        });
+        if arrivals.len() < n {
+            // The echo, pinned to the watermark the frontier item just
+            // set: W = frontier − bound.
+            arrivals.push(Arrival {
+                source: 1,
+                t: frontier - bound - below_w,
+                f: 1 + rng.below(6),
+            });
+        }
+    }
+    LateStream {
+        name: name.into(),
+        seed: rng_seed,
+        sources,
+        bound,
+        checkpoint_every: 16,
+        arrivals,
+    }
+}
+
+/// The full lateness catalogue at one seed: every named arrival family
+/// the certifier runs, tuned to `bound` ticks of allowed lateness.
+pub fn late_arrival_catalogue(seed: u64, n: usize, bound: u64) -> Vec<LateStream> {
+    vec![
+        late_uniform_within(seed, n, bound),
+        late_heavy_tail(seed, n, bound),
+        late_just_inside(seed, n, bound),
+        late_just_outside(seed, n, bound),
+    ]
+}
+
+/// An object-safe backend adapter: [`Reorderer`] is generic over a
+/// sized `StreamAggregate`, the matrix hands out `Box<dyn
+/// StreamAggregate>`. Merging is never exercised on the lateness path
+/// (and cannot be forwarded through `dyn`), so `merge_from` is
+/// deliberately unimplemented.
+pub struct BoxedAgg(pub DynAggregate);
+
+impl td_decay::storage::StorageAccounting for BoxedAgg {
+    fn storage_bits(&self) -> u64 {
+        self.0.storage_bits()
+    }
+}
+
+impl StreamAggregate for BoxedAgg {
+    fn observe(&mut self, t: Time, f: u64) {
+        self.0.observe(t, f);
+    }
+    fn observe_batch(&mut self, items: &[(Time, u64)]) {
+        self.0.observe_batch(items);
+    }
+    fn batched_ingest_amortizes(&self) -> bool {
+        self.0.batched_ingest_amortizes()
+    }
+    fn advance(&mut self, t: Time) {
+        self.0.advance(t);
+    }
+    fn query(&self, t: Time) -> f64 {
+        self.0.query(t)
+    }
+    fn merge_from(&mut self, _other: &Self) {
+        unimplemented!("lateness certification never merges backends")
+    }
+    fn error_bound(&self) -> ErrorBound {
+        self.0.error_bound()
+    }
+}
+
+/// One backend × decay row of the lateness matrix. The `make` closure
+/// returns the backend plus **two** boxed copies of its decay: one is
+/// consumed by the [`Reorderer`] (it owns its decay to price fold
+/// risk), the other computes ground truth.
+pub struct LatenessCase {
+    /// Display name (`backend/decay` convention, as in the in-order
+    /// matrix).
+    pub name: &'static str,
+    /// Clamp for observed values (restricted-domain backends).
+    pub value_cap: Option<u64>,
+    #[allow(clippy::type_complexity)]
+    make: Box<dyn Fn() -> (DynAggregate, Box<dyn DecayFunction>, Box<dyn DecayFunction>)>,
+}
+
+impl LatenessCase {
+    /// A full-domain decayed-sum lateness case.
+    #[allow(clippy::type_complexity)]
+    pub fn sum(
+        name: &'static str,
+        make: impl Fn() -> (DynAggregate, Box<dyn DecayFunction>, Box<dyn DecayFunction>) + 'static,
+    ) -> Self {
+        LatenessCase {
+            name,
+            value_cap: None,
+            make: Box::new(make),
+        }
+    }
+
+    /// Builder-style value clamp.
+    pub fn with_value_cap(mut self, cap: u64) -> Self {
+        self.value_cap = Some(cap);
+        self
+    }
+
+    /// A fresh `(backend, reorder decay, truth decay)` triple.
+    #[allow(clippy::type_complexity)]
+    pub fn fresh(&self) -> (DynAggregate, Box<dyn DecayFunction>, Box<dyn DecayFunction>) {
+        (self.make)()
+    }
+}
+
+/// `Σ f · g(T − t)` over the accountable items, §2.1 strict past.
+fn truth_at(decay: &dyn DecayFunction, items: &[(Time, u64)], t: Time) -> f64 {
+    items
+        .iter()
+        .filter(|&&(ti, _)| ti < t)
+        .map(|&(ti, f)| f as f64 * decay.weight(t - ti))
+        .sum()
+}
+
+fn slop(truth: f64) -> f64 {
+    1e-9 * truth.abs().max(1.0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_query(
+    r: &Reorderer<BoxedAgg>,
+    q: Time,
+    decay: &dyn DecayFunction,
+    truth_items: &[(Time, u64)],
+    stats: &mut RunStats,
+    backend: &str,
+    stream: &LateStream,
+) -> Result<(), Box<Failure>> {
+    let (est, bound) = r.query_with_bound(q);
+    let expected = truth_at(decay, truth_items, q);
+    stats.queries += 1;
+    if expected.abs() > 1e-9 {
+        stats.max_rel_err = stats
+            .max_rel_err
+            .max((est - expected).abs() / expected.abs());
+    }
+    if bound.admits(est, expected, slop(expected)) {
+        Ok(())
+    } else {
+        Err(Box::new(Failure {
+            backend: backend.to_string(),
+            scenario: stream.name.clone(),
+            seed: stream.seed,
+            query_time: q,
+            expected,
+            got: est,
+            bound,
+        }))
+    }
+}
+
+/// Replays `stream` through a [`Reorderer`]-fronted backend and
+/// certifies it, arrival by arrival, against an independent watermark
+/// simulation and an exact truth computation (see the module docs for
+/// the per-policy accountability rules).
+///
+/// Returns the same [`RunStats`] / [`Failure`] surface as the in-order
+/// certifier. Harness-invariant violations — the stage's watermark
+/// diverging from the simulation, or an arrival's fate contradicting
+/// the prediction — panic with the replayable `(family, seed)` repro,
+/// since they indicate a broken *stage*, not a broken envelope.
+pub fn certify_lateness(
+    case: &LatenessCase,
+    stream: &LateStream,
+    policy: LatenessPolicy,
+) -> Result<RunStats, Box<Failure>> {
+    let cap = case.value_cap.unwrap_or(u64::MAX);
+    let bound = stream.bound;
+    let (backend, reorder_decay, truth_decay) = case.fresh();
+    let mut r = Reorderer::with_sources(
+        BoxedAgg(backend),
+        reorder_decay,
+        bound,
+        policy,
+        stream.sources,
+    );
+    let backend_name = format!("{}+{:?}", case.name, policy);
+
+    // Independent simulation state: prefix-max watermark plus the item
+    // set each answer is accountable for.
+    let mut max_seen: Time = 0;
+    let mut wm: Time = 0;
+    let mut truth_items: Vec<(Time, u64)> = Vec::new();
+    let mut rejected_mass: u64 = 0;
+    let mut saw_late = false;
+    let mut stats = RunStats::default();
+
+    for (i, a) in stream.arrivals.iter().enumerate() {
+        let f = a.f.min(cap);
+        let predicted_late = a.t < wm;
+        let res = r.push(a.source, a.t, f);
+        match (predicted_late, policy) {
+            (false, _) => {
+                assert!(
+                    res.is_ok(),
+                    "{backend_name} on `{}` (seed {:#x}): on-time arrival #{i} \
+                     (t={}, W={wm}) was refused: {res:?}",
+                    stream.name,
+                    stream.seed,
+                    a.t,
+                );
+                truth_items.push((a.t, f));
+                max_seen = max_seen.max(a.t);
+                wm = max_seen.saturating_sub(bound);
+            }
+            (true, LatenessPolicy::Reject) => {
+                saw_late = true;
+                let err = res.expect_err(
+                    "beyond-bound arrival accepted under Reject — \
+                     silent alteration of the answer",
+                );
+                assert_eq!(
+                    (err.time, err.value, err.watermark),
+                    (a.t, f, wm),
+                    "{backend_name} on `{}` (seed {:#x}): LatenessError \
+                     mis-describes arrival #{i}",
+                    stream.name,
+                    stream.seed,
+                );
+                rejected_mass += f;
+                // Rejected items leave the accountable set untouched:
+                // Reject loses exactly the rejected mass.
+            }
+            (true, LatenessPolicy::Fold) => {
+                saw_late = true;
+                assert!(
+                    res.is_ok(),
+                    "{backend_name} on `{}` (seed {:#x}): Fold refused late \
+                     arrival #{i}: {res:?}",
+                    stream.name,
+                    stream.seed,
+                );
+                // Folded mass stays accountable at its TRUE timestamp;
+                // the widened envelope must absorb the weight gap.
+                truth_items.push((a.t, f));
+            }
+        }
+        assert_eq!(
+            r.watermark(),
+            wm,
+            "{backend_name} on `{}` (seed {:#x}): watermark diverged from the \
+             prefix-max simulation after arrival #{i}",
+            stream.name,
+            stream.seed,
+        );
+
+        if (i + 1) % stream.checkpoint_every == 0 {
+            // Queries at the watermark edge and one past it: buffered
+            // (not yet released) items all have t > W ≥ q − 1, so they
+            // are invisible to the truth at q too — backend and truth
+            // see the same item set.
+            for q in [wm, wm + 1] {
+                check_query(
+                    &r,
+                    q,
+                    &*truth_decay,
+                    &truth_items,
+                    &mut stats,
+                    &backend_name,
+                    stream,
+                )?;
+            }
+        }
+    }
+
+    // Drain: everything buffered releases, the watermark snaps to the
+    // global max.
+    r.flush();
+    assert_eq!(
+        r.watermark(),
+        max_seen,
+        "flush did not finalize the watermark"
+    );
+    for q in [max_seen + 1, max_seen + 13] {
+        check_query(
+            &r,
+            q,
+            &*truth_decay,
+            &truth_items,
+            &mut stats,
+            &backend_name,
+            stream,
+        )?;
+    }
+
+    // Accounting: the stage's self-reported tallies match the
+    // simulation exactly — rejected mass is never silently dropped or
+    // double-counted.
+    let rstats = r.stats();
+    assert_eq!(
+        rstats.rejected_mass, rejected_mass,
+        "rejected-mass accounting diverged"
+    );
+    if policy == LatenessPolicy::Reject {
+        assert_eq!(rstats.folded_mass, 0, "Reject must never fold");
+    } else {
+        assert_eq!(rstats.rejected_mass, 0, "Fold must never reject");
+    }
+    assert_eq!(rstats.buffered_items, 0, "flush left items buffered");
+    let _ = saw_late; // families differ; callers assert tail presence where it matters
+    stats.final_storage_bits = r.inner().storage_bits();
+    Ok(stats)
+}
+
+/// Whether `stream` contains at least one arrival the prefix-max
+/// simulation predicts to be late under `bound`. Used by the matrix
+/// tests to prove the tail families actually exercise the policies.
+pub fn has_late_arrivals(stream: &LateStream) -> bool {
+    let mut max_seen: Time = 0;
+    let mut wm: Time = 0;
+    let mut late = false;
+    for a in &stream.arrivals {
+        if a.t < wm {
+            late = true;
+        } else {
+            max_seen = max_seen.max(a.t);
+            wm = max_seen.saturating_sub(stream.bound);
+        }
+    }
+    late
+}
+
+/// The default lateness matrix: one row per backend × decay pair, each
+/// run under both policies by the matrix tests. Mirrors the in-order
+/// [`crate::default_matrix`] naming.
+pub fn default_lateness_matrix() -> Vec<LatenessCase> {
+    use td_ceh::CascadedEh;
+    use td_core::{BackendChoice, DecayedSum};
+    use td_counters::{ExactDecayedSum, ExpCounter, QuantizedExpCounter};
+    use td_decay::{Constant, Exponential, Polynomial, SlidingWindow};
+    use td_eh::DominationEh;
+    use td_shard::ShardedAggregate;
+    use td_wbmh::Wbmh;
+
+    const WBMH_MAX_AGE: Time = 1 << 41;
+
+    fn boxed<G: DecayFunction + 'static>(g: G) -> Box<dyn DecayFunction> {
+        Box::new(g)
+    }
+
+    vec![
+        LatenessCase::sum("exact/exp", || {
+            (
+                Box::new(ExactDecayedSum::new(boxed(Exponential::new(0.01)))),
+                boxed(Exponential::new(0.01)),
+                boxed(Exponential::new(0.01)),
+            )
+        }),
+        LatenessCase::sum("exact/sliding256", || {
+            (
+                Box::new(ExactDecayedSum::new(boxed(SlidingWindow::new(256)))),
+                boxed(SlidingWindow::new(256)),
+                boxed(SlidingWindow::new(256)),
+            )
+        }),
+        LatenessCase::sum("exp-counter", || {
+            (
+                Box::new(ExpCounter::new(Exponential::new(0.01))),
+                boxed(Exponential::new(0.01)),
+                boxed(Exponential::new(0.01)),
+            )
+        }),
+        LatenessCase::sum("quantized-exp/m20", || {
+            (
+                Box::new(QuantizedExpCounter::new(Exponential::new(0.01), 20)),
+                boxed(Exponential::new(0.01)),
+                boxed(Exponential::new(0.01)),
+            )
+        }),
+        LatenessCase::sum("ceh/exp", || {
+            (
+                Box::new(CascadedEh::new(boxed(Exponential::new(0.01)), 0.1)),
+                boxed(Exponential::new(0.01)),
+                boxed(Exponential::new(0.01)),
+            )
+        }),
+        LatenessCase::sum("ceh/poly1", || {
+            (
+                Box::new(CascadedEh::new(boxed(Polynomial::new(1.0)), 0.1)),
+                boxed(Polynomial::new(1.0)),
+                boxed(Polynomial::new(1.0)),
+            )
+        }),
+        LatenessCase::sum("wbmh/poly1", || {
+            (
+                Box::new(Wbmh::new(boxed(Polynomial::new(1.0)), 0.1, WBMH_MAX_AGE)),
+                boxed(Polynomial::new(1.0)),
+                boxed(Polynomial::new(1.0)),
+            )
+        }),
+        // Constant decay: folding is *exact* (zero weight gap) — the
+        // envelope must not widen at all.
+        LatenessCase::sum("domination-eh/landmark", || {
+            (
+                Box::new(DominationEh::new(0.1, None)),
+                boxed(Constant),
+                boxed(Constant),
+            )
+        }),
+        LatenessCase::sum("core-auto/exp", || {
+            (
+                Box::new(
+                    DecayedSum::builder(Exponential::new(0.01))
+                        .epsilon(0.1)
+                        .backend(BackendChoice::Auto)
+                        .build(),
+                ),
+                boxed(Exponential::new(0.01)),
+                boxed(Exponential::new(0.01)),
+            )
+        }),
+        // The reorder→shard path: the stage in front of the threaded
+        // serving engine, as deployed.
+        LatenessCase::sum("sharded-exp-counter/x3", || {
+            (
+                Box::new(ShardedAggregate::new(3, || {
+                    ExpCounter::new(Exponential::new(0.01))
+                })),
+                boxed(Exponential::new(0.01)),
+                boxed(Exponential::new(0.01)),
+            )
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_deterministic() {
+        for (a, b) in late_arrival_catalogue(42, 120, 8)
+            .into_iter()
+            .zip(late_arrival_catalogue(42, 120, 8))
+        {
+            assert_eq!(a.arrivals, b.arrivals, "{} not deterministic", a.name);
+        }
+    }
+
+    #[test]
+    fn uniform_within_never_goes_late() {
+        for seed in [1, 7, 99] {
+            let s = late_uniform_within(seed, 200, 6);
+            assert!(
+                !has_late_arrivals(&s),
+                "within-bound family produced a late arrival at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_and_knife_edge_families_do_go_late() {
+        for seed in [1, 7, 99] {
+            assert!(has_late_arrivals(&late_heavy_tail(seed, 200, 6)));
+            assert!(has_late_arrivals(&late_just_outside(seed, 200, 6)));
+        }
+    }
+
+    #[test]
+    fn just_inside_sits_exactly_on_the_watermark() {
+        // Every echo is on-time (t == W), and would be late if the
+        // bound were one tick tighter — the family really is on the
+        // knife edge.
+        let s = late_just_inside(5, 100, 6);
+        assert!(!has_late_arrivals(&s), "just-inside echoes went late");
+        let tightened = LateStream {
+            bound: s.bound - 1,
+            ..s.clone()
+        };
+        assert!(
+            has_late_arrivals(&tightened),
+            "just-inside echoes are not on the edge"
+        );
+    }
+}

@@ -19,6 +19,11 @@
 //!   [`td_decay::StreamAggregate::error_bound`]. Violations surface as
 //!   a [`Failure`] carrying the replayable `(family, seed, tick)`
 //!   repro.
+//! * [`lateness`] — out-of-**arrival**-order stream families and the
+//!   bounded-lateness certifier: seeded arrival sequences (tail-skew
+//!   and watermark knife-edge adversaries) replayed through a
+//!   `td-reorder` stage in front of each backend, checked against an
+//!   independent watermark simulation under both lateness policies.
 //! * [`fault`] — deterministic fault injection for the sharded serving
 //!   engine: seeded [`FaultPlan`]s that panic a victim worker
 //!   mid-stream (with restart, quarantine, or checkpoint-corruption
@@ -33,6 +38,7 @@
 
 pub mod certify;
 pub mod fault;
+pub mod lateness;
 pub mod oracle;
 pub mod scenario;
 
@@ -41,8 +47,13 @@ pub use certify::{
     RunStats, TruthKind,
 };
 pub use fault::{
-    certify_corruption_detected, certify_faulted, corruption_offsets, default_fault_matrix,
-    FaultCase, FaultInjector, FaultMode, FaultPlan, FaultReport, FaultyBackend,
+    certify_corruption_detected, certify_faulted, certify_faulted_reordered, corruption_offsets,
+    default_fault_matrix, FaultCase, FaultInjector, FaultMode, FaultPlan, FaultReport,
+    FaultyBackend,
+};
+pub use lateness::{
+    certify_lateness, default_lateness_matrix, has_late_arrivals, late_arrival_catalogue, Arrival,
+    BoxedAgg, LateStream, LatenessCase,
 };
 pub use oracle::{CoordOracle, Oracle};
-pub use scenario::{catalogue, Op, Rng, Scenario};
+pub use scenario::{catalogue, out_of_order, Op, Rng, Scenario, SkewExtent};

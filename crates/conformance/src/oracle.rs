@@ -227,6 +227,9 @@ impl<G: DecayFunction> StreamAggregate for Oracle<G> {
     fn observe_batch(&mut self, items: &[(Time, u64)]) {
         Oracle::observe_batch(self, items)
     }
+    fn batched_ingest_amortizes(&self) -> bool {
+        true // reserve-once append with one validation sweep
+    }
     fn advance(&mut self, t: Time) {
         Oracle::advance(self, t)
     }

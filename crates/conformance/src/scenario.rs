@@ -278,43 +278,117 @@ pub fn adversarial_theorem2(seed: u64) -> Scenario {
     }
 }
 
-/// Sorted batches whose tick runs straddle batch boundaries: the last
-/// tick of each batch continues as the first tick of the next, so
+/// How far the out-of-order generator's skew may wander relative to
+/// batch boundaries. The legacy sub-case is kept bit-for-bit (same RNG
+/// draws, same ops, same family name) so every seed ever cited in a
+/// failure repro replays identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkewExtent {
+    /// The original `out-of-order-batch` behavior: timestamps jittered
+    /// inside a 4-tick window confined to one batch, with only the
+    /// boundary *tick* shared across batches half the time.
+    WithinBatch,
+    /// Generation-time skew spanning several batches: one long
+    /// jittered run is sorted globally, then split at random points —
+    /// so a single tick run straddles multiple `observe_batch` calls
+    /// and batch boundaries carry no alignment information at all.
+    CrossBatch,
+}
+
+/// The generalized out-of-order family (ISSUE 7 satellite): sorted
+/// batches whose generation-time skew is confined to one batch
+/// ([`SkewExtent::WithinBatch`], the legacy sub-case) or spans several
+/// ([`SkewExtent::CrossBatch`]). Ingested ops are always sorted, as the
+/// trait demands — *arrival*-order lateness is `td-reorder`'s domain
+/// and is exercised by the `LateArrival` families in
+/// [`crate::lateness`].
+pub fn out_of_order(seed: u64, n: usize, skew: SkewExtent) -> Scenario {
+    match skew {
+        SkewExtent::WithinBatch => {
+            let mut rng = Rng::new(seed ^ 0x6);
+            let mut ops = Vec::new();
+            let mut t: Time = 1;
+            let mut fed = 0usize;
+            while fed < n {
+                let len = rng.range(8, 24).min((n - fed) as u64) as usize;
+                // Jittered timestamps inside a small window, then sorted —
+                // "out of order within batch" at generation time, sorted (as
+                // the trait demands) at ingest time.
+                let mut items: Vec<(Time, u64)> = (0..len)
+                    .map(|_| (t + rng.below(4), 1 + rng.below(6)))
+                    .collect();
+                items.sort_by_key(|&(ti, _)| ti);
+                let t_end = items.last().unwrap().0;
+                ops.push(Op::ObserveBatch(items));
+                fed += len;
+                if rng.below(3) == 0 {
+                    ops.push(Op::Query(t_end + rng.range(1, 8)));
+                }
+                // Start the next batch at the PREVIOUS end tick (same tick
+                // split across batches) half the time.
+                t = if rng.below(2) == 0 {
+                    t_end
+                } else {
+                    t_end + rng.range(1, 8)
+                };
+            }
+            ops.push(Op::Query(t + 9));
+            Scenario {
+                name: "out-of-order-batch".into(),
+                seed,
+                ops,
+            }
+        }
+        SkewExtent::CrossBatch => {
+            // A fresh RNG stream (^0x16): this sub-case must not
+            // perturb the legacy one's draws.
+            let mut rng = Rng::new(seed ^ 0x16);
+            // One long jittered run: base ticks advance slowly while
+            // the jitter window (16 ticks) spans several of the 5–20
+            // item batches the run is later split into.
+            let mut raw: Vec<(Time, u64)> = Vec::with_capacity(n);
+            let mut base: Time = 1;
+            for _ in 0..n {
+                base += rng.below(2);
+                raw.push((base + rng.below(16), 1 + rng.below(6)));
+            }
+            raw.sort_by_key(|&(ti, _)| ti);
+            let mut ops = Vec::new();
+            let mut i = 0usize;
+            while i < raw.len() {
+                let len = rng.range(5, 20).min((raw.len() - i) as u64) as usize;
+                let chunk = raw[i..i + len].to_vec();
+                let t_end = chunk.last().unwrap().0;
+                ops.push(Op::ObserveBatch(chunk));
+                i += len;
+                if rng.below(3) == 0 {
+                    // Query inside the still-live jitter window: later
+                    // batches will deliver ticks ≤ this query time.
+                    ops.push(Op::Query(t_end + 1));
+                }
+            }
+            let t_last = raw.last().map(|&(ti, _)| ti).unwrap_or(1);
+            ops.push(Op::Query(t_last + 9));
+            Scenario {
+                name: "out-of-order-cross-batch".into(),
+                seed,
+                ops,
+            }
+        }
+    }
+}
+
+/// The legacy within-batch sub-case, name and op sequence unchanged:
+/// sorted batches whose tick runs straddle batch boundaries, so
 /// same-tick coalescing must work *across* `observe_batch` calls.
 pub fn out_of_order_batch(seed: u64, n: usize) -> Scenario {
-    let mut rng = Rng::new(seed ^ 0x6);
-    let mut ops = Vec::new();
-    let mut t: Time = 1;
-    let mut fed = 0usize;
-    while fed < n {
-        let len = rng.range(8, 24).min((n - fed) as u64) as usize;
-        // Jittered timestamps inside a small window, then sorted —
-        // "out of order within batch" at generation time, sorted (as
-        // the trait demands) at ingest time.
-        let mut items: Vec<(Time, u64)> = (0..len)
-            .map(|_| (t + rng.below(4), 1 + rng.below(6)))
-            .collect();
-        items.sort_by_key(|&(ti, _)| ti);
-        let t_end = items.last().unwrap().0;
-        ops.push(Op::ObserveBatch(items));
-        fed += len;
-        if rng.below(3) == 0 {
-            ops.push(Op::Query(t_end + rng.range(1, 8)));
-        }
-        // Start the next batch at the PREVIOUS end tick (same tick
-        // split across batches) half the time.
-        t = if rng.below(2) == 0 {
-            t_end
-        } else {
-            t_end + rng.range(1, 8)
-        };
-    }
-    ops.push(Op::Query(t + 9));
-    Scenario {
-        name: "out-of-order-batch".into(),
-        seed,
-        ops,
-    }
+    out_of_order(seed, n, SkewExtent::WithinBatch)
+}
+
+/// The cross-batch sub-case: one jittered window split across many
+/// batches (see [`SkewExtent::CrossBatch`]).
+pub fn out_of_order_cross_batch(seed: u64, n: usize) -> Scenario {
+    out_of_order(seed, n, SkewExtent::CrossBatch)
 }
 
 /// The full catalogue at one seed: every named family the certifier
@@ -328,6 +402,9 @@ pub fn catalogue(seed: u64, n: usize) -> Vec<Scenario> {
         boundary_aligned(seed, n),
         adversarial_theorem2(seed),
         out_of_order_batch(seed, n),
+        // Appended last so positional indexing of the older families
+        // (tests pick bursty as index 1) stays valid.
+        out_of_order_cross_batch(seed, n),
     ]
 }
 
@@ -376,6 +453,57 @@ mod tests {
                 sc.name
             );
         }
+    }
+
+    /// FNV-1a over the Debug rendering of an op list — a cheap frozen
+    /// fingerprint for replayability regressions.
+    fn ops_fingerprint(ops: &[Op]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{ops:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
+
+    #[test]
+    fn out_of_order_batch_legacy_sub_case_is_frozen() {
+        // The within-batch sub-case is the pre-generalization
+        // `out-of-order-batch` family: seeds cited in old failure
+        // repros must replay the exact same op sequence forever.
+        let sc = out_of_order(7, 160, SkewExtent::WithinBatch);
+        assert_eq!(sc.name, "out-of-order-batch");
+        assert_eq!(sc.ops, out_of_order_batch(7, 160).ops);
+        assert_eq!(
+            ops_fingerprint(&sc.ops),
+            LEGACY_OOO_FINGERPRINT,
+            "legacy out-of-order-batch ops changed — old repro seeds no longer replay"
+        );
+    }
+
+    const LEGACY_OOO_FINGERPRINT: u64 = 0xbe6e_89f5_a984_e93f;
+
+    #[test]
+    fn cross_batch_skew_straddles_batch_boundaries() {
+        let sc = out_of_order_cross_batch(11, 300);
+        assert_eq!(sc.name, "out-of-order-cross-batch");
+        assert!(times_non_decreasing(&sc.ops));
+        // At least one tick value must appear in two different batches:
+        // the jitter window spans several batch splits, so sorted runs
+        // straddle `observe_batch` boundaries.
+        let mut straddles = 0;
+        let mut last_end: Option<Time> = None;
+        for op in &sc.ops {
+            if let Op::ObserveBatch(items) = op {
+                if let (Some(prev), Some(&(first, _))) = (last_end, items.first()) {
+                    if first == prev {
+                        straddles += 1;
+                    }
+                }
+                last_end = items.last().map(|&(t, _)| t);
+            }
+        }
+        assert!(straddles > 0, "no tick run straddles a batch boundary");
     }
 
     #[test]

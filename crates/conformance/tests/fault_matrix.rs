@@ -21,8 +21,8 @@
 use std::sync::Once;
 
 use td_conformance::{
-    catalogue, certify_corruption_detected, corruption_offsets, default_fault_matrix, FaultMode,
-    Op, Scenario,
+    catalogue, certify_corruption_detected, certify_faulted_reordered, corruption_offsets,
+    default_fault_matrix, late_arrival_catalogue, FaultMode, FaultPlan, Op, Scenario,
 };
 use td_decay::checkpoint::Checkpoint;
 use td_decay::StreamAggregate;
@@ -130,6 +130,59 @@ fn tier1_corruption_canary() {
     assert_eq!(fresh.query(1 << 50), eh.query(1 << 50));
 }
 
+/// ISSUE 7 satellite: the shard panic fires while the reorder stage in
+/// front of the engine still holds buffered out-of-order items. A
+/// restart must replay everything losslessly end-to-end; a quarantine
+/// must list the victim, account the at-risk mass, and serve the
+/// post-panic releases (including the mass buffered at panic time)
+/// inside a widened envelope. `certify_faulted_reordered` additionally
+/// rejects any run where the stage happened to be empty at the panic —
+/// a green run is never vacuous.
+fn reordered_fault_sweep(seeds: &[u64], n: usize) {
+    quiet_injected_panics();
+    use td_counters::{ExactDecayedSum, ExpCounter};
+    use td_decay::{Constant, Exponential};
+
+    let mut ran = 0usize;
+    for &seed in seeds {
+        for stream in late_arrival_catalogue(seed, n, 8) {
+            for (victim, mode) in [(1, FaultMode::Restart), (0, FaultMode::Quarantine)] {
+                let plan = FaultPlan {
+                    seed,
+                    victim,
+                    panic_after_items: 10,
+                    mode,
+                };
+                certify_faulted_reordered(
+                    plan,
+                    &stream,
+                    3,
+                    || Box::new(Constant),
+                    "reordered/exact-constant",
+                    || ExactDecayedSum::new(Constant),
+                )
+                .unwrap_or_else(|repro| panic!("{repro}"));
+                certify_faulted_reordered(
+                    plan,
+                    &stream,
+                    3,
+                    || Box::new(Exponential::new(0.01)),
+                    "reordered/exp-counter",
+                    || ExpCounter::new(Exponential::new(0.01)),
+                )
+                .unwrap_or_else(|repro| panic!("{repro}"));
+                ran += 2;
+            }
+        }
+    }
+    assert!(ran >= seeds.len() * 8, "reordered sweep was mostly vacuous");
+}
+
+#[test]
+fn tier1_reordered_fault_matrix() {
+    reordered_fault_sweep(&[3, 11], 200);
+}
+
 /// The nightly sweep: every case × many seeds × longer streams. Run
 /// with `-- --ignored`; on failure the panic message is the replayable
 /// repro (CI lifts it into the job summary).
@@ -137,4 +190,11 @@ fn tier1_corruption_canary() {
 #[ignore = "exhaustive fault sweep; run in the nightly CI job"]
 fn exhaustive_fault_sweep() {
     sweep(&[0, 1, 2, 5, 7, 13, 42, 99, 1234, 0xBEEF], 400);
+}
+
+/// Nightly: the reorder-stage fault sweep at scale.
+#[test]
+#[ignore = "exhaustive reordered fault sweep; run in the nightly CI job"]
+fn exhaustive_reordered_fault_sweep() {
+    reordered_fault_sweep(&[0, 1, 2, 5, 7, 13, 42, 99], 600);
 }

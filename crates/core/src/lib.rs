@@ -535,6 +535,15 @@ impl StreamAggregate for DecayedSum {
     fn observe_batch(&mut self, items: &[(Time, u64)]) {
         DecayedSum::observe_batch(self, items)
     }
+    fn batched_ingest_amortizes(&self) -> bool {
+        match &self.backend {
+            Backend::Plain { .. } | Backend::Exp(_) => false,
+            Backend::PolyExp(c) => c.batched_ingest_amortizes(),
+            Backend::Ceh(c) => c.batched_ingest_amortizes(),
+            Backend::Wbmh(w) => w.batched_ingest_amortizes(),
+            Backend::Exact(e) => e.batched_ingest_amortizes(),
+        }
+    }
     fn advance(&mut self, t: Time) {
         DecayedSum::advance(self, t)
     }

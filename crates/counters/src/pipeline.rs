@@ -259,6 +259,9 @@ impl td_decay::StreamAggregate for PolyExpCounter {
     fn observe_batch(&mut self, items: &[(Time, u64)]) {
         PolyExpCounter::observe_batch(self, items)
     }
+    fn batched_ingest_amortizes(&self) -> bool {
+        true // one k-vector advance per distinct tick, not per item
+    }
     fn advance(&mut self, t: Time) {
         PolyExpCounter::advance(self, t)
     }

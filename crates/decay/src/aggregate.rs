@@ -135,6 +135,24 @@ pub trait StreamAggregate: StorageAccounting {
         }
     }
 
+    /// Whether [`observe_batch`](Self::observe_batch) carries a batch
+    /// kernel that amortizes *real work* across a run — bucket-walks
+    /// shared per distinct tick, reserve-once appends, SoA decay
+    /// columns — as opposed to saving only per-call overhead over an
+    /// inlined [`observe`](Self::observe) loop.
+    ///
+    /// Pass-through stages use this to pick an ingest strategy. A fused
+    /// per-item loop is free for a per-item backend but costs a batch
+    /// kernel its amortization (8× on the quantized counter); scanning
+    /// sub-blocks ahead of batched ingestion preserves the kernel but
+    /// taxes an ultra-cheap per-item backend with a second pass over
+    /// the batch. Backends overriding `observe_batch` with a genuine
+    /// kernel should override this to `true`; the default matches the
+    /// default loop.
+    fn batched_ingest_amortizes(&self) -> bool {
+        false
+    }
+
     /// Advances the summary's clock to `t` without observing any mass,
     /// letting time-expired state be dropped (e.g. sliding-window
     /// buckets during ingest silence).

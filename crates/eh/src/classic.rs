@@ -278,6 +278,9 @@ impl td_decay::StreamAggregate for ClassicEh {
     fn observe_batch(&mut self, items: &[(Time, u64)]) {
         WindowSketch::observe_batch(self, items)
     }
+    fn batched_ingest_amortizes(&self) -> bool {
+        true // clock advance + expiry amortized per distinct tick
+    }
     fn advance(&mut self, t: Time) {
         WindowSketch::advance(self, t)
     }

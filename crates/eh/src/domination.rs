@@ -401,6 +401,9 @@ impl td_decay::StreamAggregate for DominationEh {
     fn observe_batch(&mut self, items: &[(Time, u64)]) {
         WindowSketch::observe_batch(self, items)
     }
+    fn batched_ingest_amortizes(&self) -> bool {
+        true // same-tick mass coalesced before the merge cascade
+    }
     fn advance(&mut self, t: Time) {
         WindowSketch::advance(self, t)
     }

@@ -1,0 +1,177 @@
+//! Boundary semantics of the watermark itself (ISSUE 7, satellite 2):
+//! items exactly at `W`, duplicate timestamps across sources,
+//! empty-buffer advances, monotonicity under interleaved sources, and
+//! the PR 2 strict-past/at-tick convention for `Fold` at the watermark
+//! tick.
+
+use td_counters::ExactDecayedSum;
+use td_decay::{DecayFunction, Exponential, Time};
+use td_reorder::{LatenessPolicy, Reorderer};
+
+type Exact = ExactDecayedSum<Box<dyn DecayFunction>>;
+
+fn exact() -> Exact {
+    ExactDecayedSum::new(Box::new(Exponential::new(0.02)) as Box<dyn DecayFunction>)
+}
+
+fn stage(lateness: u64, policy: LatenessPolicy, sources: usize) -> Reorderer<Exact> {
+    Reorderer::with_sources(
+        exact(),
+        Box::new(Exponential::new(0.02)),
+        lateness,
+        policy,
+        sources,
+    )
+}
+
+#[test]
+fn item_exactly_at_watermark_is_on_time() {
+    let mut r = stage(5, LatenessPolicy::Reject, 1);
+    r.push(0, 20, 1).unwrap();
+    assert_eq!(r.watermark(), 15);
+    // t == W: on time — W itself is still an admissible timestamp
+    // (releases are non-decreasing up to W), and the item is released
+    // immediately rather than buffered.
+    let released_before = r.stats().released_items;
+    r.push(0, 15, 3).unwrap();
+    assert_eq!(r.stats().rejected_mass, 0);
+    assert_eq!(r.stats().released_items, released_before + 1);
+    // One tick earlier is late.
+    let err = r.push(0, 14, 1).unwrap_err();
+    assert_eq!(err.watermark, 15);
+    assert_eq!(err.time, 14);
+}
+
+#[test]
+fn duplicate_timestamps_across_sources_coalesce_like_a_stable_sort() {
+    // The same tick arriving on three sources must release exactly the
+    // arrival-order (stable) merge — bit-identical to a sequential
+    // sorted replay of the same interleaving.
+    let mut r = stage(2, LatenessPolicy::Reject, 3);
+    let arrivals: [(usize, Time, u64); 9] = [
+        (0, 5, 1),
+        (1, 5, 2),
+        (2, 5, 3),
+        (1, 6, 4),
+        (0, 6, 5),
+        (2, 7, 6),
+        (0, 7, 7),
+        (1, 7, 8),
+        (2, 9, 9),
+    ];
+    for &(s, t, f) in &arrivals {
+        r.push(s, t, f).unwrap();
+    }
+    r.flush();
+
+    let mut direct = exact();
+    let mut sorted = arrivals;
+    sorted.sort_by_key(|&(_, t, _)| t); // stable: arrival order within a tick
+    for &(_, t, f) in &sorted {
+        direct.observe(t, f);
+    }
+    for q in [6, 8, 10, 40] {
+        assert_eq!(
+            r.query(q).to_bits(),
+            direct.query(q).to_bits(),
+            "duplicate-tick merge diverged at query {q}"
+        );
+    }
+}
+
+#[test]
+fn empty_buffer_advance_moves_watermark_and_inner_clock() {
+    let mut r = stage(4, LatenessPolicy::Reject, 1);
+    r.push(0, 10, 2).unwrap();
+    r.flush();
+    assert_eq!(r.stats().buffered_items, 0);
+    // Punctuation with nothing buffered: watermark still advances, the
+    // wrapped backend's clock follows, and nothing is lost or invented.
+    r.advance(100);
+    assert_eq!(r.watermark(), 96);
+    let before = r.query(101);
+    r.advance(100); // idempotent: watermarks never regress
+    assert_eq!(r.watermark(), 96);
+    assert_eq!(r.query(101).to_bits(), before.to_bits());
+    // A lower punctuation is a no-op, not a regression.
+    r.advance(50);
+    assert_eq!(r.watermark(), 96);
+}
+
+#[test]
+fn watermark_is_monotone_under_interleaved_sources() {
+    // A fast source and a slow source interleave; the watermark is
+    // driven by the global max and must never regress, even while the
+    // slow source keeps feeding old-but-in-bound items.
+    let mut r = stage(10, LatenessPolicy::Reject, 2);
+    let mut last_w = 0;
+    let fast: Vec<Time> = (1..=30).map(|i| i * 4).collect(); // 4, 8, ..., 120
+    let slow: Vec<Time> = (1..=30).map(|i| i * 4 - 3).collect(); // 1, 5, ..., 117
+    for i in 0..fast.len() {
+        r.push(0, fast[i], 1).unwrap();
+        assert!(r.watermark() >= last_w, "watermark regressed");
+        last_w = r.watermark();
+        // The slow source trails by 3 ticks — inside the bound of 10.
+        let res = r.push(1, slow[i], 1);
+        assert!(res.is_ok(), "in-bound slow item rejected: {res:?}");
+        assert!(r.watermark() >= last_w, "watermark regressed");
+        last_w = r.watermark();
+    }
+    assert_eq!(r.watermark(), 120 - 10);
+    r.flush();
+    assert_eq!(r.watermark(), 120);
+    assert_eq!(r.stats().rejected_mass, 0);
+    assert_eq!(r.stats().released_items, 60);
+}
+
+#[test]
+fn fold_at_watermark_tick_respects_strict_past_semantics() {
+    // PR 2 pinned the §2.1 convention: an item observed at tick t is
+    // invisible to query(t) and visible to query(t+1). A fold applied
+    // at the watermark tick W must behave exactly like a native
+    // observation at W — invisible at W, weighted g(T−W) after.
+    let g = Exponential::new(0.02);
+    let mut r = stage(3, LatenessPolicy::Fold, 1);
+    r.push(0, 50, 2).unwrap();
+    assert_eq!(r.watermark(), 47);
+    r.push(0, 40, 5).unwrap(); // beyond bound: folded at W = 47
+
+    // Invisible at the fold tick itself... (numeric compare: an empty
+    // f64 sum is -0.0)
+    let (est_at, _) = r.query_with_bound(47);
+    assert_eq!(est_at, 0.0);
+    // ...and weighted exactly g(T − 47) strictly after, like a native
+    // observation at 47 would be.
+    let mut native = exact();
+    native.observe(47, 5);
+    let (est_after, bound) = r.query_with_bound(48);
+    assert_eq!(est_after.to_bits(), native.query(48).to_bits());
+    // And the widened envelope covers the truth (item really at 40).
+    let truth = 5.0 * g.weight(8);
+    assert!(bound.admits(est_after, truth, 1e-9), "{bound:?} vs {truth}");
+}
+
+#[test]
+fn beyond_bound_mass_never_silently_alters_an_answer() {
+    // Reject: the typed error is the only trace — the answer equals the
+    // accepted substream exactly.
+    let mut rej = stage(1, LatenessPolicy::Reject, 1);
+    rej.push(0, 100, 1).unwrap();
+    assert!(rej.push(0, 7, 42).is_err());
+    rej.flush();
+    let mut direct = exact();
+    direct.observe(100, 1);
+    assert_eq!(rej.query(150).to_bits(), direct.query(150).to_bits());
+
+    // Fold: the answer moves, and the envelope widens in the same
+    // query — the over-estimate is certified, not silent.
+    let mut fold = stage(1, LatenessPolicy::Fold, 1);
+    fold.push(0, 100, 1).unwrap();
+    fold.push(0, 7, 42).unwrap();
+    fold.flush();
+    let (est, bound) = fold.query_with_bound(150);
+    assert!(bound.upper > 0.0, "fold did not widen: {bound:?}");
+    let g = Exponential::new(0.02);
+    let truth = 1.0 * g.weight(50) + 42.0 * g.weight(143);
+    assert!(bound.admits(est, truth, 1e-9), "{bound:?} vs {truth}");
+}

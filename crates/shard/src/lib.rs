@@ -274,6 +274,13 @@ pub struct Answer {
     /// Shards whose live state was unavailable (quarantined or treated
     /// as dead for this query). Empty for a fully healthy answer.
     pub degraded: Vec<usize>,
+    /// The tick up to which this answer is complete. For an engine fed
+    /// in order this is the clock high-water mark (the query barrier
+    /// guarantees everything submitted is applied). For an engine
+    /// fronted by a `td-reorder` stage it is the published watermark
+    /// `W`: in-bound items with `t > W` may still be buffered upstream
+    /// and are legitimately absent from the answer.
+    pub complete_up_to: Time,
 }
 
 /// Supervision knobs for [`ShardedAggregate::supervised`].
@@ -461,6 +468,13 @@ pub struct ShardedAggregate<B> {
     ckpt_ops: Option<CkptFns<B>>,
     /// Mass at risk inherited from engines folded in by `merge_from`.
     extra_risk: AtomicU64,
+    /// The watermark published by an upstream `td-reorder` stage
+    /// (monotone max). Atomics because the reorder hook publishes
+    /// through `&mut self` while `&self` queries read it.
+    watermark: AtomicU64,
+    /// Whether a watermark was ever published (distinguishes "no
+    /// reorder stage: complete to the clock" from "stage at W = 0").
+    watermark_published: AtomicBool,
 }
 
 /// Everything a worker needs beyond its ring consumer.
@@ -843,7 +857,63 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
             template,
             ckpt_ops,
             extra_risk: AtomicU64::new(0),
+            watermark: AtomicU64::new(0),
+            watermark_published: AtomicBool::new(false),
         }
+    }
+
+    /// Records the watermark `W` of an upstream reordering stage
+    /// (monotone: a lower `w` never regresses it). Published next to
+    /// the applied-epoch counters so every [`Answer`] can report
+    /// "complete up to `W`". [`reordered`](Self::reordered) installs
+    /// this as the stage's watermark hook automatically.
+    pub fn publish_watermark(&self, w: Time) {
+        self.watermark.fetch_max(w, Ordering::AcqRel);
+        self.watermark_published.store(true, Ordering::Release);
+    }
+
+    /// The most recently published reorder watermark, or `None` when no
+    /// reordering stage has ever published one.
+    pub fn watermark(&self) -> Option<Time> {
+        if self.watermark_published.load(Ordering::Acquire) {
+            Some(self.watermark.load(Ordering::Acquire))
+        } else {
+            None
+        }
+    }
+
+    /// The tick up to which served answers are complete: the published
+    /// watermark when a reordering stage fronts this engine, otherwise
+    /// the clock high-water mark (the query barrier guarantees that
+    /// everything submitted in order is applied).
+    pub fn complete_up_to(&self) -> Time {
+        self.watermark()
+            .unwrap_or_else(|| self.last_t.load(Ordering::Acquire))
+    }
+
+    /// Wraps this engine in a bounded-lateness
+    /// [`Reorderer`](td_reorder::Reorderer): out-of-order items are
+    /// buffered per source, released to `observe_batch` in sorted order
+    /// once the watermark `W = max_seen − allowed_lateness` passes
+    /// them, and beyond-bound items follow `policy`. The stage's
+    /// watermark hook publishes `W` into this engine
+    /// ([`publish_watermark`](Self::publish_watermark)), so
+    /// [`try_query`](Self::try_query) answers report
+    /// `complete_up_to = W`.
+    ///
+    /// `decay` must match the decay the shard backends aggregate under;
+    /// it prices the envelope widening of folded late mass. `sources`
+    /// is the number of independent arrival sequences (each gets its
+    /// own reorder buffer).
+    pub fn reordered(
+        self,
+        decay: Box<dyn td_decay::DecayFunction>,
+        allowed_lateness: u64,
+        policy: td_reorder::LatenessPolicy,
+        sources: usize,
+    ) -> td_reorder::Reorderer<Self> {
+        td_reorder::Reorderer::with_sources(self, decay, allowed_lateness, policy, sources)
+            .on_watermark(Box::new(|eng: &mut Self, w| eng.publish_watermark(w)))
     }
 
     /// Number of worker shards.
@@ -1084,6 +1154,7 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
             value,
             bound,
             degraded: dead.to_vec(),
+            complete_up_to: self.complete_up_to(),
         }
     }
 
@@ -1128,6 +1199,7 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
                 value: merged.query(t),
                 bound: merged.error_bound(),
                 degraded: Vec::new(),
+                complete_up_to: self.complete_up_to(),
             };
             cache.last_bound = Some(ans.bound);
             return Ok(ans);
@@ -1275,6 +1347,10 @@ impl<B: StreamAggregate + Clone + Send + 'static> StreamAggregate for ShardedAgg
                 sh.push_all(buf, policy);
             }
         }
+    }
+
+    fn batched_ingest_amortizes(&self) -> bool {
+        true // one queue handoff per shard per batch, not per item
     }
 
     fn advance(&mut self, t: Time) {
@@ -1848,5 +1924,64 @@ mod tests {
             "payload must carry the panic message, got: {}",
             err.payload
         );
+    }
+
+    #[test]
+    fn reordered_engine_publishes_watermark_and_reports_completeness() {
+        use td_reorder::LatenessPolicy;
+
+        let engine = ShardedAggregate::new(3, || ExpCounter::new(Exponential::new(0.01)));
+        assert_eq!(engine.watermark(), None);
+        let mut staged = engine.reordered(
+            Box::new(Exponential::new(0.01)),
+            4,
+            LatenessPolicy::Reject,
+            2,
+        );
+        // Two sources with bounded skew; the reorder stage must feed
+        // each shard a sorted substream (workers assert this) and
+        // publish W into the engine.
+        for i in 1..=50u64 {
+            staged.push(0, i * 2, 1).unwrap();
+            staged.push(1, i * 2 - 1, 2).unwrap();
+        }
+        assert_eq!(staged.inner().watermark(), Some(100 - 4));
+        staged.flush();
+        assert_eq!(staged.inner().watermark(), Some(100));
+        let ans = staged.inner().try_query(101).expect("healthy engine");
+        assert_eq!(ans.complete_up_to, 100);
+
+        // Lock-step reference: the same items sorted, one backend.
+        let mut single = ExpCounter::new(Exponential::new(0.01));
+        for t in 1..=100u64 {
+            single.observe(t, if t % 2 == 0 { 1 } else { 2 });
+        }
+        let want = single.query(101);
+        assert!(
+            (ans.value - want).abs() <= want.abs() * 1e-9 + 1e-9,
+            "reordered sharded {} vs single {want}",
+            ans.value
+        );
+
+        // Beyond-bound items surface as typed errors, not shard panics.
+        let err = staged.push(0, 10, 5).unwrap_err();
+        assert_eq!(err.watermark, 100);
+        let healthy = staged
+            .inner()
+            .shard_stats()
+            .iter()
+            .all(|s| s.health == ShardHealth::Live && s.panics == 0);
+        assert!(healthy, "late item must never reach a worker");
+    }
+
+    #[test]
+    fn unfronted_engine_is_complete_to_its_clock() {
+        let mut engine = ShardedAggregate::new(2, || ExpCounter::new(Exponential::new(0.02)));
+        for (t, f) in stream(200) {
+            engine.observe(t, f);
+        }
+        let t_last = engine.last_t.load(Ordering::Acquire);
+        let ans = engine.try_query(t_last + 1).expect("healthy engine");
+        assert_eq!(ans.complete_up_to, t_last);
     }
 }

@@ -1350,6 +1350,9 @@ impl<G: DecayFunction> td_decay::StreamAggregate for Wbmh<G> {
     fn observe_batch(&mut self, items: &[(Time, u64)]) {
         Wbmh::observe_batch(self, items)
     }
+    fn batched_ingest_amortizes(&self) -> bool {
+        true // expiry/merge cascade shared per distinct tick
+    }
     fn advance(&mut self, t: Time) {
         Wbmh::advance(self, t)
     }
