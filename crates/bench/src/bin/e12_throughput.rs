@@ -6,10 +6,13 @@
 
 use std::time::Instant;
 
-use td_bench::Table;
+use td_bench::{Section, Table};
 use td_ceh::CascadedEh;
 use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCounter};
-use td_decay::{DecayFunction, Exponential, PolyExponential, Polynomial, StreamAggregate};
+use td_decay::{
+    DecayFunction, Exponential, PolyExponential, Polynomial, StorageAccounting, StreamAggregate,
+};
+use td_forward::ForwardDecaySum;
 use td_stream::BernoulliStream;
 use td_wbmh::Wbmh;
 
@@ -120,7 +123,90 @@ fn main() {
 
     let kernel_rows = kernel_speedups();
     let reorder_rows = reorder_overhead();
-    batched_vs_single(&kernel_rows, &reorder_rows);
+    let forward_rows = forward_vs_backward();
+    batched_vs_single(&kernel_rows, &reorder_rows, &forward_rows);
+}
+
+/// ISSUE 8: forward decay vs the backward histograms, refereed per
+/// decay family. The forward moment accumulators pay O(1) straight-line
+/// FMA ingest for *any* decay function; the backward histograms pay
+/// bucket maintenance. The gate makes the headline claim
+/// self-enforcing: forward batched ingest must beat the fastest
+/// backward histogram champion under both exponential and polynomial
+/// decay (CEH is the exp champion; CEH and WBMH contest poly).
+/// `TD_FORWARD_GATE_SLACK` widens the gate on noisy shared runners.
+fn forward_vs_backward() -> Vec<(String, f64, f64, u64)> {
+    let items = bursty_items(1_000_000);
+    let exp = Exponential::new(0.001);
+    let poly = Polynomial::new(1.0);
+
+    fn measure_sized<A: StreamAggregate + StorageAccounting>(
+        name: &str,
+        items: &[(u64, u64)],
+        make: impl Fn() -> A,
+    ) -> (String, f64, f64, u64) {
+        let (name, single_ns, batched_ns) = measure(name, items, &make);
+        let mut b = make();
+        for chunk in items.chunks(4096) {
+            b.observe_batch(chunk);
+        }
+        (name, single_ns, batched_ns, b.storage_bits())
+    }
+
+    let exp_rows = vec![
+        measure_sized("forward-sum/expd", &items, || ForwardDecaySum::new(exp)),
+        measure_sized("ceh/expd", &items, || CascadedEh::new(exp, 0.05)),
+    ];
+    let poly_rows = vec![
+        measure_sized("forward-sum/poly1", &items, || ForwardDecaySum::new(poly)),
+        measure_sized("ceh/poly1", &items, || CascadedEh::new(poly, 0.05)),
+        measure_sized("wbmh/poly1", &items, || Wbmh::new(poly, 0.05, 1 << 24)),
+    ];
+
+    let mut sec = Section::new(
+        "Forward vs backward decay: same bursty stream, per decay family \
+         (first row per family is the forward accumulator)",
+        &[
+            "backend",
+            "single ns/item",
+            "batched ns/item",
+            "speedup",
+            "storage bits",
+        ],
+    );
+    for (name, single_ns, batched_ns, bits) in exp_rows.iter().chain(&poly_rows) {
+        sec.row(&[
+            name.clone(),
+            format!("{single_ns:.1}"),
+            format!("{batched_ns:.1}"),
+            format!("{:.2}x", single_ns / batched_ns),
+            bits.to_string(),
+        ]);
+    }
+    sec.print();
+
+    let slack: f64 = std::env::var("TD_FORWARD_GATE_SLACK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    for (family, rows) in [("expd", &exp_rows), ("poly1", &poly_rows)] {
+        let fwd = &rows[0];
+        let champ = rows[1..]
+            .iter()
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .expect("every family has a backward champion");
+        assert!(
+            fwd.2 <= champ.2 * slack,
+            "forward ingest lost the {family} referee: {:.2} ns/item vs backward \
+             champion {} at {:.2} (slack {slack:.2}; set TD_FORWARD_GATE_SLACK to widen)",
+            fwd.2,
+            champ.0,
+            champ.2,
+        );
+    }
+    println!("\nforward-vs-backward gate passed (slack {slack:.2})");
+
+    exp_rows.into_iter().chain(poly_rows).collect()
 }
 
 /// ISSUE 7: the bounded-lateness stage's ingest overhead. With
@@ -181,17 +267,19 @@ fn reorder_overhead() -> Vec<(String, f64, f64, f64)> {
         .map(|(&l, ns)| (format!("lateness={l}"), raw_ns, ns, ns / raw_ns))
         .collect();
 
-    println!("\nReorder-stage overhead vs raw batched ingest (exp-counter, same stream)\n");
-    let mut table = Table::new(&["stage", "raw ns/item", "staged ns/item", "overhead"]);
+    let mut sec = Section::new(
+        "Reorder-stage overhead vs raw batched ingest (exp-counter, same stream)",
+        &["stage", "raw ns/item", "staged ns/item", "overhead"],
+    );
     for (name, raw, ns, over) in &rows {
-        table.row(&[
+        sec.row(&[
             name.clone(),
             format!("{raw:.1}"),
             format!("{ns:.1}"),
             format!("{over:.2}x"),
         ]);
     }
-    table.print();
+    sec.print();
 
     let slack: f64 = std::env::var("TD_REORDER_OVERHEAD_SLACK")
         .ok()
@@ -258,17 +346,19 @@ fn kernel_speedups() -> Vec<(String, f64, f64)> {
         measure("polyexp-k2", &PolyExponential::new(2, 0.001)),
     ];
 
-    println!("\nDecay-kernel dispatch: scalar `weight` loop vs chunked `weight_batch`\n");
-    let mut table = Table::new(&["kernel", "scalar ns/item", "batch ns/item", "speedup"]);
+    let mut sec = Section::new(
+        "Decay-kernel dispatch: scalar `weight` loop vs chunked `weight_batch`",
+        &["kernel", "scalar ns/item", "batch ns/item", "speedup"],
+    );
     for (name, scalar_ns, batch_ns) in &rows {
-        table.row(&[
+        sec.row(&[
             name.clone(),
             format!("{scalar_ns:.2}"),
             format!("{batch_ns:.2}"),
             format!("{:.2}x", scalar_ns / batch_ns),
         ]);
     }
-    table.print();
+    sec.print();
 
     for (name, scalar_ns, batch_ns) in &rows {
         if name == "expd" || name == "poly1" {
@@ -376,8 +466,11 @@ fn measure<A: StreamAggregate>(
     (name.to_string(), single_ns, batched_ns)
 }
 
-fn batched_vs_single(kernel_rows: &[(String, f64, f64)], reorder_rows: &[(String, f64, f64, f64)]) {
-    println!("\nSingle-item vs batched ingest, 1e6-item bursty stream (same-tick bursts)\n");
+fn batched_vs_single(
+    kernel_rows: &[(String, f64, f64)],
+    reorder_rows: &[(String, f64, f64, f64)],
+    forward_rows: &[(String, f64, f64, u64)],
+) {
     let items = bursty_items(1_000_000);
     let exp = Exponential::new(0.001);
     let poly = Polynomial::new(1.0);
@@ -400,11 +493,14 @@ fn batched_vs_single(kernel_rows: &[(String, f64, f64)], reorder_rows: &[(String
     ];
 
     let host = td_bench::hostinfo::json_fragment();
-    let mut table = Table::new(&["backend", "single ns/item", "batched ns/item", "speedup"]);
+    let mut sec = Section::new(
+        "Single-item vs batched ingest, 1e6-item bursty stream (same-tick bursts)",
+        &["backend", "single ns/item", "batched ns/item", "speedup"],
+    );
     let mut json = String::from("{\n  \"ingest\": [\n");
     for (i, (name, single_ns, batched_ns)) in rows.iter().enumerate() {
         let speedup = single_ns / batched_ns;
-        table.row(&[
+        sec.row(&[
             name.clone(),
             format!("{single_ns:.1}"),
             format!("{batched_ns:.1}"),
@@ -433,8 +529,18 @@ fn batched_vs_single(kernel_rows: &[(String, f64, f64)], reorder_rows: &[(String
             if i + 1 == reorder_rows.len() { "" } else { "," }
         ));
     }
+    json.push_str("  ],\n  \"forward\": [\n");
+    for (i, (name, single_ns, batched_ns, bits)) in forward_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{name}\", \"single_ns_per_item\": {single_ns:.2}, \
+             \"batched_ns_per_item\": {batched_ns:.2}, \"speedup\": {:.3}, \
+             \"storage_bits\": {bits}, {host}}}{}\n",
+            single_ns / batched_ns,
+            if i + 1 == forward_rows.len() { "" } else { "," }
+        ));
+    }
     json.push_str("  ]\n}\n");
-    table.print();
+    sec.print();
 
     // The oracle's batch path is a reserve-once append — if it ever
     // regresses below the single-item path again (it did: 0.72x before
@@ -460,6 +566,15 @@ fn batched_vs_single(kernel_rows: &[(String, f64, f64)], reorder_rows: &[(String
         .unwrap_or(1.10);
     if let Ok(baseline) = std::fs::read_to_string(path) {
         for (name, _, batched_ns) in &rows {
+            if let Some(base) = baseline_batched_ns(&baseline, name) {
+                assert!(
+                    *batched_ns <= base * slack,
+                    "{name} batched ingest regressed: {batched_ns:.2} ns/item vs committed \
+                     baseline {base:.2} (slack {slack:.2}; set TD_BENCH_BASELINE_SLACK to widen)"
+                );
+            }
+        }
+        for (name, _, batched_ns, _) in forward_rows {
             if let Some(base) = baseline_batched_ns(&baseline, name) {
                 assert!(
                     *batched_ns <= base * slack,

@@ -10,4 +10,4 @@ pub mod table;
 
 pub use fit::{fit_linear, fit_loglog, fit_vs_log_n, Fit};
 pub use hostinfo::{cpu_model, host_parallelism};
-pub use table::Table;
+pub use table::{Section, Table};

@@ -83,6 +83,49 @@ impl Table {
     }
 }
 
+/// A titled [`Table`]: experiment summaries are sequences of named
+/// sections, so the title-and-blank-line framing lives here instead of
+/// being copy-pasted as `println!` pairs next to every table.
+#[derive(Debug, Clone)]
+pub struct Section {
+    title: String,
+    table: Table,
+}
+
+impl Section {
+    /// A section with a title line and the given column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            table: Table::new(headers),
+        }
+    }
+
+    /// Appends a data row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        self.table.row(cells);
+    }
+
+    /// Convenience: append a row of displayable values.
+    pub fn push<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.table.push(cells);
+    }
+
+    /// Renders the framed section: blank line, title, blank line, table.
+    pub fn render(&self) -> String {
+        format!("\n{}\n\n{}", self.title, self.table.render())
+    }
+
+    /// Prints the rendered section to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +148,15 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn section_frames_title_above_table() {
+        let mut s = Section::new("Speedups", &["who", "x"]);
+        s.push(&["fwd", "2.0"]);
+        let r = s.render();
+        assert!(r.starts_with("\nSpeedups\n\n"));
+        assert!(r.contains("who"));
+        assert!(r.contains("fwd"));
     }
 }

@@ -364,6 +364,9 @@ pub fn default_matrix() -> Vec<MatrixCase> {
     use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCounter};
     use td_decay::{Constant, Exponential, LogDecay, PolyExponential, Polynomial, SlidingWindow};
     use td_eh::{ClassicEh, DominationEh};
+    use td_forward::{
+        ForwardDecayAverage, ForwardDecaySum, ForwardDecayVariance, DEFAULT_MAX_TIME,
+    };
     use td_shard::ShardedAggregate;
     use td_wbmh::Wbmh;
 
@@ -555,6 +558,66 @@ pub fn default_matrix() -> Vec<MatrixCase> {
             )
         })
         .with_max_time(WBMH_MAX_AGE / 2),
+        // The td-forward family (ISSUE 8): O(1)-state moment
+        // accumulators under the forward decay model. For exponential
+        // decay forward ≡ backward, so those cases certify against the
+        // ordinary backward oracle — including one with the rotation
+        // threshold forced low enough that landmark rotations fire
+        // inside tier-1 scenarios. Non-exponential decays are a
+        // genuinely different model and certify against the oracle's
+        // forward mode (`Oracle::forward`); their fixed landmark is
+        // headroom-checked at `DEFAULT_MAX_TIME`, so scenarios beyond
+        // that horizon are skipped.
+        MatrixCase::sum("forward-sum/exp", || {
+            (
+                Box::new(ForwardDecaySum::new(Exponential::new(0.01))),
+                Oracle::new(boxed(Exponential::new(0.01))),
+            )
+        }),
+        MatrixCase::sum("forward-sum/exp-rotating", || {
+            (
+                Box::new(ForwardDecaySum::new(Exponential::new(0.01)).with_rotation_exponent(2.0)),
+                Oracle::new(boxed(Exponential::new(0.01))),
+            )
+        }),
+        MatrixCase::sum("forward-sum/poly1", || {
+            (
+                Box::new(ForwardDecaySum::new(Polynomial::new(1.0))),
+                Oracle::forward(boxed(Polynomial::new(1.0)), 0),
+            )
+        })
+        .with_max_time(DEFAULT_MAX_TIME),
+        MatrixCase::sum("forward-sum/log64", || {
+            (
+                Box::new(ForwardDecaySum::new(LogDecay::new(64))),
+                Oracle::forward(boxed(LogDecay::new(64)), 0),
+            )
+        })
+        .with_max_time(DEFAULT_MAX_TIME),
+        MatrixCase::sum("forward-average/poly2", || {
+            (
+                Box::new(ForwardDecayAverage::new(Polynomial::new(2.0))),
+                Oracle::forward(boxed(Polynomial::new(2.0)), 0),
+            )
+        })
+        .with_truth(TruthKind::Average)
+        .with_max_time(DEFAULT_MAX_TIME),
+        MatrixCase::sum("forward-variance/poly1", || {
+            (
+                Box::new(ForwardDecayVariance::new(Polynomial::new(1.0))),
+                Oracle::forward(boxed(Polynomial::new(1.0)), 0),
+            )
+        })
+        .with_truth(TruthKind::Variance { budget: 1e-6 })
+        .with_max_time(DEFAULT_MAX_TIME),
+        MatrixCase::sum("sharded-forward/exp-x3", || {
+            (
+                Box::new(ShardedAggregate::new(3, || {
+                    ForwardDecaySum::new(Exponential::new(0.01))
+                })),
+                Oracle::new(boxed(Exponential::new(0.01))),
+            )
+        }),
     ]
 }
 

@@ -955,5 +955,33 @@ pub fn default_fault_matrix() -> Vec<FaultCase> {
             || Box::new(Exponential::new(0.01)),
             || CascadedEh::new(Exponential::new(0.01), 0.1),
         ),
+        // The forward-decay family (ISSUE 8): checkpoint-restart a
+        // rotating forward accumulator mid-stream and make sure the
+        // restored moments certify against the backward oracle
+        // (forward ≡ backward under exponential decay).
+        case(
+            "restart/forward-exp",
+            FaultPlan {
+                seed: 0xFA_0007,
+                victim: 1,
+                panic_after_items: 10,
+                mode: FaultMode::Restart,
+            },
+            3,
+            || Box::new(Exponential::new(0.01)),
+            || td_forward::ForwardDecaySum::new(Exponential::new(0.01)),
+        ),
+        case(
+            "quarantine/forward-exp",
+            FaultPlan {
+                seed: 0xFA_0008,
+                victim: 0,
+                panic_after_items: 11,
+                mode: FaultMode::Quarantine,
+            },
+            3,
+            || Box::new(Exponential::new(0.01)),
+            || td_forward::ForwardDecaySum::new(Exponential::new(0.01)),
+        ),
     ]
 }

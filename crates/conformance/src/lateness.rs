@@ -598,6 +598,18 @@ pub fn default_lateness_matrix() -> Vec<LatenessCase> {
                 boxed(Exponential::new(0.01)),
             )
         }),
+        // The forward-decay family behind the reorder stage. Lateness
+        // truth is evaluated under backward decay, so only the
+        // exponential configuration fits (forward ≡ backward there);
+        // non-exponential forward decays answer a different model and
+        // are certified by the forward-mode oracle in `default_matrix`.
+        LatenessCase::sum("forward-sum/exp", || {
+            (
+                Box::new(td_forward::ForwardDecaySum::new(Exponential::new(0.01))),
+                boxed(Exponential::new(0.01)),
+                boxed(Exponential::new(0.01)),
+            )
+        }),
         // The reorder→shard path: the stage in front of the threaded
         // serving engine, as deployed.
         LatenessCase::sum("sharded-exp-counter/x3", || {

@@ -26,6 +26,12 @@ pub struct Oracle<G> {
     items: Vec<(Time, u64)>,
     last_t: Time,
     started: bool,
+    /// `None`: backward decay, item weight `g(T − t_i)`. `Some(L)`:
+    /// forward decay (Cormode et al.) against landmark `L`, item weight
+    /// `g(T − L) / g(t_i − L)` — ground truth for the `td-forward`
+    /// family under non-exponential decays (for exponentials the two
+    /// models coincide and the backward oracle is used directly).
+    forward_from: Option<Time>,
 }
 
 impl<G: DecayFunction> Oracle<G> {
@@ -36,6 +42,26 @@ impl<G: DecayFunction> Oracle<G> {
             items: Vec::new(),
             last_t: 0,
             started: false,
+            forward_from: None,
+        }
+    }
+
+    /// An empty oracle evaluating the *forward* decay model against
+    /// `landmark`: item weight `g(T − L) / g(t_i − L)` instead of
+    /// `g(T − t_i)`. All aggregate evaluators (sum, count, average,
+    /// variance, selection) weigh items this way; items observed before
+    /// the landmark are rejected at evaluation time (u64 underflow).
+    pub fn forward(decay: G, landmark: Time) -> Self {
+        let mut o = Self::new(decay);
+        o.forward_from = Some(landmark);
+        o
+    }
+
+    /// The per-item weight at query time `t` under the configured model.
+    fn weight_at(&self, t: Time, ti: Time) -> f64 {
+        match self.forward_from {
+            None => self.decay.weight(t - ti),
+            Some(l) => self.decay.weight(t - l) / self.decay.weight(ti - l),
         }
     }
 
@@ -138,7 +164,7 @@ impl<G: DecayFunction> Oracle<G> {
         self.items
             .iter()
             .filter(|&&(ti, _)| ti < t)
-            .map(|&(ti, f)| (f as f64) * (f as f64) * self.decay.weight(t - ti))
+            .map(|&(ti, f)| (f as f64) * (f as f64) * self.weight_at(t, ti))
             .sum()
     }
 
@@ -161,7 +187,7 @@ impl<G: DecayFunction> Oracle<G> {
     pub fn selection_distribution(&self, t: Time) -> Vec<(u64, f64)> {
         let mut mass: Vec<(u64, f64)> = Vec::new();
         for &(ti, f) in self.items.iter().filter(|&&(ti, _)| ti < t) {
-            let w = self.decay.weight(t - ti);
+            let w = self.weight_at(t, ti);
             if w <= 0.0 {
                 continue;
             }
@@ -207,7 +233,7 @@ impl<G: DecayFunction> Oracle<G> {
         self.items
             .iter()
             .filter(|&&(ti, _)| ti < t)
-            .map(|&(ti, f)| value(f) as f64 * self.decay.weight(t - ti))
+            .map(|&(ti, f)| value(f) as f64 * self.weight_at(t, ti))
             .sum()
     }
 }
@@ -266,6 +292,10 @@ impl<G: DecayFunction> StreamAggregate for Oracle<G> {
         self.items = merged;
         self.last_t = self.last_t.max(other.last_t);
         self.started |= other.started;
+        assert_eq!(
+            self.forward_from, other.forward_from,
+            "merging oracles with different decay models"
+        );
     }
     fn error_bound(&self) -> ErrorBound {
         ErrorBound::exact()
@@ -372,6 +402,26 @@ mod tests {
         let (w0, w1): (f64, f64) = (3.0 / 2.0, 4.0 / 1.0);
         let want = (w0 * w0 + w1 * w1).sqrt();
         assert!((o.lp_norm(3, 2.0) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_mode_weighs_by_landmark_ratio() {
+        let g = Polynomial::new(2.0);
+        let mut o = Oracle::forward(g, 0);
+        o.observe(2, 3);
+        o.observe(4, 5);
+        let want = 3.0 * g.weight(8) / g.weight(2) + 5.0 * g.weight(8) / g.weight(4);
+        assert!((o.decayed_sum(8) - want).abs() <= 1e-12 * want);
+        // For exponential decay the forward and backward models agree.
+        let e = Exponential::new(0.3);
+        let mut fwd = Oracle::forward(e, 0);
+        let mut back = Oracle::new(e);
+        for (t, f) in [(1u64, 4u64), (3, 2), (7, 9)] {
+            fwd.observe(t, f);
+            back.observe(t, f);
+        }
+        let (a, b) = (fwd.decayed_sum(10), back.decayed_sum(10));
+        assert!((a - b).abs() <= 1e-12 * b);
     }
 
     #[test]

@@ -19,8 +19,9 @@ use td_conformance::{catalogue, certify_corruption_detected, corruption_offsets,
 use td_core::{BackendChoice, DecayedSum};
 use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCounter};
 use td_decay::checkpoint::Checkpoint;
-use td_decay::{DecayFunction, Exponential, Polynomial, SlidingWindow, Time};
+use td_decay::{DecayFunction, Exponential, Polynomial, SlidingWindow, StreamAggregate, Time};
 use td_eh::{ClassicEh, DominationEh};
+use td_forward::{ForwardDecaySum, ForwardDecayVariance};
 use td_wbmh::Wbmh;
 
 const WBMH_MAX_AGE: Time = 1 << 41;
@@ -98,6 +99,24 @@ fn cases() -> Vec<RtCase> {
                     .build(),
             )
         }),
+        rt("forward-sum/exp", || {
+            Box::new(ForwardDecaySum::new(Exponential::new(0.01)))
+        }),
+        rt("forward-sum/exp-rotating", || {
+            Box::new(ForwardDecaySum::new(Exponential::new(0.01)).with_rotation_exponent(2.0))
+        }),
+        RtCase {
+            max_time: Some(td_forward::DEFAULT_MAX_TIME),
+            ..rt("forward-sum/poly1", || {
+                Box::new(ForwardDecaySum::new(Polynomial::new(1.0)))
+            })
+        },
+        RtCase {
+            max_time: Some(td_forward::DEFAULT_MAX_TIME),
+            ..rt("forward-variance/poly1", || {
+                Box::new(ForwardDecayVariance::new(Polynomial::new(1.0)))
+            })
+        },
     ]
 }
 
@@ -216,5 +235,24 @@ fn config_mismatch_is_a_typed_error() {
             .restore_checkpoint(&counter.save_checkpoint())
             .is_err(),
         "restore across backend kinds must be rejected (wrong tag)"
+    );
+    let mut fwd = ForwardDecaySum::new(Exponential::new(0.01));
+    fwd.observe(5, 3);
+    let fwd_bytes = fwd.save_checkpoint();
+    let mut wrong_lambda = ForwardDecaySum::new(Exponential::new(0.02));
+    assert!(
+        wrong_lambda.restore_checkpoint(&fwd_bytes).is_err(),
+        "forward restore onto a different decay must be rejected"
+    );
+    let mut wrong_rotation =
+        ForwardDecaySum::new(Exponential::new(0.01)).with_rotation_exponent(2.0);
+    assert!(
+        wrong_rotation.restore_checkpoint(&fwd_bytes).is_err(),
+        "forward restore onto a different rotation threshold must be rejected"
+    );
+    let mut wrong_kind = ForwardDecayVariance::new(Exponential::new(0.01));
+    assert!(
+        wrong_kind.restore_checkpoint(&fwd_bytes).is_err(),
+        "forward restore across moment kinds must be rejected (wrong tag)"
     );
 }

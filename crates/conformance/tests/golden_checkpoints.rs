@@ -27,6 +27,7 @@ use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCount
 use td_decay::checkpoint::{Checkpoint, RestoreError};
 use td_decay::{DecayFunction, Exponential, Polynomial, SlidingWindow, Time};
 use td_eh::{ClassicEh, DominationEh};
+use td_forward::{ForwardDecaySum, ForwardDecayVariance};
 use td_wbmh::Wbmh;
 
 const WBMH_MAX_AGE: Time = 1 << 41;
@@ -104,6 +105,21 @@ fn cases() -> Vec<GoldenCase> {
                     .build(),
             )
         }),
+        gc("forward-sum/exp", || {
+            Box::new(ForwardDecaySum::new(Exponential::new(0.01)))
+        }),
+        GoldenCase {
+            max_time: Some(td_forward::DEFAULT_MAX_TIME),
+            ..gc("forward-sum/poly1", || {
+                Box::new(ForwardDecaySum::new(Polynomial::new(1.0)))
+            })
+        },
+        GoldenCase {
+            max_time: Some(td_forward::DEFAULT_MAX_TIME),
+            ..gc("forward-variance/poly1", || {
+                Box::new(ForwardDecayVariance::new(Polynomial::new(1.0)))
+            })
+        },
     ]
 }
 

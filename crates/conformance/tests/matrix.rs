@@ -65,6 +65,57 @@ fn exhaustive_matrix_many_seeds_long_streams() {
     );
 }
 
+/// The exhaustive forward-decay sweep (ISSUE 8): every `forward-*`
+/// matrix case (plus the sharded composition) over the full seed set
+/// and long streams, and the same backends re-run with the rotation
+/// threshold forced low so thousands of landmark rotations happen
+/// mid-scenario. Picked up by the weekly `conformance-exhaustive` CI
+/// cron alongside the matrix sweep above.
+#[test]
+#[ignore = "exhaustive sweep: run with `cargo test -p td-conformance -- --ignored`"]
+fn exhaustive_forward_sweep() {
+    use td_decay::Exponential;
+    use td_forward::ForwardDecaySum;
+
+    let matrix: Vec<_> = default_matrix()
+        .into_iter()
+        .filter(|c| c.name.contains("forward"))
+        .collect();
+    assert!(matrix.len() >= 7, "forward cases missing from the matrix");
+    let mut failures = Vec::new();
+    for seed in 0..16u64 {
+        for sc in catalogue(seed, 1_000) {
+            for case in &matrix {
+                if let Some(Err(f)) = case.run(&sc) {
+                    failures.push(f.to_string());
+                }
+            }
+            // Rotation-heavy reprise: half a nat per rotation forces a
+            // rescale roughly every 50 ticks at λ = 0.01.
+            let mut backend =
+                ForwardDecaySum::new(Exponential::new(0.01)).with_rotation_exponent(0.5);
+            let mut oracle: td_conformance::DynOracle =
+                Oracle::new(Box::new(Exponential::new(0.01)));
+            if let Err(f) = run_scenario(
+                &mut backend,
+                &mut oracle,
+                TruthKind::Sum,
+                None,
+                &sc,
+                "forward-sum/exp-rot0.5",
+            ) {
+                failures.push(f.to_string());
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} forward conformance failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 /// Satellite: the empty/at-tick query convention, pinned across every
 /// backend in the matrix. A summary that has never observed anything
 /// answers 0.0, and an item observed exactly at the query tick is not
@@ -301,6 +352,17 @@ fn sharded_ingestion_certifies_after_merge() {
         3,
         None,
         "wbmh/poly1",
+        |a, b| a.merge_from(b),
+    )
+    .unwrap_or_else(|f| panic!("{f}"));
+
+    certify_sharded(
+        || td_forward::ForwardDecaySum::new(Exponential::new(0.01)),
+        Box::new(Exponential::new(0.01)),
+        &sc,
+        3,
+        None,
+        "forward-sum/exp",
         |a, b| a.merge_from(b),
     )
     .unwrap_or_else(|f| panic!("{f}"));

@@ -1,0 +1,129 @@
+//! Property (ISSUE 8 satellite): **forward-decay merge is associative**
+//! across deliberately unequal landmarks.
+//!
+//! Three shards ingest disjoint time-sliced substreams with the
+//! rotation threshold forced low, so each shard's landmark ends up
+//! somewhere different. Merging `(a ⊕ b) ⊕ c` and `a ⊕ (b ⊕ c)` must
+//! agree with each other and with a whole-stream replay — within the
+//! merged accumulators' own reported envelopes around the oracle truth,
+//! exactly how the sharded serving engine is certified.
+
+use proptest::prelude::*;
+use td_conformance::Oracle;
+use td_decay::{Exponential, Polynomial, StreamAggregate, Time};
+use td_forward::ForwardDecaySum;
+
+/// Deterministic stream: mild gaps with occasional silences, so a low
+/// rotation threshold forces many rotations at different points in each
+/// shard's slice.
+fn stream(seed: u64, n: usize) -> Vec<(Time, u64)> {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut t = 1u64;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        t += if x.is_multiple_of(11) {
+            40 + x % 60
+        } else {
+            x % 4
+        };
+        items.push((t, (x >> 33) % 1000));
+    }
+    items
+}
+
+proptest! {
+    #[test]
+    fn three_way_merge_is_associative_across_unequal_landmarks(
+        seed in 0u64..1_000_000,
+        lam_m in 1usize..4,
+        cut_a in 20usize..40,
+        cut_b in 50usize..70,
+    ) {
+        let lambda = 0.1 * lam_m as f64;
+        let items = stream(seed, 600);
+        let n = items.len();
+        let (ca, cb) = (n * cut_a / 100, n * cut_b / 100);
+        let mk = || {
+            ForwardDecaySum::new(Exponential::new(lambda)).with_rotation_exponent(1.0)
+        };
+
+        let mut a = mk();
+        let mut b = mk();
+        let mut c = mk();
+        a.observe_batch(&items[..ca]);
+        b.observe_batch(&items[ca..cb]);
+        c.observe_batch(&items[cb..]);
+        prop_assert!(
+            a.landmark() != b.landmark() || b.landmark() != c.landmark(),
+            "shards converged to one landmark ({}, {}, {}) — not the adversarial case",
+            a.landmark(), b.landmark(), c.landmark()
+        );
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+
+        let mut oracle = Oracle::new(Exponential::new(lambda));
+        oracle.observe_batch(&items);
+
+        let last = items.last().unwrap().0;
+        for probe in [last, last + 1, last + 33] {
+            let truth = oracle.decayed_sum(probe);
+            let slop = 1e-9 * truth.abs().max(1.0);
+            for (tag, m) in [("left", &left), ("right", &right)] {
+                let est = m.query(probe);
+                prop_assert!(est.is_finite());
+                prop_assert!(
+                    m.error_bound().admits(est, truth, slop),
+                    "{tag} assoc order at q={probe}: {est} outside envelope of {truth}"
+                );
+            }
+            // The two association orders agree tightly with each other.
+            let (l, r) = (left.query(probe), right.query(probe));
+            prop_assert!(
+                (l - r).abs() <= 1e-9 * l.abs().max(1.0),
+                "association orders diverged at q={probe}: {l} vs {r}"
+            );
+        }
+    }
+
+    /// Fixed-landmark (polynomial) shards share `L = 0` by construction:
+    /// merge in any order is plain moment addition and must match the
+    /// forward-mode oracle.
+    #[test]
+    fn fixed_landmark_merge_matches_forward_oracle(
+        seed in 0u64..1_000_000,
+        cut in 25usize..75,
+    ) {
+        let items = stream(seed ^ 0x77, 400);
+        let cut = items.len() * cut / 100;
+        let g = Polynomial::new(1.0);
+        let mut a = ForwardDecaySum::new(g);
+        let mut b = ForwardDecaySum::new(g);
+        a.observe_batch(&items[..cut]);
+        b.observe_batch(&items[cut..]);
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+
+        let mut oracle = Oracle::forward(g, 0);
+        oracle.observe_batch(&items);
+        let probe = items.last().unwrap().0 + 5;
+        let truth = oracle.decayed_sum(probe);
+        let est = merged.query(probe);
+        prop_assert!(
+            merged
+                .error_bound()
+                .admits(est, truth, 1e-9 * truth.abs().max(1.0)),
+            "merged fixed-landmark sum {est} outside envelope of {truth}"
+        );
+    }
+}

@@ -57,6 +57,6 @@ pub use polyexp::PolyExponential;
 pub use polynomial::{LogDecay, Polynomial, ShiftedPolynomial};
 pub use regions::RegionSchedule;
 pub use sliding::SlidingWindow;
-pub use soa::{BucketColumns, ColumnsView};
+pub use soa::{forward_weights, BucketColumns, ColumnsView};
 pub use storage::StorageAccounting;
 pub use table::{ClosureDecay, Constant, TableDecay};

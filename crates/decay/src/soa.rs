@@ -258,6 +258,43 @@ pub fn dot_counts_midpoint<G: DecayFunction + ?Sized>(
     total
 }
 
+/// Forward-decay ingest kernel (Cormode et al.): `out[i] = 1 / g(ticks[i] − landmark)`
+/// — the per-item scale a forward-decay moment accumulator adds at
+/// ingest, so that a query at `T` renormalizes by `g(T − landmark)` and
+/// recovers the weight `g(T − landmark) / g(tᵢ − landmark)`.
+///
+/// Chunked through [`DecayFunction::weight_batch`] with a fixed-size
+/// stack age buffer (one virtual dispatch per [`CHUNK`] ticks), then a
+/// reciprocal sweep — same dispatch economics as the dot-product
+/// helpers above. The reciprocal inherits the family's
+/// [`DecayFunction::kernel_relative_error`] plus half an ULP.
+///
+/// Caller contract: `ticks[i] >= landmark` (panics on violation — a
+/// forward accumulator never scales an item older than its landmark)
+/// and `g` strictly positive at every requested age (finite-horizon
+/// decays have no forward form; the reciprocal would be `inf`).
+pub fn forward_weights<G: DecayFunction + ?Sized>(
+    g: &G,
+    landmark: Time,
+    ticks: &[Time],
+    out: &mut [f64],
+) {
+    assert_eq!(ticks.len(), out.len(), "tick/weight buffer length mismatch");
+    let mut ages = [0u64; CHUNK];
+    for (tc, oc) in ticks.chunks(CHUNK).zip(out.chunks_mut(CHUNK)) {
+        let ac = &mut ages[..tc.len()];
+        for (a, &t) in ac.iter_mut().zip(tc) {
+            *a = t
+                .checked_sub(landmark)
+                .expect("forward_weights: tick precedes landmark");
+        }
+        g.weight_batch(ac, oc);
+        for o in oc.iter_mut() {
+            *o = 1.0 / *o;
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // BucketColumns
 // ---------------------------------------------------------------------
@@ -563,5 +600,34 @@ mod tests {
             .map(|i| counts[i] as f64 * 0.5 * (g.weight(t - ends[i]) + g.weight(t - starts[i])))
             .sum();
         assert!((got - want).abs() <= 1e-12 * want.abs());
+    }
+
+    #[test]
+    fn forward_weights_matches_scalar_reciprocal() {
+        let landmark = 1_000u64;
+        let ticks: Vec<Time> = (0..200).map(|i| landmark + i * 31).collect();
+        let mut out = vec![0.0; ticks.len()];
+        for g in [
+            Box::new(Exponential::new(0.01)) as Box<dyn DecayFunction>,
+            Box::new(Polynomial::new(1.0)),
+        ] {
+            forward_weights(g.as_ref(), landmark, &ticks, &mut out);
+            for (&t, &r) in ticks.iter().zip(&out) {
+                let want = 1.0 / g.weight(t - landmark);
+                assert!(
+                    (r - want).abs() <= 1e-12 * want,
+                    "{}: tick {t}: got {r}, want {want}",
+                    g.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tick precedes landmark")]
+    fn forward_weights_rejects_pre_landmark_ticks() {
+        let g = Exponential::new(0.01);
+        let mut out = [0.0; 1];
+        forward_weights(&g, 10, &[9], &mut out);
     }
 }

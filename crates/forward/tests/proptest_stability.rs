@@ -1,0 +1,167 @@
+//! Numerical-stability property tests for the forward-decay family
+//! (ISSUE 8 satellite): adversarial value/tick streams that force
+//! hundreds of landmark rotations must leave every query
+//!
+//! * finite (no inf/NaN ever reaches an accumulator or an answer), and
+//! * inside the backend's self-reported `error_bound` of the exact
+//!   (brute-force) model truth.
+//!
+//! The rotation threshold is driven down to fractions of a nat so a
+//! few-thousand-tick stream rotates its landmark hundreds of times —
+//! each rotation is a full moment rescale, exactly the operation whose
+//! rounding the ULP budget has to cover.
+
+use proptest::prelude::*;
+use td_decay::{DecayFunction, Exponential, Polynomial, StreamAggregate, Time};
+use td_forward::{ForwardDecayAverage, ForwardDecaySum, ForwardDecayVariance};
+
+/// Deterministic adversarial stream: bursty ticks (runs of duplicates,
+/// occasional long silences) and values spanning 0..2^20.
+fn adversarial_stream(seed: u64, n: usize) -> Vec<(Time, u64)> {
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut t = 1u64;
+    let mut items = Vec::with_capacity(n);
+    while items.len() < n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // 1-in-16 long silence, otherwise small gaps including zero
+        // (at-tick bursts).
+        t += match x % 16 {
+            0 => 50 + x % 200,
+            1..=4 => 0,
+            _ => 1 + x % 4,
+        };
+        let burst = 1 + (x >> 21) % 3;
+        for j in 0..burst {
+            if items.len() == n {
+                break;
+            }
+            items.push((t, (x >> 24).wrapping_add(j) % (1 << 20)));
+        }
+    }
+    items
+}
+
+/// Brute-force backward exponential truth (forward ≡ backward for
+/// exponential decay), strict past.
+fn exp_truth(items: &[(Time, u64)], lambda: f64, t: Time) -> f64 {
+    items
+        .iter()
+        .filter(|&&(ti, _)| ti < t)
+        .map(|&(ti, f)| f as f64 * (-lambda * (t - ti) as f64).exp())
+        .sum()
+}
+
+proptest! {
+    #[test]
+    fn rotated_sum_stays_inside_its_error_bound(
+        seed in 0u64..1_000_000,
+        lam_m in 1usize..5,
+        probe_gap in 0u64..64,
+    ) {
+        let lambda = 0.1 * lam_m as f64;
+        let items = adversarial_stream(seed, 1_500);
+        let mut agg = ForwardDecaySum::new(Exponential::new(lambda))
+            .with_rotation_exponent(0.5);
+        agg.observe_batch(&items);
+        prop_assert!(
+            agg.rotations() >= 100,
+            "stream did not force enough rotations: {}",
+            agg.rotations()
+        );
+        let last = items.last().unwrap().0;
+        for probe in [last, last + 1 + probe_gap] {
+            let est = agg.query(probe);
+            prop_assert!(est.is_finite(), "query({probe}) = {est}");
+            let truth = exp_truth(&items, lambda, probe);
+            let bound = agg.error_bound();
+            prop_assert!(bound.is_bounded());
+            prop_assert!(
+                bound.admits(est, truth, 1e-9 * truth.abs().max(1.0)),
+                "probe {probe}: est {est} outside bound of truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn rotated_average_stays_inside_its_error_bound(
+        seed in 0u64..1_000_000,
+        lam_m in 1usize..4,
+    ) {
+        let lambda = 0.15 * lam_m as f64;
+        let items = adversarial_stream(seed ^ 0xA7, 1_200);
+        let mut agg = ForwardDecayAverage::new(Exponential::new(lambda))
+            .with_rotation_exponent(0.75);
+        agg.observe_batch(&items);
+        prop_assert!(agg.rotations() >= 100);
+        let probe = items.last().unwrap().0 + 1;
+        let est = agg.query(probe);
+        prop_assert!(est.is_finite());
+        let num = exp_truth(&items, lambda, probe);
+        let den: f64 = items
+            .iter()
+            .filter(|&&(ti, _)| ti < probe)
+            .map(|&(ti, _)| (-lambda * (probe - ti) as f64).exp())
+            .sum();
+        let truth = if den > 0.0 { num / den } else { 0.0 };
+        prop_assert!(
+            agg.error_bound().admits(est, truth, 1e-9 * truth.abs().max(1.0)),
+            "est {est} outside bound of truth {truth}"
+        );
+    }
+
+    #[test]
+    fn rotated_variance_never_degenerates(
+        seed in 0u64..1_000_000,
+    ) {
+        let lambda = 0.2;
+        let items = adversarial_stream(seed ^ 0x51, 1_000);
+        let mut agg = ForwardDecayVariance::new(Exponential::new(lambda))
+            .with_rotation_exponent(0.5);
+        agg.observe_batch(&items);
+        prop_assert!(agg.rotations() >= 100);
+        let probe = items.last().unwrap().0 + 1;
+        let est = agg.query(probe);
+        prop_assert!(est.is_finite() && est >= 0.0, "variance {est}");
+        // Absolute envelope around the exact centered second moment: the
+        // cancellation budget is the decayed sum of squares.
+        let g = Exponential::new(lambda);
+        let w: f64 = items.iter().filter(|&&(ti, _)| ti < probe)
+            .map(|&(ti, _)| g.weight(probe - ti)).sum();
+        let s1: f64 = items.iter().filter(|&&(ti, _)| ti < probe)
+            .map(|&(ti, f)| f as f64 * g.weight(probe - ti)).sum();
+        let s2: f64 = items.iter().filter(|&&(ti, _)| ti < probe)
+            .map(|&(ti, f)| (f as f64).powi(2) * g.weight(probe - ti)).sum();
+        let truth = (s2 - s1 * s1 / w).max(0.0);
+        prop_assert!(
+            (est - truth).abs() <= 1e-6 * s2.max(1.0),
+            "variance {est} vs truth {truth} (budget scale {s2})"
+        );
+    }
+
+    #[test]
+    fn fixed_landmark_poly_streams_never_overflow(
+        seed in 0u64..1_000_000,
+        alpha_q in 1usize..9,
+    ) {
+        let alpha = 0.5 * alpha_q as f64;
+        let items = adversarial_stream(seed ^ 0x33, 1_000);
+        let mut agg = ForwardDecaySum::new(Polynomial::new(alpha));
+        agg.observe_batch(&items);
+        prop_assert_eq!(agg.landmark(), 0);
+        let g = Polynomial::new(alpha);
+        let probe = items.last().unwrap().0 + 1;
+        let est = agg.query(probe);
+        prop_assert!(est.is_finite(), "query = {est}");
+        let truth: f64 = items
+            .iter()
+            .filter(|&&(ti, _)| ti < probe)
+            .map(|&(ti, f)| f as f64 * g.weight(probe) / g.weight(ti))
+            .sum();
+        prop_assert!(
+            agg.error_bound().admits(est, truth, 1e-9 * truth.abs().max(1.0)),
+            "est {est} outside bound of truth {truth}"
+        );
+    }
+}
