@@ -1,8 +1,8 @@
 //! Differential conformance harness for the workspace's time-decayed
 //! summaries (Cohen & Strauss, PODS 2003).
 //!
-//! Four pieces, composed by the test matrices in `tests/matrix.rs` and
-//! `tests/fault_matrix.rs`:
+//! Six pieces, composed by the test matrices in `tests/matrix.rs`,
+//! `tests/fault_matrix.rs`, and `tests/recovery_matrix.rs`:
 //!
 //! * [`oracle`] — brute-force references that retain every `(t_i, f_i)`
 //!   and evaluate `Σ f_i · g(T − t_i)` directly: ground truth for
@@ -31,6 +31,12 @@
 //!   degraded answer sits inside its self-reported widened envelope
 //!   and every corrupted checkpoint is *detected*, never silently
 //!   restored.
+//! * [`recovery`] — kill-at-any-byte durability certification for the
+//!   `td-persist` store: a doomed run logs a scenario prefix, the
+//!   store is damaged (truncated or bit-flipped) at every byte offset,
+//!   and recovery must either refuse with a typed `RestoreError` or
+//!   reconstruct a whole-call prefix whose remainder replays lock-step
+//!   inside the backend's own certified envelope of the exact oracle.
 //!
 //! Run the tier-1 matrix with `cargo test -p td-conformance`; the
 //! exhaustive sweep (more seeds, longer streams) is behind
@@ -40,6 +46,7 @@ pub mod certify;
 pub mod fault;
 pub mod lateness;
 pub mod oracle;
+pub mod recovery;
 pub mod scenario;
 
 pub use certify::{
@@ -56,4 +63,8 @@ pub use lateness::{
     BoxedAgg, LateStream, LatenessCase,
 };
 pub use oracle::{CoordOracle, Oracle};
+pub use recovery::{
+    certify_recovery, default_recovery_matrix, is_time_ordered, Damage, RecoveryCase,
+    RecoveryFailure, RecoveryReport,
+};
 pub use scenario::{catalogue, out_of_order, Op, Rng, Scenario, SkewExtent};

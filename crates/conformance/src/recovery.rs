@@ -1,0 +1,594 @@
+//! Kill-at-any-byte recovery certification.
+//!
+//! The durability contract (`td-persist`) is: after a crash, recovery
+//! either reconstructs a state that is **exactly** some prefix of the
+//! logged ingest history — and says which prefix — or refuses with a
+//! typed [`RestoreError`]. Never a panic, never a silently wrong
+//! state, never more history than was durable.
+//!
+//! [`certify_recovery`] proves that contract mechanically: it replays
+//! a [`Scenario`] through a [`DurableAggregate`] over an in-memory
+//! [`Storage`](td_persist::Storage) double, snapshots the **durable**
+//! bytes (what a real disk would hold after power loss), then kills
+//! the store at every byte offset of every surviving file — once by
+//! truncating there (torn write / short segment) and once by flipping
+//! a bit there (media corruption) — and for each damaged store:
+//!
+//! 1. attempts recovery, requiring any failure to be a typed
+//!    [`RestoreError`] (panics are caught and reported with a repro);
+//! 2. on success, requires the recovered position to be a whole-call
+//!    prefix of the logged history;
+//! 3. replays the remainder of the stream into the recovered summary
+//!    and lock-step certifies its answers against the exact
+//!    [`Oracle`] of the *full* stream, inside the summary's own
+//!    [`error_bound`](td_decay::StreamAggregate::error_bound).
+//!
+//! The undamaged snapshot must recover and certify too — a store that
+//! "survived" every sweep by refusing everything would be caught
+//! there. Failures carry a one-line repro (backend, family, seed,
+//! file, damage) for the CI job summary.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use td_decay::checkpoint::{Checkpoint, RestoreError};
+use td_decay::{DecayFunction, StreamAggregate, Time};
+use td_persist::{DurabilityOptions, DurableAggregate, MemStorage, StoreOptions, SyncPolicy};
+
+use crate::certify::DynOracle;
+use crate::oracle::Oracle;
+use crate::scenario::{Op, Scenario};
+
+/// One ingest call, as the durable wrapper logs it: one call = one WAL
+/// record, so recovery positions land on call boundaries.
+#[derive(Debug, Clone)]
+enum Call {
+    Observe(Time, u64),
+    Batch(Vec<(Time, u64)>),
+    Advance(Time),
+}
+
+impl Call {
+    /// Flattened entries this call logs (what
+    /// `RecoveryStats::entries_applied` counts).
+    fn entries(&self) -> u64 {
+        match self {
+            Call::Observe(..) | Call::Advance(_) => 1,
+            Call::Batch(items) => items.len() as u64,
+        }
+    }
+
+    fn apply_durable<B: StreamAggregate + Checkpoint>(
+        &self,
+        agg: &mut DurableAggregate<B>,
+    ) -> Result<(), RestoreError> {
+        match self {
+            Call::Observe(t, f) => agg.observe(*t, *f),
+            Call::Batch(items) => agg.observe_batch(items),
+            Call::Advance(t) => agg.advance(*t),
+        }
+    }
+
+    fn apply_oracle(&self, oracle: &mut DynOracle) {
+        match self {
+            Call::Observe(t, f) => oracle.observe(*t, *f),
+            Call::Batch(items) => oracle.observe_batch(items),
+            Call::Advance(t) => StreamAggregate::advance(oracle, *t),
+        }
+    }
+}
+
+/// How the store was killed at one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Damage {
+    /// The file ends at `offset` — a torn write / lost tail.
+    Truncate {
+        /// Byte offset the file was cut at.
+        offset: usize,
+    },
+    /// One bit flipped — media corruption.
+    BitFlip {
+        /// Absolute bit index into the file.
+        bit: u64,
+    },
+}
+
+impl fmt::Display for Damage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Damage::Truncate { offset } => write!(f, "truncate@{offset}"),
+            Damage::BitFlip { bit } => write!(f, "bitflip@{bit}"),
+        }
+    }
+}
+
+/// A certified recovery violation with a replayable repro line.
+#[derive(Debug, Clone)]
+pub struct RecoveryFailure {
+    /// The backend's matrix name.
+    pub backend: String,
+    /// The scenario family.
+    pub scenario: String,
+    /// The scenario seed.
+    pub seed: u64,
+    /// The damaged file (empty for the undamaged baseline).
+    pub file: String,
+    /// The damage applied, `None` for the undamaged baseline.
+    pub damage: Option<Damage>,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for RecoveryFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dmg = match self.damage {
+            Some(d) => format!("{}:{d}", self.file),
+            None => "undamaged-baseline".to_string(),
+        };
+        write!(
+            f,
+            "recovery failure: backend `{}` on scenario `{}` (seed {:#x}) \
+             with damage {dmg}: {}. Replay: certify_recovery of family \
+             `{}` at seed {:#x}, damage {dmg}.",
+            self.backend, self.scenario, self.seed, self.detail, self.scenario, self.seed,
+        )
+    }
+}
+
+impl std::error::Error for RecoveryFailure {}
+
+/// Aggregate statistics from a clean kill-at-any-byte sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Damage points swept (truncations + bit flips).
+    pub sweeps: usize,
+    /// Sweeps that recovered and certified against the oracle.
+    pub recovered: usize,
+    /// Sweeps that refused with a typed [`RestoreError`].
+    pub refused: usize,
+    /// Largest whole-call history loss any recovery reported
+    /// (entries logged minus entries recovered).
+    pub max_entries_lost: u64,
+    /// Durable bytes the sweep covered.
+    pub durable_bytes: usize,
+}
+
+/// Absolute tolerance absorbing f64 summation-order noise.
+fn slop(truth: f64) -> f64 {
+    1e-9 * truth.abs().max(1.0)
+}
+
+/// Lowers a scenario to the ingest calls the durable wrapper will log
+/// (queries dropped — the sweep probes at fixed ticks instead).
+fn flatten_calls(scenario: &Scenario) -> Vec<Call> {
+    scenario
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            Op::Observe(t, f) => Some(Call::Observe(*t, *f)),
+            Op::ObserveBatch(items) => Some(Call::Batch(items.clone())),
+            Op::Advance(t) => Some(Call::Advance(*t)),
+            Op::Query(_) => None,
+        })
+        .collect()
+}
+
+/// Whether every op (and every item inside each batch) is in
+/// non-decreasing time order — the contract bare backends require.
+/// Out-of-arrival-order families are meant for a `td-reorder` front
+/// and are skipped by the recovery matrix.
+pub fn is_time_ordered(scenario: &Scenario) -> bool {
+    let mut last: Time = 0;
+    for op in &scenario.ops {
+        match op {
+            Op::Observe(t, _) | Op::Advance(t) => {
+                if *t < last {
+                    return false;
+                }
+                last = *t;
+            }
+            Op::ObserveBatch(items) => {
+                for &(t, _) in items {
+                    if t < last {
+                        return false;
+                    }
+                    last = t;
+                }
+            }
+            Op::Query(_) => {}
+        }
+    }
+    true
+}
+
+/// Store tuning for the sweep: tiny segments so rotation and
+/// multi-segment recovery are exercised even by short tier-1 streams,
+/// fsync every record so the durable snapshot holds everything, and a
+/// checkpoint cadence that leaves both checkpoint files *and* a live
+/// WAL tail on disk at kill time.
+fn sweep_options() -> DurabilityOptions {
+    DurabilityOptions {
+        store: StoreOptions {
+            segment_bytes: 1024,
+            sync: SyncPolicy::EveryRecord,
+        },
+        checkpoint_every_records: 16,
+    }
+}
+
+/// The outcome of recovering one damaged store.
+enum Outcome {
+    Refused,
+    Recovered { lost: u64 },
+    Wrong(String),
+}
+
+/// Recovers from `storage`, replays the remainder, certifies against
+/// the oracle. `boundaries[i]` = flattened entries after the first `i`
+/// calls.
+fn attempt<B, F>(
+    storage: MemStorage,
+    make: &F,
+    calls: &[Call],
+    boundaries: &[u64],
+    oracle: &DynOracle,
+    probes: &[Time],
+) -> Outcome
+where
+    B: StreamAggregate + Checkpoint,
+    F: Fn() -> B,
+{
+    let total = *boundaries.last().expect("boundaries never empty");
+    let opened = DurableAggregate::open(Box::new(storage), sweep_options(), make);
+    let (mut agg, stats) = match opened {
+        Err(_typed) => return Outcome::Refused,
+        Ok(pair) => pair,
+    };
+    if stats.entries_applied > total {
+        return Outcome::Wrong(format!(
+            "recovered {} entries but only {total} were ever logged",
+            stats.entries_applied
+        ));
+    }
+    let idx = match boundaries.binary_search(&stats.entries_applied) {
+        Ok(i) => i,
+        Err(_) => {
+            return Outcome::Wrong(format!(
+                "recovered position {} is not a whole-call boundary",
+                stats.entries_applied
+            ))
+        }
+    };
+    for call in &calls[idx..] {
+        if let Err(e) = call.apply_durable(&mut agg) {
+            return Outcome::Wrong(format!("re-ingest after recovery failed: {e}"));
+        }
+    }
+    for &t in probes {
+        let est = agg.query(t);
+        let bound = agg.error_bound();
+        let truth = oracle.decayed_sum(t);
+        if !bound.admits(est, truth, slop(truth)) {
+            return Outcome::Wrong(format!(
+                "after recovery + replay, query({t}) = {est:.9e} but the \
+                 oracle says {truth:.9e}, outside the certified envelope \
+                 [-{}, +{}]",
+                bound.lower, bound.upper
+            ));
+        }
+    }
+    Outcome::Recovered {
+        lost: total - stats.entries_applied,
+    }
+}
+
+/// Kill-at-any-byte certification of one backend × decay × scenario.
+///
+/// `stride` spaces the swept byte offsets: `1` kills at **every** byte
+/// (the exhaustive/nightly mode); tier-1 uses a small prime so repeated
+/// runs still cover every region class cheaply. Panics anywhere in
+/// recovery or replay are caught and reported as failures with the
+/// repro line.
+pub fn certify_recovery<B, F>(
+    backend_name: &str,
+    make: &F,
+    oracle_decay: Box<dyn DecayFunction>,
+    scenario: &Scenario,
+    stride: usize,
+) -> Result<RecoveryReport, Box<RecoveryFailure>>
+where
+    B: StreamAggregate + Checkpoint,
+    F: Fn() -> B,
+{
+    assert!(stride >= 1, "stride must be at least 1");
+    assert!(
+        is_time_ordered(scenario),
+        "recovery certification feeds backends directly; scenario `{}` \
+         is out of arrival order",
+        scenario.name
+    );
+    let fail = |file: &str, damage: Option<Damage>, detail: String| {
+        Box::new(RecoveryFailure {
+            backend: backend_name.to_string(),
+            scenario: scenario.name.clone(),
+            seed: scenario.seed,
+            file: file.to_string(),
+            damage,
+            detail,
+        })
+    };
+
+    // Ground truth over the full stream.
+    let calls = flatten_calls(scenario);
+    let mut oracle: DynOracle = Oracle::new(oracle_decay);
+    for c in &calls {
+        c.apply_oracle(&mut oracle);
+    }
+    let mut boundaries = Vec::with_capacity(calls.len() + 1);
+    let mut acc = 0u64;
+    boundaries.push(0);
+    for c in &calls {
+        acc += c.entries();
+        boundaries.push(acc);
+    }
+    let t_end = scenario.max_time();
+    let probes = [t_end + 1, t_end + 64];
+
+    // The doomed run: ingest everything, then the process "dies" —
+    // only fsynced bytes survive into the snapshot.
+    let mem = MemStorage::new();
+    {
+        let (mut durable, _) = DurableAggregate::open(Box::new(mem.clone()), sweep_options(), make)
+            .map_err(|e| fail("", None, format!("fresh open failed: {e}")))?;
+        for c in &calls {
+            c.apply_durable(&mut durable)
+                .map_err(|e| fail("", None, format!("doomed-run ingest failed: {e}")))?;
+        }
+    }
+    let snapshot = mem.crashed();
+
+    // Baseline: the undamaged snapshot must recover and certify — this
+    // is what rules out a store that passes the sweep by refusing
+    // everything.
+    match attempt(
+        snapshot.clone(),
+        make,
+        &calls,
+        &boundaries,
+        &oracle,
+        &probes,
+    ) {
+        Outcome::Recovered { lost: 0 } => {}
+        Outcome::Recovered { lost } => {
+            return Err(fail(
+                "",
+                None,
+                format!("undamaged recovery lost {lost} entries (fsync-every-record ran)"),
+            ));
+        }
+        Outcome::Refused => {
+            return Err(fail("", None, "undamaged recovery refused".to_string()));
+        }
+        Outcome::Wrong(detail) => return Err(fail("", None, detail)),
+    }
+
+    let mut report = RecoveryReport::default();
+    for (name, bytes) in snapshot.durable_files() {
+        report.durable_bytes += bytes.len();
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let damages = [
+                Damage::Truncate { offset },
+                // One flip per swept byte; the bit position rotates so
+                // a full sweep hits low and high bits of every field.
+                Damage::BitFlip {
+                    bit: offset as u64 * 8 + (offset % 8) as u64,
+                },
+            ];
+            for damage in damages {
+                let damaged = match damage {
+                    Damage::Truncate { offset } => snapshot.truncated_at(&name, offset),
+                    Damage::BitFlip { bit } => snapshot.bit_flipped(&name, bit),
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    attempt(damaged, make, &calls, &boundaries, &oracle, &probes)
+                }))
+                .unwrap_or_else(|p| {
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    Outcome::Wrong(format!("recovery panicked: {msg}"))
+                });
+                report.sweeps += 1;
+                match outcome {
+                    Outcome::Refused => report.refused += 1,
+                    Outcome::Recovered { lost } => {
+                        report.recovered += 1;
+                        report.max_entries_lost = report.max_entries_lost.max(lost);
+                    }
+                    Outcome::Wrong(detail) => {
+                        return Err(fail(&name, Some(damage), detail));
+                    }
+                }
+            }
+            offset += stride;
+        }
+    }
+    Ok(report)
+}
+
+/// One backend × decay row of the recovery matrix, type-erased so the
+/// test harness can iterate rows uniformly.
+pub struct RecoveryCase {
+    /// Display name (`backend/decay` convention, matching the
+    /// conformance matrix).
+    pub name: &'static str,
+    #[allow(clippy::type_complexity)]
+    runner: Box<dyn Fn(&Scenario, usize) -> Result<RecoveryReport, Box<RecoveryFailure>>>,
+}
+
+impl RecoveryCase {
+    /// Builds a row from a backend factory and the matching oracle
+    /// decay factory.
+    pub fn of<B>(
+        name: &'static str,
+        make: impl Fn() -> B + 'static,
+        decay: impl Fn() -> Box<dyn DecayFunction> + 'static,
+    ) -> Self
+    where
+        B: StreamAggregate + Checkpoint + 'static,
+    {
+        RecoveryCase {
+            name,
+            runner: Box::new(move |scenario, stride| {
+                certify_recovery(name, &make, decay(), scenario, stride)
+            }),
+        }
+    }
+
+    /// Sweeps one scenario at the given stride.
+    pub fn run(
+        &self,
+        scenario: &Scenario,
+        stride: usize,
+    ) -> Result<RecoveryReport, Box<RecoveryFailure>> {
+        (self.runner)(scenario, stride)
+    }
+}
+
+/// The default recovery matrix: every checkpoint-capable summary
+/// family in the workspace, each under a decay it supports (the same
+/// `backend/decay` pairings as the conformance matrix, minus backends
+/// without a [`Checkpoint`] impl and restricted-domain backends whose
+/// value caps the flattened replay does not model).
+pub fn default_recovery_matrix() -> Vec<RecoveryCase> {
+    use td_ceh::CascadedEh;
+    use td_counters::{ExactDecayedSum, ExpCounter, PolyExpCounter, QuantizedExpCounter};
+    use td_decay::{Constant, Exponential, LogDecay, PolyExponential, Polynomial, SlidingWindow};
+    use td_eh::DominationEh;
+    use td_forward::ForwardDecaySum;
+    use td_wbmh::Wbmh;
+
+    const WBMH_MAX_AGE: Time = 1 << 41;
+
+    fn boxed<G: DecayFunction + 'static>(g: G) -> Box<dyn DecayFunction> {
+        Box::new(g)
+    }
+
+    vec![
+        RecoveryCase::of(
+            "exact/exp",
+            || ExactDecayedSum::new(Exponential::new(0.01)),
+            || boxed(Exponential::new(0.01)),
+        ),
+        RecoveryCase::of(
+            "exact/sliding256",
+            || ExactDecayedSum::new(SlidingWindow::new(256)),
+            || boxed(SlidingWindow::new(256)),
+        ),
+        RecoveryCase::of(
+            "exact/log64",
+            || ExactDecayedSum::new(LogDecay::new(64)),
+            || boxed(LogDecay::new(64)),
+        ),
+        RecoveryCase::of(
+            "exp-counter",
+            || ExpCounter::new(Exponential::new(0.01)),
+            || boxed(Exponential::new(0.01)),
+        ),
+        RecoveryCase::of(
+            "quantized-exp/m20",
+            || QuantizedExpCounter::new(Exponential::new(0.01), 20),
+            || boxed(Exponential::new(0.01)),
+        ),
+        RecoveryCase::of(
+            "polyexp-pipeline/k2",
+            || PolyExpCounter::new(2, 0.03),
+            || boxed(PolyExponential::new(2, 0.03)),
+        ),
+        RecoveryCase::of(
+            "ceh/exp",
+            || CascadedEh::new(Exponential::new(0.01), 0.1),
+            || boxed(Exponential::new(0.01)),
+        ),
+        RecoveryCase::of(
+            "ceh/poly1",
+            || CascadedEh::new(Polynomial::new(1.0), 0.1),
+            || boxed(Polynomial::new(1.0)),
+        ),
+        RecoveryCase::of(
+            "wbmh/poly1",
+            || Wbmh::new(Polynomial::new(1.0), 0.1, WBMH_MAX_AGE),
+            || boxed(Polynomial::new(1.0)),
+        ),
+        RecoveryCase::of(
+            "domination-eh/landmark",
+            || DominationEh::new(0.1, None),
+            || boxed(Constant),
+        ),
+        RecoveryCase::of(
+            "forward-sum/exp",
+            || ForwardDecaySum::new(Exponential::new(0.01)),
+            || boxed(Exponential::new(0.01)),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+    use td_counters::ExactDecayedSum;
+    use td_decay::Exponential;
+
+    #[test]
+    fn failure_display_carries_the_repro() {
+        let f = RecoveryFailure {
+            backend: "exact/exp".into(),
+            scenario: "bursty".into(),
+            seed: 0xFEED,
+            file: "wal-000000000000.seg".into(),
+            damage: Some(Damage::Truncate { offset: 137 }),
+            detail: "boom".into(),
+        };
+        let msg = f.to_string();
+        for needle in ["exact/exp", "bursty", "0xfeed", "truncate@137", "wal-"] {
+            assert!(msg.contains(needle), "missing `{needle}` in: {msg}");
+        }
+    }
+
+    #[test]
+    fn a_small_exhaustive_sweep_passes() {
+        let sc = scenario::uniform(3, 30);
+        let report = certify_recovery(
+            "exact/exp",
+            &|| ExactDecayedSum::new(Exponential::new(0.02)),
+            Box::new(Exponential::new(0.02)),
+            &sc,
+            1,
+        )
+        .unwrap_or_else(|f| panic!("{f}"));
+        assert!(report.sweeps > 0);
+        assert!(report.recovered > 0, "some damage must still recover");
+        assert!(report.refused > 0, "some damage must be refused typed");
+    }
+
+    #[test]
+    fn out_of_order_scenarios_are_detected() {
+        let inverted = Scenario {
+            name: "handmade-inverted".into(),
+            seed: 0,
+            ops: vec![Op::Observe(10, 1), Op::Observe(9, 1)],
+        };
+        assert!(!is_time_ordered(&inverted));
+        // Every catalogue family sorts its ops at ingest time (the
+        // trait demands it) — the whole catalogue is fair game for the
+        // recovery matrix, and the guard only trips on handmade or
+        // future families that break that convention.
+        for sc in scenario::catalogue(7, 60) {
+            assert!(is_time_ordered(&sc), "family `{}` is unsorted", sc.name);
+        }
+    }
+}

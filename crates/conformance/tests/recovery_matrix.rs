@@ -1,0 +1,84 @@
+//! The kill-at-any-byte recovery matrix: every checkpoint-capable
+//! backend × decay pairing in `default_recovery_matrix`, against the
+//! seeded scenario catalogue.
+//!
+//! What a green run certifies (see `td_conformance::recovery`):
+//!
+//! * recovery from a store damaged at **any** byte — truncated there,
+//!   or with a bit flipped there — either reconstructs exactly a
+//!   whole-call prefix of the logged history or refuses with a typed
+//!   `RestoreError`; never a panic, never silently wrong state;
+//! * whatever was recovered, replaying the remainder of the stream
+//!   lands every subsequent answer inside the summary's own certified
+//!   envelope of the exact oracle;
+//! * the undamaged store always recovers completely (fsync-per-record
+//!   means zero loss), ruling out refuse-everything trivia.
+//!
+//! Tier-1 keeps one backend at stride 1 (genuinely every byte) and
+//! sweeps the full matrix at a prime stride; the nightly exhaustive
+//! job (`-- --ignored`) runs every case at stride 1 over more seeds
+//! and longer streams. Failures print a one-line
+//! `recovery failure: ...` repro.
+
+use td_conformance::{catalogue, default_recovery_matrix, is_time_ordered};
+
+/// Every byte of every durable file, on the cheapest exact backend —
+/// the full guarantee, continuously exercised in tier-1.
+#[test]
+fn kill_at_every_byte_exact_exp() {
+    let matrix = default_recovery_matrix();
+    let case = matrix
+        .iter()
+        .find(|c| c.name == "exact/exp")
+        .expect("exact/exp is in the matrix");
+    for sc in catalogue(0xD1E, 40) {
+        if !is_time_ordered(&sc) {
+            continue;
+        }
+        let report = case.run(&sc, 1).unwrap_or_else(|f| panic!("{f}"));
+        // Truncation + bit flip at every byte offset.
+        assert_eq!(report.sweeps, 2 * report.durable_bytes, "{}", sc.name);
+        assert!(report.recovered > 0, "{}: nothing ever recovered", sc.name);
+        assert!(report.refused > 0, "{}: nothing ever refused", sc.name);
+    }
+}
+
+/// The full matrix at a prime stride: every backend family meets every
+/// scenario family, hitting all byte-region classes (headers, seqs,
+/// lengths, payloads, checksums, checkpoint envelopes, manifest).
+#[test]
+fn recovery_matrix_tier1() {
+    for case in default_recovery_matrix() {
+        for sc in catalogue(0xA11CE, 60) {
+            if !is_time_ordered(&sc) {
+                continue;
+            }
+            let report = case.run(&sc, 7).unwrap_or_else(|f| panic!("{f}"));
+            assert!(
+                report.recovered > 0,
+                "{} on {}: no damage point ever recovered",
+                case.name,
+                sc.name
+            );
+        }
+    }
+}
+
+/// The nightly job: every case × every family × several seeds, longer
+/// streams, stride 1 — the literal kill-at-every-byte certification.
+/// On failure the panic message is the replayable repro line.
+#[test]
+#[ignore = "exhaustive kill-at-every-byte sweep; run in the nightly CI job"]
+fn recovery_matrix_exhaustive_kill_at_every_byte() {
+    for seed in [0x1u64, 0x5EED, 0xDEAD_BEEF] {
+        for case in default_recovery_matrix() {
+            for sc in catalogue(seed, 120) {
+                if !is_time_ordered(&sc) {
+                    continue;
+                }
+                let report = case.run(&sc, 1).unwrap_or_else(|f| panic!("{f}"));
+                assert_eq!(report.sweeps, 2 * report.durable_bytes);
+            }
+        }
+    }
+}

@@ -60,6 +60,23 @@ pub enum RestoreError {
     /// fingerprint, non-canonical bucket lists, decreasing timestamps,
     /// non-finite counts, ...).
     Invariant(String),
+    /// The storage layer failed while reading or writing persisted
+    /// state (`td-persist`). Carries the [`std::io::ErrorKind`] so
+    /// callers can distinguish a missing file from a permission error
+    /// without string matching.
+    Io(std::io::ErrorKind),
+    /// A write-ahead-log record failed its checksum in the *middle* of
+    /// a segment — bytes follow the damaged record, which a pure
+    /// crash-truncation can never produce, so this is corruption (a
+    /// torn or bit-flipped record), not an honest torn tail. Recovery
+    /// refuses to skip it: applying later records over a hole would
+    /// silently serve a wrong answer.
+    TornRecord {
+        /// Index of the WAL segment holding the damaged record.
+        segment: u64,
+        /// Byte offset of the record header within that segment.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for RestoreError {
@@ -74,7 +91,21 @@ impl fmt::Display for RestoreError {
                 )
             }
             RestoreError::Invariant(why) => write!(f, "checkpoint invariant violated: {why}"),
+            RestoreError::Io(kind) => write!(f, "persistence I/O error: {kind}"),
+            RestoreError::TornRecord { segment, offset } => {
+                write!(
+                    f,
+                    "torn WAL record in segment {segment} at byte offset {offset} \
+                     (bytes follow the damaged record: corruption, not a crash tail)"
+                )
+            }
         }
+    }
+}
+
+impl From<std::io::Error> for RestoreError {
+    fn from(e: std::io::Error) -> Self {
+        RestoreError::Io(e.kind())
     }
 }
 
@@ -383,5 +414,58 @@ mod tests {
     fn fingerprint_distinguishes_strings() {
         assert_ne!(fingerprint("EXPD(0.01)"), fingerprint("EXPD(0.02)"));
         assert_eq!(fingerprint("x"), fingerprint("x"));
+    }
+
+    /// Every variant matched WITHOUT a wildcard arm: adding a
+    /// `RestoreError` variant fails this match at compile time, forcing
+    /// every call site that triages restore failures to be revisited
+    /// rather than silently funnelling the new variant into a `_` arm.
+    fn triage(e: &RestoreError) -> &'static str {
+        match e {
+            RestoreError::Truncated => "truncated",
+            RestoreError::Checksum => "checksum",
+            RestoreError::Version(_) => "version",
+            RestoreError::Invariant(_) => "invariant",
+            RestoreError::Io(_) => "io",
+            RestoreError::TornRecord { .. } => "torn-record",
+        }
+    }
+
+    #[test]
+    fn every_variant_is_matchable_and_displays_context() {
+        let all = [
+            RestoreError::Truncated,
+            RestoreError::Checksum,
+            RestoreError::Version(9),
+            RestoreError::Invariant("x".into()),
+            RestoreError::Io(std::io::ErrorKind::NotFound),
+            RestoreError::TornRecord {
+                segment: 3,
+                offset: 1441,
+            },
+        ];
+        let mut seen: Vec<&'static str> = all.iter().map(triage).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), all.len(), "triage must distinguish variants");
+
+        let io = RestoreError::Io(std::io::ErrorKind::PermissionDenied);
+        assert!(io.to_string().contains("permission denied"), "{io}");
+        let torn = RestoreError::TornRecord {
+            segment: 3,
+            offset: 1441,
+        };
+        let msg = torn.to_string();
+        assert!(
+            msg.contains("segment 3") && msg.contains("1441"),
+            "TornRecord display must carry the segment/offset repro: {msg}"
+        );
+    }
+
+    #[test]
+    fn io_errors_convert_with_their_kind() {
+        let e: RestoreError =
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "short read").into();
+        assert_eq!(e, RestoreError::Io(std::io::ErrorKind::UnexpectedEof));
     }
 }

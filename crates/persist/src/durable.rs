@@ -1,0 +1,424 @@
+//! [`DurableAggregate`]: one backend + one [`DurableStore`] — the
+//! single-summary durability wrapper.
+//!
+//! Every ingest *call* is logged as exactly one WAL record before it
+//! touches the in-memory state, and recovery replays surviving records
+//! through the same call shape (a 1-entry record through
+//! `observe`/`advance`, an n-entry record through `observe_batch`).
+//! Because every backend's batched ingest is bit-identical to its
+//! sequential ingest only *per call pattern* (amortization decisions
+//! key off batch boundaries), reproducing the call shape is what makes
+//! two recoveries from the same bytes — and a recovered process vs a
+//! never-crashed twin — `to_bits`-identical, not merely close.
+//!
+//! Ingest methods are fallible (`Result<_, RestoreError>`): a summary
+//! that cannot persist its history must say so at the call site, not
+//! panic inside a trait method with no error channel. The read side
+//! (`query`, `error_bound`) is infallible and hits only memory.
+
+use td_decay::checkpoint::{Checkpoint, RestoreError};
+use td_decay::{ErrorBound, Time};
+
+use crate::storage::Storage;
+use crate::store::{DurableStore, Recovered, ShardCheckpoint, StoreOptions};
+use crate::wal::{WalEntry, WalRecord};
+
+/// Tuning for a [`DurableAggregate`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityOptions {
+    /// WAL segment size and fsync policy.
+    pub store: StoreOptions,
+    /// Write a checkpoint (and truncate the superseded WAL tail) every
+    /// this many logged records. Larger = cheaper ingest, longer
+    /// replay after a crash.
+    pub checkpoint_every_records: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            store: StoreOptions::default(),
+            checkpoint_every_records: 64,
+        }
+    }
+}
+
+/// What recovery found when a [`DurableAggregate`] was opened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Whether a valid checkpoint was restored (vs replay-from-empty).
+    pub restored_checkpoint: bool,
+    /// WAL records replayed on top of the checkpoint.
+    pub records_replayed: u64,
+    /// Total flattened ingest entries the recovered state reflects —
+    /// the caller's position in the original stream.
+    pub entries_applied: u64,
+    /// `(segment, byte offset)` where a torn trailing write was
+    /// dropped, if the process died mid-append. Honest-loss report:
+    /// entries logged past this point were not yet durable.
+    pub crash_tail: Option<(u64, u64)>,
+}
+
+/// A decayed-stream summary whose history survives process death.
+pub struct DurableAggregate<B: Checkpoint> {
+    inner: B,
+    store: DurableStore,
+    opts: DurabilityOptions,
+    /// Global seq of the last logged record (checkpoint cover point).
+    last_seq: u64,
+    /// Flattened entries reflected by `inner`.
+    entries_applied: u64,
+    /// Newest tick logged — stamped into checkpoints.
+    last_tick: Time,
+    records_since_ckpt: u64,
+}
+
+impl<B: Checkpoint> DurableAggregate<B> {
+    /// Opens (or creates) a durable summary on `storage`. `make`
+    /// builds the backend with its configuration — configuration is
+    /// never persisted (matching the `Checkpoint` contract), so the
+    /// caller must construct the same backend it originally ran.
+    ///
+    /// Recovery: restore the newest valid checkpoint into the fresh
+    /// backend, replay the surviving WAL tail in call-shape order, and
+    /// report what was found. Any damage maps to a typed
+    /// [`RestoreError`] — an `Ok` return is certified replay-complete
+    /// up to [`RecoveryStats::entries_applied`].
+    pub fn open(
+        storage: Box<dyn Storage>,
+        opts: DurabilityOptions,
+        make: impl FnOnce() -> B,
+    ) -> Result<(Self, RecoveryStats), RestoreError> {
+        let (store, recovered) = DurableStore::open(storage, opts.store, 1)?;
+        let mut inner = make();
+        let restored_checkpoint = match &recovered.checkpoints[0] {
+            Some(ckpt) => {
+                inner.restore_checkpoint(&ckpt.envelope)?;
+                true
+            }
+            None => false,
+        };
+        let mut records_replayed = 0u64;
+        for rec in recovered.tail_for(0) {
+            replay_record(&mut inner, rec);
+            records_replayed += 1;
+        }
+        let entries_applied = recovered.entries_applied(0);
+        let last_tick = recovered
+            .tail_for(0)
+            .flat_map(|r| r.entries.iter())
+            .map(|e| match *e {
+                WalEntry::Observe(t, _) => t,
+                WalEntry::Advance(t) => t,
+            })
+            .max()
+            .unwrap_or_else(|| recovered.checkpoints[0].as_ref().map_or(0, |c| c.last_tick));
+        let stats = RecoveryStats {
+            restored_checkpoint,
+            records_replayed,
+            entries_applied,
+            crash_tail: recovered.crash_tail,
+        };
+        Ok((
+            DurableAggregate {
+                inner,
+                store,
+                opts,
+                last_seq: recovered.last_seq,
+                entries_applied,
+                last_tick,
+                records_since_ckpt: 0,
+            },
+            stats,
+        ))
+    }
+
+    fn log(&mut self, entries: &[WalEntry]) -> Result<(), RestoreError> {
+        self.last_seq = self.store.append_record(0, entries)?;
+        self.entries_applied += entries.len() as u64;
+        if let Some(t) = entries
+            .iter()
+            .map(|e| match *e {
+                WalEntry::Observe(t, _) => t,
+                WalEntry::Advance(t) => t,
+            })
+            .max()
+        {
+            self.last_tick = self.last_tick.max(t);
+        }
+        self.records_since_ckpt += 1;
+        Ok(())
+    }
+
+    /// Cadence checkpoint, run strictly **after** the triggering record
+    /// has been applied to `inner` — a checkpoint claiming
+    /// `covered_seq = N` must embody all N records, or recovery would
+    /// silently drop record N's effect.
+    fn maybe_checkpoint(&mut self) -> Result<(), RestoreError> {
+        if self.records_since_ckpt >= self.opts.checkpoint_every_records.max(1) {
+            self.checkpoint_now()?;
+        }
+        Ok(())
+    }
+
+    /// Logs then applies one observation. An `Err` from the append
+    /// means the observation was **not** applied — the summary never
+    /// runs ahead of its log. An `Err` from the post-apply cadence
+    /// checkpoint leaves the observation applied *and* logged (the
+    /// state is recoverable; only the WAL-truncation maintenance
+    /// failed).
+    pub fn observe(&mut self, t: Time, f: u64) -> Result<(), RestoreError> {
+        self.log(&[WalEntry::Observe(t, f)])?;
+        self.inner.observe(t, f);
+        self.maybe_checkpoint()
+    }
+
+    /// Logs then applies a sorted batch as one WAL record. An empty
+    /// batch logs nothing. A 1-item batch is logged and applied as a
+    /// plain [`observe`](Self::observe) call so replay reproduces the
+    /// exact call shape. Error contract as [`observe`](Self::observe).
+    pub fn observe_batch(&mut self, items: &[(Time, u64)]) -> Result<(), RestoreError> {
+        match items {
+            [] => Ok(()),
+            &[(t, f)] => self.observe(t, f),
+            _ => {
+                let entries: Vec<WalEntry> = items
+                    .iter()
+                    .map(|&(t, f)| WalEntry::Observe(t, f))
+                    .collect();
+                self.log(&entries)?;
+                self.inner.observe_batch(items);
+                self.maybe_checkpoint()
+            }
+        }
+    }
+
+    /// Logs then applies a clock advance. Error contract as
+    /// [`observe`](Self::observe).
+    pub fn advance(&mut self, t: Time) -> Result<(), RestoreError> {
+        self.log(&[WalEntry::Advance(t)])?;
+        self.inner.advance(t);
+        self.maybe_checkpoint()
+    }
+
+    /// The decayed-sum estimate at `t` (memory only, infallible).
+    pub fn query(&self, t: Time) -> f64 {
+        self.inner.query(t)
+    }
+
+    /// The backend's self-reported error envelope.
+    pub fn error_bound(&self) -> ErrorBound {
+        self.inner.error_bound()
+    }
+
+    /// Writes a checkpoint covering everything logged so far and
+    /// truncates the superseded WAL tail.
+    pub fn checkpoint_now(&mut self) -> Result<(), RestoreError> {
+        self.store.save_shard_checkpoint(
+            0,
+            &ShardCheckpoint {
+                covered_seq: self.last_seq,
+                entries_applied: self.entries_applied,
+                last_tick: self.last_tick,
+                envelope: self.inner.save_checkpoint(),
+            },
+        )?;
+        self.records_since_ckpt = 0;
+        Ok(())
+    }
+
+    /// Forces all logged records durable regardless of the sync
+    /// policy (e.g. before a planned shutdown).
+    pub fn flush(&mut self) -> Result<(), RestoreError> {
+        self.store.flush()
+    }
+
+    /// Flattened ingest entries the in-memory state reflects.
+    pub fn entries_applied(&self) -> u64 {
+        self.entries_applied
+    }
+
+    /// Records logged since the last checkpoint truncated the WAL —
+    /// the replay a restart would pay right now.
+    pub fn wal_tail_len(&self) -> u64 {
+        self.store.wal_tail_len()
+    }
+
+    /// Read access to the wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwraps the in-memory summary, abandoning the store handle.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+/// Applies one recovered WAL record with the same call shape that
+/// produced it.
+pub fn replay_record<B: Checkpoint>(inner: &mut B, rec: &WalRecord) {
+    match rec.entries.as_slice() {
+        [] => {}
+        &[WalEntry::Observe(t, f)] => inner.observe(t, f),
+        &[WalEntry::Advance(t)] => inner.advance(t),
+        entries => {
+            if entries.iter().all(|e| matches!(e, WalEntry::Observe(..))) {
+                let items: Vec<(Time, u64)> = entries
+                    .iter()
+                    .map(|e| match *e {
+                        WalEntry::Observe(t, f) => (t, f),
+                        WalEntry::Advance(_) => unreachable!("filtered above"),
+                    })
+                    .collect();
+                inner.observe_batch(&items);
+            } else {
+                // Mixed records are never written today; replay them
+                // entry-by-entry rather than refusing.
+                for e in entries {
+                    match *e {
+                        WalEntry::Observe(t, f) => inner.observe(t, f),
+                        WalEntry::Advance(t) => inner.advance(t),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Exposes [`Recovered`] in the public API for harnesses that drive
+/// recovery and replay by hand (the conformance kill-at-any-byte sweep
+/// does; see `td-conformance::recovery`).
+pub type RecoveredState = Recovered;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use td_counters::ExactDecayedSum;
+    use td_decay::Exponential;
+
+    fn make() -> ExactDecayedSum<Exponential> {
+        ExactDecayedSum::new(Exponential::new(0.05))
+    }
+
+    fn opens(
+        mem: &MemStorage,
+        opts: DurabilityOptions,
+    ) -> (
+        DurableAggregate<ExactDecayedSum<Exponential>>,
+        RecoveryStats,
+    ) {
+        DurableAggregate::open(Box::new(mem.clone()), opts, make).unwrap()
+    }
+
+    #[test]
+    fn crash_and_recover_matches_never_crashed_twin() {
+        let mem = MemStorage::new();
+        let opts = DurabilityOptions {
+            checkpoint_every_records: 5,
+            ..DurabilityOptions::default()
+        };
+        let (mut durable, stats) = opens(&mem, opts);
+        assert_eq!(stats.entries_applied, 0);
+
+        let mut twin = make();
+        for i in 0..23u64 {
+            let t = i * 3;
+            durable.observe(t, i + 1).unwrap();
+            twin.observe(t, i + 1);
+        }
+        durable.observe_batch(&[(70, 5), (70, 6), (71, 7)]).unwrap();
+        twin.observe_batch(&[(70, 5), (70, 6), (71, 7)]);
+        durable.advance(80).unwrap();
+        twin.advance(80);
+
+        // The process dies; only synced bytes survive.
+        let (recovered, stats) = opens(&mem.crashed(), opts);
+        assert_eq!(stats.entries_applied, 23 + 3 + 1);
+        assert!(stats.restored_checkpoint);
+        assert_eq!(
+            recovered.query(90).to_bits(),
+            twin.query(90).to_bits(),
+            "recovered state must be bit-identical to the never-crashed twin"
+        );
+    }
+
+    #[test]
+    fn two_recoveries_from_the_same_bytes_are_bit_identical() {
+        let mem = MemStorage::new();
+        let opts = DurabilityOptions::default();
+        let (mut durable, _) = opens(&mem, opts);
+        for i in 0..40u64 {
+            durable.observe(i, i % 7 + 1).unwrap();
+        }
+        let dead = mem.crashed();
+        let (a, sa) = opens(&dead, opts);
+        let (b, sb) = opens(&dead, opts);
+        assert_eq!(sa, sb);
+        for t in [40u64, 55, 100] {
+            assert_eq!(a.query(t).to_bits(), b.query(t).to_bits());
+        }
+    }
+
+    #[test]
+    fn failed_append_leaves_state_unchanged() {
+        let mem = MemStorage::new();
+        let (mut durable, _) = opens(&mem, DurabilityOptions::default());
+        durable.observe(1, 10).unwrap();
+        let before = durable.query(5);
+        mem.set_fail_writes(Some(std::io::ErrorKind::StorageFull));
+        let err = durable.observe(2, 99).unwrap_err();
+        assert_eq!(err, RestoreError::Io(std::io::ErrorKind::StorageFull));
+        assert_eq!(
+            durable.query(5).to_bits(),
+            before.to_bits(),
+            "a rejected observe must not leak into the summary"
+        );
+        mem.set_fail_writes(None);
+        durable.observe(2, 99).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_cadence_bounds_the_wal_tail() {
+        let mem = MemStorage::new();
+        let opts = DurabilityOptions {
+            checkpoint_every_records: 8,
+            ..DurabilityOptions::default()
+        };
+        let (mut durable, _) = opens(&mem, opts);
+        for i in 0..100u64 {
+            durable.observe(i, 1).unwrap();
+            assert!(
+                durable.wal_tail_len() <= 8,
+                "tail {} after {} records",
+                durable.wal_tail_len(),
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_reports_the_crash_tail_position() {
+        let mem = MemStorage::new();
+        let (mut durable, _) = opens(&mem, DurabilityOptions::default());
+        for i in 0..4u64 {
+            durable.observe(i, 2).unwrap();
+        }
+        // Tear the last record: recovery keeps 3, reports the tear.
+        let files = mem.crashed().durable_files();
+        let (wal_name, wal_bytes) = files
+            .iter()
+            .find(|(n, _)| n.starts_with("wal-"))
+            .expect("one segment");
+        let cut = mem.truncated_at(wal_name, wal_bytes.len() - 3);
+        let (recovered, stats) = opens(&cut, DurabilityOptions::default());
+        assert_eq!(stats.entries_applied, 3);
+        assert!(stats.crash_tail.is_some());
+        let mut twin = make();
+        for i in 0..3u64 {
+            twin.observe(i, 2);
+        }
+        assert_eq!(recovered.query(10).to_bits(), twin.query(10).to_bits());
+    }
+}

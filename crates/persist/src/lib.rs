@@ -1,0 +1,40 @@
+//! # td-persist — decayed-aggregate state that survives process death
+//!
+//! The paper's summaries compress an unbounded past; if the process
+//! dies, that past cannot be rebuilt from the stream. This crate is
+//! the persistence tier: an append-only segment WAL of ingest calls
+//! plus a checkpoint store of `Checkpoint` envelopes, glued together
+//! by a manifest that makes "newest valid state" deterministic.
+//!
+//! * [`Storage`] — the tiny object-safe backend trait, with
+//!   [`DirStorage`] (real files + fsync) and [`MemStorage`] (a test
+//!   double that models the written-vs-durable split and can replay a
+//!   crash at any byte).
+//! * [`wal`] — record framing: length-prefixed, FNV-1a-checksummed
+//!   frames in rotated segments, with the torn-tail vs torn-record
+//!   damage policy.
+//! * [`store`] — [`DurableStore`]: group-committed appends behind a
+//!   [`SyncPolicy`], atomic checkpoint + manifest writes, WAL
+//!   truncation, and the deterministic [`recover`] algorithm.
+//! * [`durable`] — [`DurableAggregate`]: wrap any `Checkpoint` backend
+//!   so every ingest call is logged before it is applied, and
+//!   reopening the store replays history into a bit-identical state.
+//!
+//! The whole tier is certified by the conformance crate's
+//! kill-at-any-byte sweep: truncation or single-bit corruption at
+//! every persisted byte offset must yield either an oracle-matching
+//! recovered state or a typed `RestoreError` — never a silently wrong
+//! answer.
+
+pub mod durable;
+pub mod storage;
+pub mod store;
+pub mod wal;
+
+pub use durable::{DurabilityOptions, DurableAggregate, RecoveryStats};
+pub use storage::{DirStorage, MemStorage, Storage};
+pub use store::{
+    recover, DurableStore, Recovered, ShardCheckpoint, StoreOptions, SyncPolicy,
+    PERSIST_FORMAT_VERSION,
+};
+pub use wal::{WalEntry, WalRecord};
