@@ -1,8 +1,9 @@
 //! Differential conformance harness for the workspace's time-decayed
 //! summaries (Cohen & Strauss, PODS 2003).
 //!
-//! Six pieces, composed by the test matrices in `tests/matrix.rs`,
-//! `tests/fault_matrix.rs`, and `tests/recovery_matrix.rs`:
+//! Seven pieces, composed by the test matrices in `tests/matrix.rs`,
+//! `tests/fault_matrix.rs`, `tests/recovery_matrix.rs`, and
+//! `tests/registry_matrix.rs`:
 //!
 //! * [`oracle`] — brute-force references that retain every `(t_i, f_i)`
 //!   and evaluate `Σ f_i · g(T − t_i)` directly: ground truth for
@@ -37,6 +38,12 @@
 //!   and recovery must either refuse with a typed `RestoreError` or
 //!   reconstruct a whole-call prefix whose remainder replays lock-step
 //!   inside the backend's own certified envelope of the exact oracle.
+//! * [`registry`] — multi-key conformance for `td-registry`: a seeded
+//!   scenario fanned across keys by a deterministic key stream,
+//!   replayed lock-step against a `HashMap<key, exact Oracle>` twin;
+//!   every per-key answer must sit inside the registry's self-reported
+//!   envelope, eviction-widened where the decay-aware sweep has
+//!   retired keys.
 //!
 //! Run the tier-1 matrix with `cargo test -p td-conformance`; the
 //! exhaustive sweep (more seeds, longer streams) is behind
@@ -47,6 +54,7 @@ pub mod fault;
 pub mod lateness;
 pub mod oracle;
 pub mod recovery;
+pub mod registry;
 pub mod scenario;
 
 pub use certify::{
@@ -66,5 +74,8 @@ pub use oracle::{CoordOracle, Oracle};
 pub use recovery::{
     certify_recovery, default_recovery_matrix, is_time_ordered, Damage, RecoveryCase,
     RecoveryFailure, RecoveryReport,
+};
+pub use registry::{
+    certify_registry, default_registry_matrix, RegistryCase, RegistryFailure, RegistryRunStats,
 };
 pub use scenario::{catalogue, out_of_order, Op, Rng, Scenario, SkewExtent};

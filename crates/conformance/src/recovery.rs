@@ -533,6 +533,24 @@ pub fn default_recovery_matrix() -> Vec<RecoveryCase> {
             || ForwardDecaySum::new(Exponential::new(0.01)),
             || boxed(Exponential::new(0.01)),
         ),
+        // The keyed registry as a whole: the un-keyed facade routes
+        // each observation to `hash(f) % auto_fanout`, so kill-at-
+        // every-byte recovery exercises the registry's single-envelope
+        // checkpoint (slot block + free list) and its WAL replay.
+        RecoveryCase::of(
+            "registry/forward-sum-exp",
+            || {
+                td_registry::KeyedRegistry::new(
+                    td_registry::RegistryOptions {
+                        expected_keys: 32,
+                        auto_fanout: 16,
+                        ..td_registry::RegistryOptions::default()
+                    },
+                    || ForwardDecaySum::new(Exponential::new(0.01)),
+                )
+            },
+            || boxed(Exponential::new(0.01)),
+        ),
     ]
 }
 

@@ -1,0 +1,448 @@
+//! Multi-key conformance: the keyed registry replayed lock-step
+//! against a `HashMap<key, exact Oracle>` twin.
+//!
+//! A seeded scenario's observations are fanned across `n_keys` keys by
+//! a deterministic per-observation key stream (seeded from the
+//! scenario seed, so a `(family, seed, n_keys)` triple always
+//! reproduces the same keyed trace). Every `Op::Query` checks *every*
+//! key the run has observed so far: the registry's per-key answer must
+//! sit inside its own self-reported envelope — the backend's relative
+//! [`ErrorBound`] widened by the registry's certified eviction slack —
+//! of the key's exact decayed truth. Violations surface as a
+//! [`RegistryFailure`] carrying the replayable repro.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use td_decay::{ErrorBound, StreamAggregate, Time};
+use td_registry::{KeyedRegistry, RegistryOptions};
+
+use crate::certify::DynOracle;
+use crate::scenario::{Op, Rng, Scenario};
+
+/// Salt decorrelating the per-observation key stream from the ops the
+/// scenario generator drew from the same seed.
+const KEYER_SALT: u64 = 0x6B65_7965_645F_7631; // "keyed_v1"
+
+/// Absolute tolerance absorbing f64 summation-order noise between the
+/// registry backend and the oracle.
+fn slop(truth: f64) -> f64 {
+    1e-9 * truth.abs().max(1.0)
+}
+
+/// A certified-envelope violation for one key, with everything needed
+/// to replay it: regenerate the `(family, seed)` scenario, re-derive
+/// the key stream from the same seed and `n_keys`, and re-query `key`
+/// at `query_time`.
+#[derive(Debug, Clone)]
+pub struct RegistryFailure {
+    pub backend: String,
+    pub scenario: String,
+    pub seed: u64,
+    pub n_keys: u64,
+    pub key: u64,
+    pub query_time: Time,
+    pub expected: f64,
+    pub got: f64,
+    pub bound: ErrorBound,
+    pub evicted_slack: f64,
+}
+
+impl fmt::Display for RegistryFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "registry {}: key {} answered {} at t={} but exact truth is {} \
+             (bound -{}/+{}, eviction slack {}); replay: scenario `{}` seed {:#x} n_keys {}",
+            self.backend,
+            self.key,
+            self.got,
+            self.query_time,
+            self.expected,
+            self.bound.lower,
+            self.bound.upper,
+            self.evicted_slack,
+            self.scenario,
+            self.seed,
+            self.n_keys,
+        )
+    }
+}
+
+/// What a clean [`certify_registry`] run covered.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryRunStats {
+    /// `Op::Query` points replayed.
+    pub queries: usize,
+    /// Per-key envelope checks performed (every observed key at every
+    /// query point).
+    pub key_checks: usize,
+    /// Worst relative error seen on keys with non-trivial truth.
+    pub max_rel_err: f64,
+    /// Keys resident when the run ended.
+    pub live_keys: usize,
+    /// Keys the registry's decay-aware sweep retired during the run.
+    pub evictions: u64,
+    /// Certified upper bound on the decayed mass those evictions
+    /// dropped.
+    pub evicted_mass: f64,
+}
+
+/// Replays `scenario` into `registry` and a per-key exact-oracle twin
+/// in lock-step, checking every observed key's answer at every query
+/// point against the registry's self-reported (eviction-widened)
+/// envelope.
+///
+/// Keys are assigned per observation from a deterministic stream
+/// seeded by `scenario.seed`, so each key sees a time-sorted
+/// subsequence of the scenario and the whole keyed trace is
+/// reproducible from `(family, seed, n_keys)`. The oracle twin is
+/// never advanced or evicted: it retains every `(t, f)` forever and
+/// evaluates truth directly, which is exactly what makes eviction
+/// accountability checkable — an evicted key's truth stays positive
+/// while the registry answers 0.0, and only the certified
+/// `evicted_slack` may bridge the gap.
+pub fn certify_registry<B: StreamAggregate>(
+    registry: &mut KeyedRegistry<B>,
+    make_oracle: &dyn Fn() -> DynOracle,
+    scenario: &Scenario,
+    n_keys: u64,
+    backend_name: &str,
+) -> Result<RegistryRunStats, Box<RegistryFailure>> {
+    assert!(n_keys >= 1, "need at least one key");
+    let mut keyer = Rng::new(scenario.seed ^ KEYER_SALT);
+    let mut oracles: HashMap<u64, DynOracle> = HashMap::new();
+    let mut observed: Vec<u64> = Vec::new(); // insertion-ordered key set
+    let mut keyed_batch: Vec<(u64, Time, u64)> = Vec::new();
+
+    let mut stats = RegistryRunStats {
+        queries: 0,
+        key_checks: 0,
+        max_rel_err: 0.0,
+        live_keys: 0,
+        evictions: 0,
+        evicted_mass: 0.0,
+    };
+
+    for op in &scenario.ops {
+        match op {
+            Op::Observe(t, f) => {
+                let key = keyer.below(n_keys);
+                registry.observe_keyed(key, *t, *f);
+                oracles
+                    .entry(key)
+                    .or_insert_with(|| {
+                        observed.push(key);
+                        make_oracle()
+                    })
+                    .observe(*t, *f);
+            }
+            Op::ObserveBatch(items) => {
+                keyed_batch.clear();
+                for &(t, f) in items {
+                    keyed_batch.push((keyer.below(n_keys), t, f));
+                }
+                registry.observe_keyed_batch(&keyed_batch);
+                for &(key, t, f) in &keyed_batch {
+                    oracles
+                        .entry(key)
+                        .or_insert_with(|| {
+                            observed.push(key);
+                            make_oracle()
+                        })
+                        .observe(t, f);
+                }
+            }
+            Op::Advance(t) => {
+                // Lazy by design: no slot is touched, only the
+                // registry clock (which drives the eviction sweep's
+                // mass bounds) moves. The oracle twin needs no
+                // advance — it evaluates truth directly at any t.
+                registry.advance_clock(*t);
+            }
+            Op::Query(t) => {
+                stats.queries += 1;
+                for &key in &observed {
+                    let truth = oracles[&key].decayed_sum(*t);
+                    let ans = registry.query_key(key, *t);
+                    stats.key_checks += 1;
+                    if !ans.admits(truth, slop(truth)) {
+                        return Err(Box::new(RegistryFailure {
+                            backend: backend_name.to_string(),
+                            scenario: scenario.name.clone(),
+                            seed: scenario.seed,
+                            n_keys,
+                            key,
+                            query_time: *t,
+                            expected: truth,
+                            got: ans.estimate,
+                            bound: ans.bound,
+                            evicted_slack: ans.evicted_slack,
+                        }));
+                    }
+                    if truth > slop(truth) {
+                        let rel = (ans.estimate - truth).abs() / truth;
+                        stats.max_rel_err = stats.max_rel_err.max(rel);
+                    }
+                }
+            }
+        }
+    }
+
+    let reg_stats = registry.stats();
+    stats.live_keys = reg_stats.live_keys;
+    stats.evictions = reg_stats.evictions;
+    stats.evicted_mass = reg_stats.evicted_mass;
+    Ok(stats)
+}
+
+/// The type-erased per-scenario run a [`RegistryCase`] holds.
+type RegistryRunner = dyn Fn(&Scenario) -> Result<RegistryRunStats, Box<RegistryFailure>>;
+
+/// One row of the registry conformance matrix: a backend family, a
+/// registry configuration, and the matching exact-oracle constructor,
+/// erased behind a closure so heterogeneous `KeyedRegistry<B>` types
+/// share one matrix.
+pub struct RegistryCase {
+    pub name: &'static str,
+    /// Scenarios whose `max_time()` exceeds this are skipped (forward
+    /// accumulators with a finite landmark horizon).
+    pub max_time: Option<Time>,
+    runner: Box<RegistryRunner>,
+}
+
+impl RegistryCase {
+    /// Builds a case that runs a fresh `KeyedRegistry<B>` (configured
+    /// by `opts`) against a fresh per-key oracle twin for every
+    /// scenario.
+    pub fn of<B>(
+        name: &'static str,
+        n_keys: u64,
+        opts: RegistryOptions,
+        make_backend: impl Fn() -> B + Send + Sync + Clone + 'static,
+        make_oracle: impl Fn() -> DynOracle + 'static,
+    ) -> Self
+    where
+        B: StreamAggregate + 'static,
+    {
+        RegistryCase {
+            name,
+            max_time: None,
+            runner: Box::new(move |scenario| {
+                let mut registry = KeyedRegistry::new(opts.clone(), make_backend.clone());
+                certify_registry(&mut registry, &make_oracle, scenario, n_keys, name)
+            }),
+        }
+    }
+
+    /// Caps the scenario horizon (see [`RegistryCase::max_time`]).
+    pub fn with_max_time(mut self, t: Time) -> Self {
+        self.max_time = Some(t);
+        self
+    }
+
+    /// Runs the case, or `None` when the scenario exceeds the case's
+    /// time horizon.
+    pub fn run(
+        &self,
+        scenario: &Scenario,
+    ) -> Option<Result<RegistryRunStats, Box<RegistryFailure>>> {
+        if let Some(limit) = self.max_time {
+            if scenario.max_time() > limit {
+                return None;
+            }
+        }
+        Some((self.runner)(scenario))
+    }
+}
+
+/// The default registry matrix: forward-decay backends (exponential
+/// with and without eviction, polynomial) plus a backward histogram
+/// backend, each against the exact per-key oracle.
+pub fn default_registry_matrix() -> Vec<RegistryCase> {
+    use td_counters::ExpCounter;
+    use td_decay::{DecayFunction, Exponential, Polynomial};
+    use td_forward::{ForwardDecaySum, DEFAULT_MAX_TIME};
+
+    use crate::oracle::Oracle;
+
+    fn boxed<G: DecayFunction + 'static>(g: G) -> Box<dyn DecayFunction> {
+        Box::new(g)
+    }
+    fn opts(eviction_threshold: f64) -> RegistryOptions {
+        RegistryOptions {
+            expected_keys: 32,
+            eviction_threshold,
+            sweep_per_ingest: 4,
+            record_evictions: false,
+            ..RegistryOptions::default()
+        }
+    }
+
+    vec![
+        RegistryCase::of(
+            "registry/forward-sum-exp",
+            13,
+            opts(0.0),
+            || ForwardDecaySum::new(Exponential::new(0.01)),
+            || Oracle::new(boxed(Exponential::new(0.01))),
+        ),
+        // Aggressive decay plus a live eviction threshold: keys go
+        // quiet, the sweep retires them, and every later answer must
+        // still be admitted by the eviction-widened envelope.
+        RegistryCase::of(
+            "registry/forward-sum-exp-evicting",
+            13,
+            opts(1e-6),
+            || ForwardDecaySum::new(Exponential::new(0.05)),
+            || Oracle::new(boxed(Exponential::new(0.05))),
+        ),
+        RegistryCase::of(
+            "registry/forward-sum-poly1",
+            13,
+            opts(0.0),
+            || ForwardDecaySum::new(Polynomial::new(1.0)),
+            || Oracle::forward(boxed(Polynomial::new(1.0)), 0),
+        )
+        .with_max_time(DEFAULT_MAX_TIME),
+        // Backward histogram backend: the registry is
+        // backend-agnostic, so an ε-deflated exponential counter slots
+        // in with its own envelope.
+        RegistryCase::of(
+            "registry/exp-counter",
+            13,
+            opts(0.0),
+            || ExpCounter::new(Exponential::new(0.05)),
+            || Oracle::new(boxed(Exponential::new(0.05))),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use crate::scenario;
+    use td_decay::Exponential;
+    use td_forward::ForwardDecaySum;
+
+    fn exp_oracle(lambda: f64) -> DynOracle {
+        Oracle::new(Box::new(Exponential::new(lambda)))
+    }
+
+    #[test]
+    fn clean_registry_certifies() {
+        let sc = scenario::uniform(7, 400);
+        let mut reg = KeyedRegistry::new(RegistryOptions::default(), || {
+            ForwardDecaySum::new(Exponential::new(0.01))
+        });
+        let stats = certify_registry(&mut reg, &|| exp_oracle(0.01), &sc, 11, "test")
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert!(stats.queries > 0);
+        assert!(
+            stats.key_checks >= stats.queries,
+            "every key checked per query"
+        );
+        assert!(stats.max_rel_err < 1e-6, "forward exp sum is near-exact");
+    }
+
+    #[test]
+    fn key_stream_is_deterministic() {
+        let sc = scenario::bursty(3, 300);
+        let run = || {
+            let mut reg = KeyedRegistry::new(RegistryOptions::default(), || {
+                ForwardDecaySum::new(Exponential::new(0.01))
+            });
+            let stats = certify_registry(&mut reg, &|| exp_oracle(0.01), &sc, 7, "det").unwrap();
+            (stats.key_checks, stats.live_keys)
+        };
+        assert_eq!(
+            run(),
+            run(),
+            "same (family, seed, n_keys) => same keyed trace"
+        );
+    }
+
+    #[test]
+    fn eviction_stays_inside_widened_envelope_and_is_reported() {
+        // Fast decay + long-silence family: keys decay to dust, the
+        // sweep retires them, and certification must still pass via
+        // the evicted_slack term.
+        let mut saw_eviction = false;
+        for seed in 0..8u64 {
+            let sc = scenario::long_silence(seed, 500);
+            let mut reg = KeyedRegistry::new(
+                RegistryOptions {
+                    expected_keys: 16,
+                    eviction_threshold: 1e-4,
+                    sweep_per_ingest: 8,
+                    ..RegistryOptions::default()
+                },
+                || ForwardDecaySum::new(Exponential::new(0.2)),
+            );
+            let stats = certify_registry(&mut reg, &|| exp_oracle(0.2), &sc, 9, "evict")
+                .unwrap_or_else(|f| panic!("{f}"));
+            if stats.evictions > 0 {
+                saw_eviction = true;
+                assert!(stats.evicted_mass >= 0.0);
+            }
+        }
+        assert!(
+            saw_eviction,
+            "long-silence at lambda=0.2 must trigger at least one eviction"
+        );
+    }
+
+    #[test]
+    fn a_corrupted_key_is_caught_with_replayable_repro() {
+        // Observe through the certifier once to learn the trace, then
+        // replay with one key's mass doubled behind the oracle's back:
+        // the certifier must fail and carry the repro triple.
+        let sc = scenario::uniform(42, 300);
+        let mut reg = KeyedRegistry::new(RegistryOptions::default(), || {
+            ForwardDecaySum::new(Exponential::new(0.01))
+        });
+        // Pre-inject mass the oracle will never see on the key the
+        // deterministic stream assigns first.
+        let mut keyer = Rng::new(sc.seed ^ KEYER_SALT);
+        let victim = keyer.below(5);
+        let first_t = sc
+            .ops
+            .iter()
+            .find_map(|op| match op {
+                Op::Observe(t, _) => Some(*t),
+                Op::ObserveBatch(items) => items.first().map(|&(t, _)| t),
+                _ => None,
+            })
+            .unwrap();
+        reg.observe_keyed(victim, first_t, 1_000_000);
+        let err = certify_registry(&mut reg, &|| exp_oracle(0.01), &sc, 5, "corrupt")
+            .expect_err("a million phantom units must not certify");
+        assert_eq!(err.seed, 42);
+        assert_eq!(err.n_keys, 5);
+        assert_eq!(err.scenario, "uniform");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("0x2a") && msg.contains("n_keys 5"),
+            "repro line must name seed and fanout: {msg}"
+        );
+    }
+
+    #[test]
+    fn default_matrix_covers_eviction_and_both_decay_families() {
+        let matrix = default_registry_matrix();
+        assert!(matrix.len() >= 4);
+        assert!(matrix.iter().any(|c| c.name.contains("evicting")));
+        assert!(matrix.iter().any(|c| c.name.contains("poly")));
+        assert!(matrix.iter().any(|c| c.name.contains("exp-counter")));
+        // The poly case is horizon-capped; a beyond-horizon scenario
+        // is skipped, not failed.
+        let poly = matrix.iter().find(|c| c.max_time.is_some()).unwrap();
+        let far = Scenario {
+            name: "far".into(),
+            seed: 1,
+            ops: vec![Op::Observe(u64::MAX - 1, 1)],
+        };
+        assert!(poly.run(&far).is_none());
+    }
+}

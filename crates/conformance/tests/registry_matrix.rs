@@ -1,0 +1,137 @@
+//! The registry conformance matrix: every registry backend family ×
+//! scenario family, fanned across keys by the deterministic key
+//! stream and certified per-key against the `HashMap<key, Oracle>`
+//! twin (see `td_conformance::registry`).
+//!
+//! Tier-1 (`cargo test -p td-conformance`) runs a small seed set; the
+//! exhaustive sweep (`-- --ignored`, picked up by the weekly
+//! `conformance-exhaustive` CI cron) turns up seeds, stream lengths,
+//! and key fan-outs. Failures print a replayable
+//! `(family, seed, n_keys, key, tick)` repro.
+
+use td_conformance::{catalogue, certify_registry, default_registry_matrix, Oracle};
+use td_decay::Exponential;
+use td_forward::ForwardDecaySum;
+use td_registry::{KeyedRegistry, RegistryOptions};
+
+/// Runs the registry matrix over `seeds` × `n`-length scenarios,
+/// returning every failure's replayable description.
+fn sweep(seeds: &[u64], n: usize) -> Vec<String> {
+    let matrix = default_registry_matrix();
+    let mut failures = Vec::new();
+    let mut runs = 0usize;
+    for &seed in seeds {
+        for sc in catalogue(seed, n) {
+            for case in &matrix {
+                match case.run(&sc) {
+                    None => {} // horizon-capped case, scenario skipped
+                    Some(Ok(stats)) => {
+                        runs += 1;
+                        assert!(
+                            stats.queries > 0,
+                            "{}/{}: no queries ran",
+                            case.name,
+                            sc.name
+                        );
+                        assert!(
+                            stats.key_checks >= stats.queries,
+                            "{}/{}: fewer key checks than queries",
+                            case.name,
+                            sc.name
+                        );
+                    }
+                    Some(Err(f)) => failures.push(f.to_string()),
+                }
+            }
+        }
+    }
+    assert!(runs > 0, "registry sweep ran no cases");
+    failures
+}
+
+#[test]
+fn tier1_registry_matrix_within_envelope() {
+    let failures = sweep(&[1, 2], 160);
+    assert!(
+        failures.is_empty(),
+        "{} registry conformance failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The eviction-enabled case must actually evict somewhere in tier-1,
+/// or its envelope-widening arm is dead code.
+#[test]
+fn tier1_evicting_case_actually_evicts() {
+    let matrix = default_registry_matrix();
+    let case = matrix
+        .iter()
+        .find(|c| c.name.contains("evicting"))
+        .expect("matrix carries an eviction case");
+    let mut evictions = 0u64;
+    for seed in 0..4u64 {
+        for sc in catalogue(seed, 400) {
+            if let Some(Ok(stats)) = case.run(&sc) {
+                evictions += stats.evictions;
+            }
+        }
+    }
+    assert!(
+        evictions > 0,
+        "eviction case swept {evictions} keys across tier-1 seeds — widened-envelope arm untested"
+    );
+}
+
+#[test]
+#[ignore = "exhaustive sweep: run with `cargo test -p td-conformance -- --ignored`"]
+fn exhaustive_registry_many_seeds_long_streams() {
+    let seeds: Vec<u64> = (0..16).collect();
+    let failures = sweep(&seeds, 1_000);
+    assert!(
+        failures.is_empty(),
+        "{} registry conformance failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// Exhaustive reprise with the key fan-out and sweep pressure turned
+/// up: many keys (so most slots hold little mass), a hot eviction
+/// threshold, and a sweep that visits every slot almost every call.
+#[test]
+#[ignore = "exhaustive sweep: run with `cargo test -p td-conformance -- --ignored`"]
+fn exhaustive_registry_high_fanout_hot_eviction() {
+    let mut failures = Vec::new();
+    for seed in 0..12u64 {
+        for sc in catalogue(seed, 800) {
+            for &n_keys in &[3u64, 64, 257] {
+                let mut reg = KeyedRegistry::new(
+                    RegistryOptions {
+                        expected_keys: 8,
+                        eviction_threshold: 1e-5,
+                        sweep_per_ingest: 64,
+                        record_evictions: false,
+                        ..RegistryOptions::default()
+                    },
+                    || ForwardDecaySum::new(Exponential::new(0.05)),
+                );
+                if let Err(f) = certify_registry(
+                    &mut reg,
+                    &|| Oracle::new(Box::new(Exponential::new(0.05))),
+                    &sc,
+                    n_keys,
+                    "registry/forward-sum-exp-hot",
+                ) {
+                    failures.push(f.to_string());
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} registry conformance failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

@@ -59,6 +59,31 @@ pub struct RecoveryStats {
     pub crash_tail: Option<(u64, u64)>,
 }
 
+/// A checkpointable backend that also ingests *keyed* observations —
+/// the contract `td-registry`'s `KeyedRegistry` fulfills so a whole
+/// multi-tenant registry can sit behind one WAL + one segmented
+/// checkpoint. Keyed ingest is logged as kind-2 WAL entries; recovery
+/// replays them with the same call shape through these methods.
+pub trait KeyedCheckpoint: Checkpoint {
+    /// Records weight `f` for `key` at time `t`.
+    fn observe_keyed(&mut self, key: u64, t: Time, f: u64);
+
+    /// Records a time-sorted keyed batch (one ingest call).
+    fn observe_keyed_batch(&mut self, items: &[(u64, Time, u64)]) {
+        for &(key, t, f) in items {
+            self.observe_keyed(key, t, f);
+        }
+    }
+}
+
+/// The stream time an entry carries.
+fn entry_time(e: &WalEntry) -> Time {
+    match *e {
+        WalEntry::Observe(t, _) | WalEntry::Advance(t) => t,
+        WalEntry::ObserveKeyed(_, t, _) => t,
+    }
+}
+
 /// A decayed-stream summary whose history survives process death.
 pub struct DurableAggregate<B: Checkpoint> {
     inner: B,
@@ -89,7 +114,33 @@ impl<B: Checkpoint> DurableAggregate<B> {
         opts: DurabilityOptions,
         make: impl FnOnce() -> B,
     ) -> Result<(Self, RecoveryStats), RestoreError> {
+        Self::open_impl(storage, opts, make, false, replay_record)
+    }
+
+    fn open_impl(
+        storage: Box<dyn Storage>,
+        opts: DurabilityOptions,
+        make: impl FnOnce() -> B,
+        allow_keyed: bool,
+        mut replay: impl FnMut(&mut B, &WalRecord),
+    ) -> Result<(Self, RecoveryStats), RestoreError> {
         let (store, recovered) = DurableStore::open(storage, opts.store, 1)?;
+        if !allow_keyed
+            && recovered.tail_for(0).any(|r| {
+                r.entries
+                    .iter()
+                    .any(|e| matches!(e, WalEntry::ObserveKeyed(..)))
+            })
+        {
+            // Refuse before replay: feeding a keyed history through an
+            // un-keyed backend would silently collapse every key into
+            // one stream.
+            return Err(RestoreError::Invariant(
+                "WAL holds keyed (kind-2) entries; open this store with \
+                 open_keyed on a keyed backend"
+                    .to_string(),
+            ));
+        }
         let mut inner = make();
         let restored_checkpoint = match &recovered.checkpoints[0] {
             Some(ckpt) => {
@@ -100,17 +151,14 @@ impl<B: Checkpoint> DurableAggregate<B> {
         };
         let mut records_replayed = 0u64;
         for rec in recovered.tail_for(0) {
-            replay_record(&mut inner, rec);
+            replay(&mut inner, rec);
             records_replayed += 1;
         }
         let entries_applied = recovered.entries_applied(0);
         let last_tick = recovered
             .tail_for(0)
             .flat_map(|r| r.entries.iter())
-            .map(|e| match *e {
-                WalEntry::Observe(t, _) => t,
-                WalEntry::Advance(t) => t,
-            })
+            .map(entry_time)
             .max()
             .unwrap_or_else(|| recovered.checkpoints[0].as_ref().map_or(0, |c| c.last_tick));
         let stats = RecoveryStats {
@@ -136,14 +184,7 @@ impl<B: Checkpoint> DurableAggregate<B> {
     fn log(&mut self, entries: &[WalEntry]) -> Result<(), RestoreError> {
         self.last_seq = self.store.append_record(0, entries)?;
         self.entries_applied += entries.len() as u64;
-        if let Some(t) = entries
-            .iter()
-            .map(|e| match *e {
-                WalEntry::Observe(t, _) => t,
-                WalEntry::Advance(t) => t,
-            })
-            .max()
-        {
+        if let Some(t) = entries.iter().map(entry_time).max() {
             self.last_tick = self.last_tick.max(t);
         }
         self.records_since_ckpt += 1;
@@ -255,8 +296,55 @@ impl<B: Checkpoint> DurableAggregate<B> {
     }
 }
 
+impl<B: KeyedCheckpoint> DurableAggregate<B> {
+    /// [`open`](Self::open) for keyed backends: recovery additionally
+    /// replays kind-2 (keyed) WAL entries through
+    /// [`KeyedCheckpoint::observe_keyed`] /
+    /// [`KeyedCheckpoint::observe_keyed_batch`] with the original call
+    /// shape. Un-keyed histories open fine too (the keyed API is a
+    /// superset).
+    pub fn open_keyed(
+        storage: Box<dyn Storage>,
+        opts: DurabilityOptions,
+        make: impl FnOnce() -> B,
+    ) -> Result<(Self, RecoveryStats), RestoreError> {
+        Self::open_impl(storage, opts, make, true, replay_record_keyed)
+    }
+
+    /// Logs then applies one keyed observation. Error contract as
+    /// [`observe`](Self::observe).
+    pub fn observe_keyed(&mut self, key: u64, t: Time, f: u64) -> Result<(), RestoreError> {
+        self.log(&[WalEntry::ObserveKeyed(key, t, f)])?;
+        self.inner.observe_keyed(key, t, f);
+        self.maybe_checkpoint()
+    }
+
+    /// Logs then applies a time-sorted keyed batch as one WAL record.
+    /// A 1-item batch is logged and applied as a plain
+    /// [`observe_keyed`](Self::observe_keyed) call so replay
+    /// reproduces the exact call shape. Error contract as
+    /// [`observe`](Self::observe).
+    pub fn observe_keyed_batch(&mut self, items: &[(u64, Time, u64)]) -> Result<(), RestoreError> {
+        match items {
+            [] => Ok(()),
+            &[(key, t, f)] => self.observe_keyed(key, t, f),
+            _ => {
+                let entries: Vec<WalEntry> = items
+                    .iter()
+                    .map(|&(key, t, f)| WalEntry::ObserveKeyed(key, t, f))
+                    .collect();
+                self.log(&entries)?;
+                self.inner.observe_keyed_batch(items);
+                self.maybe_checkpoint()
+            }
+        }
+    }
+}
+
 /// Applies one recovered WAL record with the same call shape that
-/// produced it.
+/// produced it. Keyed (kind-2) entries have no un-keyed equivalent
+/// and panic here; `open` screens them out up front, and keyed stores
+/// recover through [`replay_record_keyed`].
 pub fn replay_record<B: Checkpoint>(inner: &mut B, rec: &WalRecord) {
     match rec.entries.as_slice() {
         [] => {}
@@ -268,7 +356,7 @@ pub fn replay_record<B: Checkpoint>(inner: &mut B, rec: &WalRecord) {
                     .iter()
                     .map(|e| match *e {
                         WalEntry::Observe(t, f) => (t, f),
-                        WalEntry::Advance(_) => unreachable!("filtered above"),
+                        _ => unreachable!("filtered above"),
                     })
                     .collect();
                 inner.observe_batch(&items);
@@ -279,10 +367,53 @@ pub fn replay_record<B: Checkpoint>(inner: &mut B, rec: &WalRecord) {
                     match *e {
                         WalEntry::Observe(t, f) => inner.observe(t, f),
                         WalEntry::Advance(t) => inner.advance(t),
+                        WalEntry::ObserveKeyed(..) => {
+                            panic!("keyed WAL entry replayed through an un-keyed backend")
+                        }
                     }
                 }
             }
         }
+    }
+}
+
+/// [`replay_record`] for keyed backends: replays kind-2 entries
+/// through the keyed ingest methods, preserving the original call
+/// shape (1 entry → `observe_keyed`, an all-keyed run →
+/// `observe_keyed_batch`).
+pub fn replay_record_keyed<B: KeyedCheckpoint>(inner: &mut B, rec: &WalRecord) {
+    match rec.entries.as_slice() {
+        &[WalEntry::ObserveKeyed(key, t, f)] => inner.observe_keyed(key, t, f),
+        entries
+            if !entries.is_empty()
+                && entries
+                    .iter()
+                    .all(|e| matches!(e, WalEntry::ObserveKeyed(..))) =>
+        {
+            let items: Vec<(u64, Time, u64)> = entries
+                .iter()
+                .map(|e| match *e {
+                    WalEntry::ObserveKeyed(key, t, f) => (key, t, f),
+                    _ => unreachable!("filtered above"),
+                })
+                .collect();
+            inner.observe_keyed_batch(&items);
+        }
+        entries
+            if entries
+                .iter()
+                .any(|e| matches!(e, WalEntry::ObserveKeyed(..))) =>
+        {
+            // Mixed keyed/un-keyed records are never written today.
+            for e in entries {
+                match *e {
+                    WalEntry::Observe(t, f) => inner.observe(t, f),
+                    WalEntry::Advance(t) => inner.advance(t),
+                    WalEntry::ObserveKeyed(key, t, f) => inner.observe_keyed(key, t, f),
+                }
+            }
+        }
+        _ => replay_record(inner, rec),
     }
 }
 

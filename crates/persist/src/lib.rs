@@ -31,7 +31,7 @@ pub mod storage;
 pub mod store;
 pub mod wal;
 
-pub use durable::{DurabilityOptions, DurableAggregate, RecoveryStats};
+pub use durable::{DurabilityOptions, DurableAggregate, KeyedCheckpoint, RecoveryStats};
 pub use storage::{DirStorage, MemStorage, Storage};
 pub use store::{
     recover, DurableStore, Recovered, ShardCheckpoint, StoreOptions, SyncPolicy,

@@ -537,8 +537,8 @@ impl DurableStore {
                 let t_max = entries
                     .iter()
                     .map(|e| match *e {
-                        WalEntry::Observe(t, _) => t,
-                        WalEntry::Advance(t) => t,
+                        WalEntry::Observe(t, _) | WalEntry::Advance(t) => t,
+                        WalEntry::ObserveKeyed(_, t, _) => t,
                     })
                     .max();
                 if let Some(t) = t_max {

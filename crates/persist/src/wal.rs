@@ -16,12 +16,16 @@
 //! 32      len   payload: n × 17-byte entries
 //! ```
 //!
-//! Each payload entry is 17 bytes: `kind` u8 (0 = observe, 1 =
-//! advance), `t` u64 LE, `f` u64 LE (`f` is ignored for advance and
-//! written as 0). One record corresponds to one ingest *call* — a
-//! single `observe`/`advance` is a 1-entry record, an `observe_batch`
-//! an n-entry record — so replay reproduces the exact call pattern and
-//! recovered state is bit-identical to the never-crashed twin.
+//! Payload entries are self-describing and kind-width encoded: kinds
+//! 0 (observe) and 1 (advance) are 17 bytes — `kind` u8, `t` u64 LE,
+//! `f` u64 LE (`f` is ignored for advance and written as 0) — and
+//! kind 2 (keyed observe) is 25 bytes: `kind` u8, `key` u64 LE, `t`
+//! u64 LE, `f` u64 LE. The walk is safe because the record checksum
+//! is verified before any entry byte is interpreted. One record
+//! corresponds to one ingest *call* — a single `observe`/`advance` is
+//! a 1-entry record, an `observe_batch` an n-entry record — so replay
+//! reproduces the exact call pattern and recovered state is
+//! bit-identical to the never-crashed twin.
 //!
 //! # Damage policy
 //!
@@ -48,8 +52,11 @@ pub const WAL_MAGIC: [u8; 4] = *b"TDWL";
 /// Bytes in a record header (magic + seq + shard + len + checksum).
 pub const RECORD_HEADER: usize = 32;
 
-/// Bytes per payload entry (kind + t + f).
+/// Bytes per un-keyed payload entry (kind + t + f).
 pub const ENTRY_BYTES: usize = 17;
+
+/// Bytes per keyed payload entry (kind + key + t + f).
+pub const KEYED_ENTRY_BYTES: usize = 25;
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -71,6 +78,9 @@ pub enum WalEntry {
     Observe(Time, u64),
     /// `advance(t)`.
     Advance(Time),
+    /// `observe_keyed(key, t, f)` — multi-tenant keyed ingest
+    /// (`td-registry`).
+    ObserveKeyed(u64, Time, u64),
 }
 
 impl WalEntry {
@@ -86,16 +96,52 @@ impl WalEntry {
                 out.extend_from_slice(&t.to_le_bytes());
                 out.extend_from_slice(&0u64.to_le_bytes());
             }
+            WalEntry::ObserveKeyed(key, t, f) => {
+                out.push(2);
+                out.extend_from_slice(&key.to_le_bytes());
+                out.extend_from_slice(&t.to_le_bytes());
+                out.extend_from_slice(&f.to_le_bytes());
+            }
         }
     }
 
-    fn decode(bytes: &[u8]) -> Result<Self, RestoreError> {
-        debug_assert_eq!(bytes.len(), ENTRY_BYTES);
-        let t = Time::from_le_bytes(bytes[1..9].try_into().expect("entry t"));
-        let f = u64::from_le_bytes(bytes[9..17].try_into().expect("entry f"));
-        match bytes[0] {
-            0 => Ok(WalEntry::Observe(t, f)),
-            1 => Ok(WalEntry::Advance(t)),
+    /// Encoded size in bytes.
+    pub fn encoded_len(self) -> usize {
+        match self {
+            WalEntry::Observe(..) | WalEntry::Advance(..) => ENTRY_BYTES,
+            WalEntry::ObserveKeyed(..) => KEYED_ENTRY_BYTES,
+        }
+    }
+
+    /// Decodes the entry at the front of `bytes`, returning it and the
+    /// bytes it consumed. Only called on checksum-verified payloads,
+    /// so any failure here is a format violation, not media damage.
+    fn decode(bytes: &[u8]) -> Result<(Self, usize), RestoreError> {
+        let short = || RestoreError::Invariant("short WAL entry".to_string());
+        let kind = *bytes.first().ok_or_else(short)?;
+        match kind {
+            0 | 1 => {
+                if bytes.len() < ENTRY_BYTES {
+                    return Err(short());
+                }
+                let t = Time::from_le_bytes(bytes[1..9].try_into().expect("entry t"));
+                let f = u64::from_le_bytes(bytes[9..17].try_into().expect("entry f"));
+                let e = if kind == 0 {
+                    WalEntry::Observe(t, f)
+                } else {
+                    WalEntry::Advance(t)
+                };
+                Ok((e, ENTRY_BYTES))
+            }
+            2 => {
+                if bytes.len() < KEYED_ENTRY_BYTES {
+                    return Err(short());
+                }
+                let key = u64::from_le_bytes(bytes[1..9].try_into().expect("entry key"));
+                let t = Time::from_le_bytes(bytes[9..17].try_into().expect("entry t"));
+                let f = u64::from_le_bytes(bytes[17..25].try_into().expect("entry f"));
+                Ok((WalEntry::ObserveKeyed(key, t, f), KEYED_ENTRY_BYTES))
+            }
             k => Err(RestoreError::Invariant(format!(
                 "unknown WAL entry kind {k}"
             ))),
@@ -117,7 +163,7 @@ pub struct WalRecord {
 impl WalRecord {
     /// Serializes the record into its on-disk frame.
     pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(self.entries.len() * ENTRY_BYTES);
+        let mut payload = Vec::with_capacity(self.entries.iter().map(|e| e.encoded_len()).sum());
         for &e in &self.entries {
             e.encode_into(&mut payload);
         }
@@ -229,18 +275,24 @@ fn decode_one(bytes: &[u8]) -> Result<(WalRecord, usize), Option<usize>> {
     let payload = &bytes[RECORD_HEADER..claimed];
     let stored = u64::from_le_bytes(bytes[24..32].try_into().expect("sum field"));
     let actual = fnv1a64(fnv1a64(FNV_OFFSET, &bytes[..24]), payload);
-    if stored != actual || bytes[..4] != WAL_MAGIC || !payload.len().is_multiple_of(ENTRY_BYTES) {
+    if stored != actual || bytes[..4] != WAL_MAGIC {
         return Err(Some(claimed));
     }
     let seq = u64::from_le_bytes(bytes[4..12].try_into().expect("seq field"));
     let shard = u32::from_le_bytes(bytes[12..16].try_into().expect("shard field"));
     let mut entries = Vec::with_capacity(payload.len() / ENTRY_BYTES);
-    for chunk in payload.chunks_exact(ENTRY_BYTES) {
-        match WalEntry::decode(chunk) {
-            Ok(e) => entries.push(e),
-            // Checksum passed but the kind byte is unknown: a future
-            // format, not damage. Surface as a torn record so recovery
-            // refuses deterministically instead of misreplaying.
+    let mut p = 0usize;
+    while p < payload.len() {
+        match WalEntry::decode(&payload[p..]) {
+            Ok((e, used)) => {
+                entries.push(e);
+                p += used;
+            }
+            // Checksum passed but the entry walk failed (unknown kind
+            // byte or a width that overruns the payload): a future or
+            // malformed format, not media damage. Surface as a torn
+            // record so recovery refuses deterministically instead of
+            // misreplaying.
             Err(_) => return Err(Some(claimed)),
         }
     }
@@ -392,6 +444,77 @@ mod tests {
                 Err(e) => panic!("bit {bit}: unexpected error {e}"),
             }
         }
+    }
+
+    #[test]
+    fn keyed_entries_round_trip_mixed_widths() {
+        let recs = vec![
+            WalRecord {
+                seq: 1,
+                shard: 0,
+                entries: vec![
+                    WalEntry::ObserveKeyed(0xDEAD_BEEF, 10, 3),
+                    WalEntry::ObserveKeyed(u64::MAX, 11, u64::MAX),
+                ],
+            },
+            WalRecord {
+                seq: 2,
+                shard: 0,
+                entries: vec![
+                    WalEntry::Observe(12, 5),
+                    WalEntry::ObserveKeyed(7, 13, 1),
+                    WalEntry::Advance(14),
+                ],
+            },
+        ];
+        let mut bytes = Vec::new();
+        for r in &recs {
+            bytes.extend_from_slice(&r.encode());
+        }
+        let read = read_segment(0, &bytes).unwrap();
+        assert_eq!(read.records, recs);
+        assert_eq!(read.tail, TailStop::Clean);
+        // Width accounting: 2×25 and 17+25+17 payloads.
+        assert_eq!(
+            bytes.len(),
+            2 * RECORD_HEADER + 2 * KEYED_ENTRY_BYTES + (2 * ENTRY_BYTES + KEYED_ENTRY_BYTES)
+        );
+    }
+
+    #[test]
+    fn checksummed_but_misaligned_payload_is_refused() {
+        // A frame whose checksum is valid but whose payload cuts a
+        // keyed entry short cannot come from encode(); the entry walk
+        // must refuse it rather than misreplay. With intact bytes
+        // behind it, that refusal is a typed TornRecord.
+        let mut payload = Vec::new();
+        WalEntry::ObserveKeyed(9, 10, 11).encode_into(&mut payload);
+        payload.truncate(20); // mid-entry
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&WAL_MAGIC);
+        frame.extend_from_slice(&1u64.to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let sum = fnv1a64(fnv1a64(FNV_OFFSET, &frame), &payload);
+        frame.extend_from_slice(&sum.to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        // Alone at the end of the segment it is indistinguishable from
+        // a torn trailing write: clean crash tail.
+        let read = read_segment(0, &frame).unwrap();
+        assert!(read.records.is_empty());
+        assert_eq!(read.tail, TailStop::CrashTail { offset: 0 });
+
+        // With an intact record after it: corruption, typed.
+        let mut bytes = frame.clone();
+        bytes.extend_from_slice(&rec(2, 0, 1).encode());
+        assert!(matches!(
+            read_segment(3, &bytes),
+            Err(RestoreError::TornRecord {
+                segment: 3,
+                offset: 0
+            })
+        ));
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! The key → slot index: open addressing over flat arrays.
+//!
+//! A power-of-two table of `(key, slot)` pairs probed linearly from the
+//! key's SplitMix64 hash. No `Box`, no per-entry allocation, no SipHash:
+//! a lookup is one multiply-shift and a short contiguous scan — the
+//! point is that a hot-key probe touches one or two cache lines, so the
+//! index disappears next to the state touch it fronts.
+//!
+//! Deletions use backward-shift compaction (Knuth 6.4 algorithm R)
+//! instead of tombstones: eviction churn is the registry's steady state,
+//! and tombstone accumulation would degrade every probe chain until a
+//! rebuild. Backward shift keeps every chain as tight as if the deleted
+//! key had never been inserted.
+//!
+//! The index stores positions only — which slot a key lives in — never
+//! aggregate state, so its layout is free to differ between a registry
+//! and its checkpoint-restored twin: lookups return identical results
+//! regardless of the probe history that produced the layout.
+
+/// Sentinel slot value marking an empty cell.
+const EMPTY: u32 = u32::MAX;
+
+/// SplitMix64 finalizer — the same mix `td-shard` routes keys with.
+#[inline]
+pub(crate) fn hash_key(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Open-addressing hash index: u64 key → u32 slot.
+#[derive(Debug, Clone)]
+pub(crate) struct KeyIndex {
+    /// Probed keys; meaningful only where `slots[i] != EMPTY`.
+    keys: Vec<u64>,
+    /// Slot per cell, `EMPTY` when vacant.
+    slots: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+impl KeyIndex {
+    /// An index sized for `expected` keys at ≤ 3/4 load.
+    pub fn with_capacity(expected: usize) -> Self {
+        let cap = (expected.max(4) * 4 / 3 + 1).next_power_of_two();
+        KeyIndex {
+            keys: vec![0; cap],
+            slots: vec![EMPTY; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Table cells (for the resident-bytes accounting).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The slot holding `key`, if present.
+    #[inline]
+    pub fn find(&self, key: u64) -> Option<u32> {
+        let mut i = hash_key(key) as usize & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY {
+                return None;
+            }
+            if self.keys[i] == key {
+                return Some(s);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Maps `key` to `slot`. The key must not already be present (the
+    /// registry resolves find-or-insert above this layer).
+    pub fn insert(&mut self, key: u64, slot: u32) {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = hash_key(key) as usize & self.mask;
+        while self.slots[i] != EMPTY {
+            debug_assert_ne!(self.keys[i], key, "duplicate insert of key {key}");
+            i = (i + 1) & self.mask;
+        }
+        self.keys[i] = key;
+        self.slots[i] = slot;
+        self.len += 1;
+    }
+
+    /// Removes `key`, backward-shifting the probe chain closed.
+    /// Returns the slot it mapped to, or `None` if absent.
+    pub fn remove(&mut self, key: u64) -> Option<u32> {
+        let mut i = hash_key(key) as usize & self.mask;
+        loop {
+            if self.slots[i] == EMPTY {
+                return None;
+            }
+            if self.keys[i] == key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        let removed = self.slots[i];
+        // Backward-shift: walk the chain after the hole; any entry whose
+        // home position does not sit strictly inside (hole, here] can be
+        // moved into the hole without breaking its own probe path.
+        let mut hole = i;
+        let mut j = (i + 1) & self.mask;
+        while self.slots[j] != EMPTY {
+            let home = hash_key(self.keys[j]) as usize & self.mask;
+            // `home` is reachable from `hole` iff it is outside the
+            // cyclic half-open interval (hole, j].
+            let in_between = if hole <= j {
+                hole < home && home <= j
+            } else {
+                hole < home || home <= j
+            };
+            if !in_between {
+                self.keys[hole] = self.keys[j];
+                self.slots[hole] = self.slots[j];
+                hole = j;
+            }
+            j = (j + 1) & self.mask;
+        }
+        self.slots[hole] = EMPTY;
+        self.len -= 1;
+        Some(removed)
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_slots = std::mem::replace(&mut self.slots, vec![EMPTY; cap]);
+        self.mask = cap - 1;
+        for (k, s) in old_keys.into_iter().zip(old_slots) {
+            if s != EMPTY {
+                let mut i = hash_key(k) as usize & self.mask;
+                while self.slots[i] != EMPTY {
+                    i = (i + 1) & self.mask;
+                }
+                self.keys[i] = k;
+                self.slots[i] = s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_find_remove_roundtrip() {
+        let mut idx = KeyIndex::with_capacity(8);
+        for k in 0..1000u64 {
+            idx.insert(k * 7 + 1, k as u32);
+        }
+        assert_eq!(idx.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(idx.find(k * 7 + 1), Some(k as u32), "key {k}");
+        }
+        assert_eq!(idx.find(999_999), None);
+        for k in (0..1000u64).step_by(2) {
+            assert_eq!(idx.remove(k * 7 + 1), Some(k as u32));
+        }
+        for k in 0..1000u64 {
+            let want = if k % 2 == 0 { None } else { Some(k as u32) };
+            assert_eq!(idx.find(k * 7 + 1), want, "key {k} after removals");
+        }
+        assert_eq!(idx.len(), 500);
+        assert_eq!(idx.remove(999_999), None);
+    }
+
+    #[test]
+    fn backward_shift_keeps_chains_probeable() {
+        // Force a dense cluster: keys engineered to collide by taking a
+        // tiny table and filling it near capacity, then delete from the
+        // middle of chains and verify every survivor is still found.
+        let mut idx = KeyIndex::with_capacity(4);
+        let keys: Vec<u64> = (0..48).map(|i| i * 1_000_003 + 17).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            idx.insert(k, i as u32);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 3 == 1 {
+                assert_eq!(idx.remove(k), Some(i as u32));
+            }
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            let want = if i % 3 == 1 { None } else { Some(i as u32) };
+            assert_eq!(idx.find(k), want, "key index {i}");
+        }
+    }
+
+    #[test]
+    fn reuse_after_remove_handles_rehash() {
+        let mut idx = KeyIndex::with_capacity(4);
+        for round in 0..5u64 {
+            for k in 0..200u64 {
+                idx.insert(round * 1_000 + k, (round * 200 + k) as u32);
+            }
+            for k in 0..200u64 {
+                assert_eq!(
+                    idx.remove(round * 1_000 + k),
+                    Some((round * 200 + k) as u32)
+                );
+            }
+            assert_eq!(idx.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! `ShardedAggregate`-style keyed routing over registries: hash-by-key
+//! pins every key to exactly one single-threaded [`KeyedRegistry`]
+//! shard, so shards never share a key and compose by concatenation.
+//!
+//! Checkpointing follows `td-persist`'s per-shard layout: each shard's
+//! whole registry serializes into its own single segmented envelope,
+//! written atomically as `registry-<shard>.tdcp` through any
+//! [`Storage`] — N files for N shards, never one file per key.
+
+use td_decay::{Checkpoint, RestoreError, StreamAggregate, Time};
+use td_persist::Storage;
+
+use crate::index::hash_key;
+use crate::{KeyAnswer, KeyedRegistry, RegistryOptions, RegistryStats};
+
+/// Salt decorrelating shard routing from the in-shard index probe
+/// (both use the same SplitMix64 finalizer).
+const SHARD_SALT: u64 = 0x5AD3_11E6_0B5E_55ED;
+
+/// Checkpoint file name for one shard.
+fn shard_file(shard: usize) -> String {
+    format!("registry-{shard:04}.tdcp")
+}
+
+/// A fixed fleet of [`KeyedRegistry`] shards behind hash-by-key
+/// routing.
+#[derive(Debug)]
+pub struct ShardedRegistry<B: StreamAggregate> {
+    shards: Vec<KeyedRegistry<B>>,
+    /// Per-shard batch scratch, reused across calls.
+    scratch: Vec<Vec<(u64, Time, u64)>>,
+}
+
+impl<B: StreamAggregate> ShardedRegistry<B> {
+    /// `shards` identically-configured registries built over `make`.
+    pub fn new(
+        shards: usize,
+        opts: RegistryOptions,
+        make: impl Fn() -> B + Send + Sync + Clone + 'static,
+    ) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedRegistry {
+            shards: (0..shards)
+                .map(|_| KeyedRegistry::new(opts.clone(), make.clone()))
+                .collect(),
+            scratch: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Which shard owns `key`.
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        (hash_key(key ^ SHARD_SALT) % self.shards.len() as u64) as usize
+    }
+
+    /// Shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard (diagnostics, per-shard stats).
+    pub fn shard(&self, i: usize) -> &KeyedRegistry<B> {
+        &self.shards[i]
+    }
+
+    /// Keys resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when no shard holds a key.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Routes one observation to its owning shard.
+    pub fn observe_keyed(&mut self, key: u64, t: Time, f: u64) {
+        let s = self.shard_of(key);
+        self.shards[s].observe_keyed(key, t, f);
+    }
+
+    /// Partitions a time-sorted batch by owning shard (input order —
+    /// hence time order — preserved within each shard) and ingests
+    /// each partition as one locality-friendly shard batch.
+    pub fn observe_keyed_batch(&mut self, items: &[(u64, Time, u64)]) {
+        for buf in &mut self.scratch {
+            buf.clear();
+        }
+        let n = self.shards.len() as u64;
+        for &(key, t, f) in items {
+            let s = (hash_key(key ^ SHARD_SALT) % n) as usize;
+            self.scratch[s].push((key, t, f));
+        }
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            if !self.scratch[s].is_empty() {
+                shard.observe_keyed_batch(&self.scratch[s]);
+            }
+        }
+    }
+
+    /// Advances every shard's clock (still lazy: no slot is touched).
+    pub fn advance_clock(&mut self, t: Time) {
+        for shard in &mut self.shards {
+            shard.advance_clock(t);
+        }
+    }
+
+    /// The owning shard's answer for `key`.
+    pub fn query_key(&self, key: u64, t: Time) -> KeyAnswer {
+        self.shards[self.shard_of(key)].query_key(key, t)
+    }
+
+    /// The `n` most-observed keys fleet-wide (merged across shards).
+    pub fn top_touched(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self.shards.iter().flat_map(|s| s.top_touched(n)).collect();
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// Fleet-wide stats (sums of the per-shard stats).
+    pub fn stats(&self) -> RegistryStats {
+        let mut total = RegistryStats {
+            live_keys: 0,
+            slots: 0,
+            evictions: 0,
+            evicted_mass: 0.0,
+            sweep_visits: 0,
+            touches_total: 0,
+            resident_bytes: 0,
+        };
+        for s in self.shards.iter().map(|s| s.stats()) {
+            total.live_keys += s.live_keys;
+            total.slots += s.slots;
+            total.evictions += s.evictions;
+            total.evicted_mass += s.evicted_mass;
+            total.sweep_visits += s.sweep_visits;
+            total.touches_total += s.touches_total;
+            total.resident_bytes += s.resident_bytes;
+        }
+        total
+    }
+}
+
+impl<B: StreamAggregate + Checkpoint> ShardedRegistry<B> {
+    /// Writes every shard's segmented checkpoint — one atomic file per
+    /// shard (`registry-<shard>.tdcp`), each a single envelope holding
+    /// that shard's entire slot block.
+    pub fn save_checkpoints(&self, storage: &dyn Storage) -> Result<(), RestoreError> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            storage.write_atomic(&shard_file(i), &shard.save_checkpoint())?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a fleet from per-shard checkpoint files. Shards with
+    /// no file (never saved, or a crash before the first save) come up
+    /// fresh; present files must restore cleanly. Returns the fleet
+    /// and how many shards restored from a file.
+    pub fn open(
+        storage: &dyn Storage,
+        shards: usize,
+        opts: RegistryOptions,
+        make: impl Fn() -> B + Send + Sync + Clone + 'static,
+    ) -> Result<(Self, usize), RestoreError> {
+        let mut fleet = ShardedRegistry::new(shards, opts, make);
+        let mut restored = 0;
+        for i in 0..shards {
+            match storage.read(&shard_file(i)) {
+                Ok(bytes) => {
+                    fleet.shards[i].restore_checkpoint(&bytes)?;
+                    restored += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok((fleet, restored))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_decay::Exponential;
+    use td_forward::ForwardDecaySum;
+    use td_persist::MemStorage;
+
+    fn fleet(shards: usize) -> ShardedRegistry<ForwardDecaySum<Exponential>> {
+        ShardedRegistry::new(shards, RegistryOptions::default(), || {
+            ForwardDecaySum::new(Exponential::new(0.02))
+        })
+    }
+
+    #[test]
+    fn sharded_matches_single_registry() {
+        let mut sharded = fleet(7);
+        let mut single = KeyedRegistry::new(RegistryOptions::default(), || {
+            ForwardDecaySum::new(Exponential::new(0.02))
+        });
+        // Phase 1: single observes. Phase 2: 32-item batches. (Times
+        // must stay non-decreasing across calls, so the phases don't
+        // interleave.)
+        for step in 0..1500u64 {
+            let (k, t, f) = ((step * 17) % 101, step / 3, step % 20 + 1);
+            sharded.observe_keyed(k, t, f);
+            single.observe_keyed(k, t, f);
+        }
+        let mut batch = Vec::new();
+        for step in 1500..3000u64 {
+            batch.push(((step * 17) % 101, step / 3, step % 20 + 1));
+            if batch.len() == 32 || step == 2999 {
+                sharded.observe_keyed_batch(&batch);
+                single.observe_keyed_batch(&batch);
+                batch.clear();
+            }
+        }
+        assert_eq!(sharded.len(), single.len());
+        for k in 0..101u64 {
+            // Identical per-key substreams (batch regrouping differs,
+            // but forward-decay ingest is order-insensitive within a
+            // sorted batch), so answers agree to the bit.
+            assert_eq!(
+                sharded.query_key(k, 1100).estimate.to_bits(),
+                single.query_key(k, 1100).estimate.to_bits(),
+                "key {k}"
+            );
+        }
+        assert_eq!(sharded.top_touched(5), single.top_touched(5));
+    }
+
+    #[test]
+    fn per_shard_checkpoints_roundtrip() {
+        let storage = MemStorage::new();
+        let mut fleet_a = fleet(4);
+        for step in 0..2000u64 {
+            fleet_a.observe_keyed((step * 13) % 97, step / 2, step % 10 + 1);
+        }
+        fleet_a.save_checkpoints(&storage).unwrap();
+        // One file per shard, no per-key envelopes.
+        assert_eq!(storage.durable_files().len(), 4);
+        let (fleet_b, restored) =
+            ShardedRegistry::open(&storage, 4, RegistryOptions::default(), || {
+                ForwardDecaySum::new(Exponential::new(0.02))
+            })
+            .unwrap();
+        assert_eq!(restored, 4);
+        assert_eq!(fleet_b.len(), fleet_a.len());
+        for k in 0..97u64 {
+            assert_eq!(
+                fleet_a.query_key(k, 1200).estimate.to_bits(),
+                fleet_b.query_key(k, 1200).estimate.to_bits(),
+                "key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn open_with_missing_files_comes_up_fresh() {
+        let storage = MemStorage::new();
+        let (fleet, restored) = ShardedRegistry::<ForwardDecaySum<Exponential>>::open(
+            &storage,
+            3,
+            RegistryOptions::default(),
+            || ForwardDecaySum::new(Exponential::new(0.02)),
+        )
+        .unwrap();
+        assert_eq!(restored, 0);
+        assert!(fleet.is_empty());
+    }
+}

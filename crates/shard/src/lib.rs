@@ -319,6 +319,17 @@ pub struct SupervisorOptions {
     pub ring_capacity: usize,
     /// Un-keyed ingest partitioning.
     pub partitioner: Partitioner,
+    /// Background fsync cadence for [durable](ShardedAggregate::durable)
+    /// engines: a worker whose ring has gone idle flushes any unsynced
+    /// WAL tail once per this interval. Batched sync policies
+    /// ([`SyncPolicy::EveryN`](td_persist::SyncPolicy::EveryN),
+    /// [`SyncPolicy::IntervalTicks`](td_persist::SyncPolicy::IntervalTicks))
+    /// advance their durability clock on *logged traffic* — if the
+    /// stream falls silent right after an unsynced append, those bytes
+    /// would otherwise stay exposed indefinitely. `None` disables the
+    /// tick (exposure until the next record or [`flush_wal`]
+    /// (ShardedAggregate::flush_wal)).
+    pub wal_flush_idle: Option<Duration>,
 }
 
 impl Default for SupervisorOptions {
@@ -330,6 +341,7 @@ impl Default for SupervisorOptions {
             backpressure: BackpressurePolicy::Block,
             ring_capacity: DEFAULT_RING_CAPACITY,
             partitioner: Partitioner::RoundRobin,
+            wal_flush_idle: Some(Duration::from_millis(100)),
         }
     }
 }
@@ -392,6 +404,12 @@ fn entry_to_msg(e: &WalEntry) -> Msg {
     match *e {
         WalEntry::Observe(t, f) => Msg::Observe(t, f),
         WalEntry::Advance(t) => Msg::Advance(t),
+        // The sharded supervisor never logs keyed entries (keys are
+        // resolved to shards before the WAL); a keyed record in its
+        // store is another system's file.
+        WalEntry::ObserveKeyed(..) => {
+            panic!("keyed WAL entry in a sharded-supervisor store")
+        }
     }
 }
 
@@ -581,8 +599,8 @@ impl DurableWorker {
         self.entries_applied += entries.len() as u64;
         for e in &entries {
             let t = match *e {
-                WalEntry::Observe(t, _) => t,
-                WalEntry::Advance(t) => t,
+                WalEntry::Observe(t, _) | WalEntry::Advance(t) => t,
+                WalEntry::ObserveKeyed(_, t, _) => t,
             };
             self.last_tick = self.last_tick.max(t);
         }
@@ -614,6 +632,8 @@ struct WorkerCtx<B> {
     max_restarts: u64,
     checkpoint_every: u64,
     durable: Option<DurableWorker>,
+    /// Idle-flush cadence (see [`SupervisorOptions::wal_flush_idle`]).
+    wal_flush_idle: Option<Duration>,
 }
 
 fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -745,6 +765,7 @@ fn worker_loop<B: StreamAggregate>(mut ctx: WorkerCtx<B>, mut rx: spsc::Consumer
     let mut applied_mass: u64 = 0;
     let mut chunks_since_ckpt: u64 = 0;
     let mut dur = ctx.durable.take();
+    let mut last_idle_flush = Instant::now();
     loop {
         buf.clear();
         if rx.pop_chunk(&mut buf, DRAIN_BATCH) == 0 {
@@ -757,6 +778,24 @@ fn worker_loop<B: StreamAggregate>(mut ctx: WorkerCtx<B>, mut rx: spsc::Consumer
                     break;
                 }
             } else {
+                // Background fsync tick: batched sync policies advance
+                // on logged traffic, so a stream that goes silent right
+                // after an unsynced append would leave those bytes
+                // exposed indefinitely. Once per cadence, an idle
+                // worker makes any silent-but-dirty WAL tail durable.
+                if let (Some(d), Some(cadence)) = (dur.as_ref(), ctx.wal_flush_idle) {
+                    if last_idle_flush.elapsed() >= cadence {
+                        let mut store = d.store.lock().expect("durable store mutex");
+                        if store.unsynced_records() > 0 {
+                            if let Err(e) = store.flush() {
+                                ctx.state
+                                    .note_failure(format!("idle WAL flush failed: {e}"));
+                            }
+                        }
+                        drop(store);
+                        last_idle_flush = Instant::now();
+                    }
+                }
                 thread::park_timeout(IDLE_PARK);
                 continue;
             }
@@ -1015,8 +1054,8 @@ impl<B: StreamAggregate + Checkpoint + Clone + Send + 'static> ShardedAggregate<
                 buf.extend(rec.entries.iter().map(entry_to_msg));
                 for e in &rec.entries {
                     let t = match *e {
-                        WalEntry::Observe(t, _) => t,
-                        WalEntry::Advance(t) => t,
+                        WalEntry::Observe(t, _) | WalEntry::Advance(t) => t,
+                        WalEntry::ObserveKeyed(_, t, _) => t,
                     };
                     last_tick = last_tick.max(t);
                 }
@@ -1150,6 +1189,7 @@ impl<B: StreamAggregate + Clone + Send + 'static> ShardedAggregate<B> {
                 max_restarts: opts.max_restarts,
                 checkpoint_every: opts.checkpoint_every_chunks.max(1),
                 durable: durable_worker,
+                wal_flush_idle: opts.wal_flush_idle,
             };
             let worker = thread::Builder::new()
                 .name(format!("td-shard-{i}"))
@@ -2338,6 +2378,70 @@ mod tests {
         let t_last = engine.last_t.load(Ordering::Acquire);
         let ans = engine.try_query(t_last + 1).expect("healthy engine");
         assert_eq!(ans.complete_up_to, t_last);
+    }
+
+    #[test]
+    fn idle_flush_makes_silent_wal_tail_durable_within_cadence() {
+        use td_persist::SyncPolicy;
+        let make = || ExactDecayedSum::new(Exponential::new(0.01));
+        // Build a 1-shard durable engine where traffic never advances
+        // the durability clock (IntervalTicks(MAX): only the very
+        // first record syncs, as the baseline) and checkpoints are off
+        // — any durability past record 1 can only come from the idle
+        // flush tick. Queries barrier between observes, forcing
+        // separate chunks, hence separate WAL records.
+        let run = |cadence: Option<Duration>| {
+            let mem = MemStorage::new();
+            let opts = SupervisorOptions {
+                checkpoint_every_chunks: u64::MAX,
+                wal_flush_idle: cadence,
+                ..SupervisorOptions::default()
+            };
+            let durability = DurabilityConfig {
+                storage: Box::new(mem.clone()),
+                options: StoreOptions {
+                    sync: SyncPolicy::IntervalTicks(u64::MAX),
+                    ..StoreOptions::default()
+                },
+            };
+            let (mut eng, _) = ShardedAggregate::durable(1, opts, durability, make).unwrap();
+            for t in 0..4u64 {
+                eng.observe(t, 1);
+                let _ = eng.query(t + 1);
+            }
+            (mem, eng)
+        };
+        let durable_entries = |mem: &MemStorage| {
+            let (_s, rec) =
+                DurableStore::open(Box::new(mem.crashed()), StoreOptions::default(), 1).unwrap();
+            rec.entries_applied(0)
+        };
+
+        // Control: no idle tick. The silent tail stays dirty — a crash
+        // keeps only the baseline-synced first record.
+        let (mem_off, eng_off) = run(None);
+        thread::sleep(Duration::from_millis(120));
+        assert_eq!(
+            durable_entries(&mem_off),
+            1,
+            "without the idle tick the silent tail must stay unsynced"
+        );
+        drop(eng_off);
+
+        // With the tick: the dirty tail goes durable within ~one
+        // cadence, no flush_wal() call anywhere.
+        let (mem_on, eng_on) = run(Some(Duration::from_millis(10)));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut durable_now = durable_entries(&mem_on);
+        while durable_now < 4 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+            durable_now = durable_entries(&mem_on);
+        }
+        assert_eq!(
+            durable_now, 4,
+            "silent-but-dirty WAL tail was not fsynced within the idle cadence"
+        );
+        drop(eng_on);
     }
 
     #[test]
